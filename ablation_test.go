@@ -1,0 +1,201 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - the flow-control window (pipelining depth between split and merge);
+//   - the same-address-space bypass vs full serialization;
+//   - credit-based load balancing vs static round-robin under skew;
+//   - stream operations vs merge-then-split (the Figure 15 mechanism, as a
+//     micro-benchmark).
+//
+// Run with: go test -bench=Ablation -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/parlin"
+	"repro/internal/serial"
+	"repro/internal/simnet"
+)
+
+type ablTok struct {
+	N    int
+	Data []byte
+}
+
+type ablSum struct {
+	N int
+}
+
+var (
+	_ = serial.MustRegister[ablTok]()
+	_ = serial.MustRegister[ablSum]()
+)
+
+// fanGraph builds a split -> work -> merge graph with the given routing and
+// returns the graph; payload bytes per token and a per-token worker delay
+// model the workload.
+func fanGraph(b *testing.B, app *core.App, name string, route *core.Route, workers int,
+	delay func(thread int) time.Duration) *core.Flowgraph {
+	b.Helper()
+	master := core.MustCollection[struct{}](app, name+"-master")
+	if err := master.Map(app.MasterNode()); err != nil {
+		b.Fatal(err)
+	}
+	work := core.MustCollection[struct{}](app, name+"-workers")
+	if err := work.MapRoundRobin(workers); err != nil {
+		b.Fatal(err)
+	}
+	split := core.Split[*ablTok, *ablTok](name+"-split",
+		func(c *core.Ctx, in *ablTok, post func(*ablTok)) {
+			for i := 0; i < in.N; i++ {
+				post(&ablTok{N: i, Data: in.Data})
+			}
+		})
+	leaf := core.Leaf[*ablTok, *ablTok](name+"-work",
+		func(c *core.Ctx, in *ablTok) *ablTok {
+			if d := delay(c.ThreadIndex()); d > 0 {
+				time.Sleep(d)
+			}
+			return in
+		})
+	merge := core.Merge[*ablTok, *ablSum](name+"-merge",
+		func(c *core.Ctx, first *ablTok, next func() (*ablTok, bool)) *ablSum {
+			n := 0
+			for _, ok := first, true; ok; _, ok = next() {
+				n++
+			}
+			return &ablSum{N: n}
+		})
+	g, err := app.NewFlowgraph(name, core.Path(
+		core.NewNode(split, master, core.MainRoute()),
+		core.NewNode(leaf, work, route),
+		core.NewNode(merge, master, core.MainRoute()),
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationWindow sweeps the flow-control window: tiny windows
+// serialize the pipeline (no overlap), large ones admit full pipelining.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, window := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			net := simnet.New(simnet.Config{Bandwidth: 200e6, Latency: 20 * time.Microsecond, PerMessage: 5 * time.Microsecond})
+			defer net.Close()
+			app, err := core.NewSimApp(core.Config{Window: window}, net, "a0", "a1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			g := fanGraph(b, app, "win", core.RoundRobin(), 1, func(int) time.Duration { return 0 })
+			payload := make([]byte, 16<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.CallTimeout(app.MasterNode(), &ablTok{N: 128, Data: payload}, 60*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLocalBypass compares the same-node pointer handoff with
+// forced serialization (the paper's several-kernels-per-host mode).
+func BenchmarkAblationLocalBypass(b *testing.B) {
+	for _, force := range []bool{false, true} {
+		name := "bypass"
+		if force {
+			name = "force-serialize"
+		}
+		b.Run(name, func(b *testing.B) {
+			app, err := core.NewLocalApp(core.Config{ForceSerialize: force}, "a0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			g := fanGraph(b, app, "byp", core.RoundRobin(), 1, func(int) time.Duration { return 0 })
+			payload := make([]byte, 16<<10)
+			b.ReportAllocs()
+			b.SetBytes(int64(128 * len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.CallTimeout(app.MasterNode(), &ablTok{N: 128, Data: payload}, 60*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoadBalance compares the credit-based route against
+// static round-robin when one of three workers is 4x slower — the paper's
+// motivation for feeding merge acknowledgements back into routing.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	slowWorker := func(thread int) time.Duration {
+		if thread == 0 {
+			return 800 * time.Microsecond
+		}
+		return 200 * time.Microsecond
+	}
+	routes := map[string]func() *core.Route{
+		"round-robin":   core.RoundRobin,
+		"load-balanced": core.LoadBalanced,
+	}
+	for name, mk := range routes {
+		b.Run(name, func(b *testing.B) {
+			app, err := core.NewLocalApp(core.Config{Window: 8}, "a0", "a1", "a2", "a3")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			g := fanGraph(b, app, "lb", mk(), 3, slowWorker)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.CallTimeout(app.MasterNode(), &ablTok{N: 60}, 120*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStreamVsMergeSplit isolates the Figure 15 mechanism on
+// the LU application at a small size: identical graphs except for whether
+// collectors forward eagerly (stream) or buffer the whole group.
+func BenchmarkAblationStreamVsMergeSplit(b *testing.B) {
+	for _, pipelined := range []bool{true, false} {
+		name := "merge-split"
+		if pipelined {
+			name = "stream"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := simnet.New(simnet.Config{Bandwidth: 1e9, Latency: 5 * time.Microsecond, PerMessage: 3 * time.Microsecond})
+			defer net.Close()
+			app, err := core.NewSimApp(core.Config{Window: 256}, net, "a0", "a1", "a2", "a3")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			lu, err := parlin.NewLU(app, 256, 32, parlin.LUOptions{Name: "lu", Workers: 4, Pipelined: pipelined})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := matrix.Random(256, 256, 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lu.FactorOnly(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

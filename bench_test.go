@@ -1,0 +1,192 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation via testing.B — one benchmark per table/figure, plus
+// finer-grained single-configuration benchmarks for profiling.
+//
+//	go test -bench=. -benchmem
+//
+// The Figure/Table benchmarks run the full Quick-mode experiment once per
+// b.N iteration and print the regenerated table under -v; the harness in
+// cmd/dps-bench produces the paper-scale versions for EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/life"
+	"repro/internal/matrix"
+	"repro/internal/parlife"
+	"repro/internal/parlin"
+	"repro/internal/ringbench"
+	"repro/internal/simnet"
+)
+
+func runReport(b *testing.B, f func(bench.Options) (*bench.Report, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := f(bench.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFigure6Ring regenerates Figure 6 (ring throughput, DPS vs raw).
+func BenchmarkFigure6Ring(b *testing.B) { runReport(b, bench.Figure6) }
+
+// BenchmarkTable1MatmulOverlap regenerates Table 1 (overlap reductions).
+func BenchmarkTable1MatmulOverlap(b *testing.B) { runReport(b, bench.Table1) }
+
+// BenchmarkFigure9LifeSpeedup regenerates Figure 9 (life speedup curves).
+func BenchmarkFigure9LifeSpeedup(b *testing.B) { runReport(b, bench.Figure9) }
+
+// BenchmarkTable2GraphCalls regenerates Table 2 (service-call overhead).
+func BenchmarkTable2GraphCalls(b *testing.B) { runReport(b, bench.Table2) }
+
+// BenchmarkFigure15LUSpeedup regenerates Figure 15 (LU pipelined vs not).
+func BenchmarkFigure15LUSpeedup(b *testing.B) { runReport(b, bench.Figure15) }
+
+// --- single-configuration benchmarks for profiling ----------------------
+
+// BenchmarkFigure6RingDPS64K is one Figure 6 point: DPS ring, 64 KB blocks.
+func BenchmarkFigure6RingDPS64K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ringbench.RunDPS(simnet.GigabitEthernet(), 4, 4<<20, 64<<10, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(res.TotalBytes)
+	}
+}
+
+// BenchmarkFigure6RingRaw64K is the matching raw-transfer baseline.
+func BenchmarkFigure6RingRaw64K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ringbench.RunRaw(simnet.GigabitEthernet(), 4, 4<<20, 64<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(res.TotalBytes)
+	}
+}
+
+// BenchmarkTable1MatmulPipelined is one Table 1 cell: n=256, s=8, 2 nodes.
+func BenchmarkTable1MatmulPipelined(b *testing.B) {
+	net := simnet.New(simnet.GigabitEthernet())
+	defer net.Close()
+	app, err := core.NewSimApp(core.Config{Window: 256}, net, "m0", "m1", "m2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Close()
+	mm, err := parlin.NewMatmul(app, parlin.MatmulOptions{Name: "mm", Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mm.WorkersCollection().MapNodes("m1", "m2"); err != nil {
+		b.Fatal(err)
+	}
+	x := matrix.Random(256, 256, 1)
+	y := matrix.Random(256, 256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mm.Run(x, y, 8, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9LifeIteration is one Figure 9 point: 1000x1000 world on
+// 4 nodes, improved graph, per-iteration cost.
+func BenchmarkFigure9LifeIteration(b *testing.B) {
+	net := simnet.New(simnet.GigabitEthernet())
+	defer net.Close()
+	app, err := core.NewSimApp(core.Config{}, net, "l0", "l1", "l2", "l3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Close()
+	sim, err := parlife.New(app, 1000, 1000, parlife.Options{Name: "life", Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Load(life.RandomWorld(1000, 1000, 0.3, 1)); err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Step(true); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Step(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2ServiceCall is one Table 2 point: a 400x400 block read
+// from a 1404x1404 world on 4 nodes (no concurrent iteration).
+func BenchmarkTable2ServiceCall(b *testing.B) {
+	net := simnet.New(simnet.GigabitEthernet())
+	defer net.Close()
+	app, err := core.NewSimApp(core.Config{}, net, "s0", "s1", "s2", "s3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Close()
+	sim, err := parlife.New(app, 1404, 1404, parlife.Options{Name: "life", Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Load(life.RandomWorld(1404, 1404, 0.3, 1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ReadBlock(i%1404, (i*13)%1404, 400, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure15LUPipelined is one Figure 15 point: n=512, r=32,
+// 4 nodes, stream-pipelined graph.
+func BenchmarkFigure15LUPipelined(b *testing.B) {
+	benchLU(b, true)
+}
+
+// BenchmarkFigure15LUNonPipelined is the merge-split comparison point.
+func BenchmarkFigure15LUNonPipelined(b *testing.B) {
+	benchLU(b, false)
+}
+
+func benchLU(b *testing.B, pipelined bool) {
+	net := simnet.New(simnet.GigabitEthernet())
+	defer net.Close()
+	app, err := core.NewSimApp(core.Config{Window: 256}, net, "u0", "u1", "u2", "u3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Close()
+	lu, err := parlin.NewLU(app, 512, 32, parlin.LUOptions{Name: "lu", Workers: 4, Pipelined: pipelined})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.Random(512, 512, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lu.FactorOnly(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

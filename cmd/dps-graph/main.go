@@ -1,0 +1,125 @@
+// Command dps-graph prints Graphviz (DOT) renderings of the built-in
+// application flow graphs — the paper stresses that DPS graphs "can be
+// easily visualized" and used to reason about parallelization strategies.
+//
+// Usage:
+//
+//	dps-graph -graph upper|life-simple|life-improved|life-read|matmul|lu [-lu-n 256 -lu-r 64]
+//
+// Pipe the output through `dot -Tsvg` to render.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/parlife"
+	"repro/internal/parlin"
+	"repro/internal/serial"
+)
+
+type strToken struct {
+	Str string
+}
+
+type chrToken struct {
+	Chr byte
+	Pos int
+}
+
+var (
+	_ = serial.MustRegister[strToken]()
+	_ = serial.MustRegister[chrToken]()
+)
+
+func main() {
+	graph := flag.String("graph", "upper", "graph to print: upper, life-simple, life-improved, life-read, matmul, lu")
+	luN := flag.Int("lu-n", 256, "LU matrix size (the graph is generated to fit it)")
+	luR := flag.Int("lu-r", 64, "LU block size")
+	flag.Parse()
+
+	dot, err := buildDOT(*graph, *luN, *luR)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dps-graph:", err)
+		os.Exit(1)
+	}
+	fmt.Print(dot)
+}
+
+func buildDOT(which string, luN, luR int) (string, error) {
+	app, err := core.NewLocalApp(core.Config{}, "n0", "n1", "n2", "n3")
+	if err != nil {
+		return "", err
+	}
+	defer app.Close()
+
+	switch which {
+	case "upper":
+		main := core.MustCollection[struct{}](app, "main")
+		if err := main.Map("n0"); err != nil {
+			return "", err
+		}
+		compute := core.MustCollection[struct{}](app, "compute")
+		if err := compute.Map("n1 n2 n3"); err != nil {
+			return "", err
+		}
+		split := core.Split[*strToken, *chrToken]("SplitString",
+			func(c *core.Ctx, in *strToken, post func(*chrToken)) {
+				for i := 0; i < len(in.Str); i++ {
+					post(&chrToken{Chr: in.Str[i], Pos: i})
+				}
+			})
+		upper := core.Leaf[*chrToken, *chrToken]("ToUpperCase",
+			func(c *core.Ctx, in *chrToken) *chrToken { return in })
+		merge := core.Merge[*chrToken, *strToken]("MergeString",
+			func(c *core.Ctx, first *chrToken, next func() (*chrToken, bool)) *strToken {
+				for _, ok := first, true; ok; _, ok = next() {
+				}
+				return &strToken{}
+			})
+		g, err := app.NewFlowgraph("upper", core.Path(
+			core.NewNode(split, main, core.MainRoute()),
+			core.NewNode(upper, compute, core.ByKey[*chrToken]("RoundRobinRoute", func(in *chrToken) int { return in.Pos })),
+			core.NewNode(merge, main, core.MainRoute()),
+		))
+		if err != nil {
+			return "", err
+		}
+		return g.DOT(), nil
+
+	case "life-simple", "life-improved", "life-read":
+		sim, err := parlife.New(app, 64, 64, parlife.Options{Name: "life", Workers: 4})
+		if err != nil {
+			return "", err
+		}
+		switch which {
+		case "life-simple":
+			g, _ := app.Graph("life-step-simple")
+			return g.DOT(), nil
+		case "life-improved":
+			g, _ := app.Graph("life-step-improved")
+			return g.DOT(), nil
+		default:
+			return sim.ReadGraph().DOT(), nil
+		}
+
+	case "matmul":
+		mm, err := parlin.NewMatmul(app, parlin.MatmulOptions{Name: "matmul", Workers: 3})
+		if err != nil {
+			return "", err
+		}
+		return mm.Graph().DOT(), nil
+
+	case "lu":
+		lu, err := parlin.NewLU(app, luN, luR, parlin.LUOptions{Name: "lu", Pipelined: true})
+		if err != nil {
+			return "", err
+		}
+		return lu.Graph().DOT(), nil
+
+	default:
+		return "", fmt.Errorf("unknown graph %q (choose upper, life-simple, life-improved, life-read, matmul, lu)", which)
+	}
+}

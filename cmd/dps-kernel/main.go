@@ -1,0 +1,179 @@
+// Command dps-kernel runs the DPS runtime-environment daemons of the
+// paper's §4 over real TCP sockets: a simple name server and per-node
+// kernels that register with it. Kernels are named independently of host
+// names, so several kernels can share one machine (the paper's debugging
+// mode).
+//
+// Start a name server:
+//
+//	dps-kernel -serve-ns -listen 127.0.0.1:7000
+//
+// Start kernels against it:
+//
+//	dps-kernel -name nodeA -listen 127.0.0.1:0 -ns 127.0.0.1:7000
+//	dps-kernel -name nodeB -listen 127.0.0.1:0 -ns 127.0.0.1:7000
+//
+// A -demo flag on one kernel runs the tutorial uppercase application
+// across all currently registered kernels, demonstrating lazy application
+// attachment and on-demand TCP connections.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/serial"
+)
+
+// Tokens of the demo application.
+type demoReq struct {
+	Text string
+}
+
+type demoWord struct {
+	Word string
+	Pos  int
+}
+
+type demoRes struct {
+	Text string
+}
+
+var (
+	_ = serial.MustRegister[demoReq]()
+	_ = serial.MustRegister[demoWord]()
+	_ = serial.MustRegister[demoRes]()
+)
+
+func main() {
+	serveNS := flag.Bool("serve-ns", false, "run the name server instead of a kernel")
+	name := flag.String("name", "", "kernel name (required unless -serve-ns)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	ns := flag.String("ns", "127.0.0.1:7000", "name server address")
+	demo := flag.Bool("demo", false, "run the uppercase demo across all registered kernels, then exit")
+	flag.Parse()
+
+	if *serveNS {
+		srv, err := kernel.StartNameServer(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("name server listening on %s\n", srv.Addr())
+		waitForInterrupt()
+		_ = srv.Close()
+		return
+	}
+
+	if *name == "" {
+		fatal(fmt.Errorf("a kernel needs -name"))
+	}
+	k, err := kernel.Start(*name, *listen, *ns)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kernel %q listening on %s (name server %s)\n", k.Name(), k.Addr(), *ns)
+
+	if *demo {
+		if err := runDemo(k, *ns); err != nil {
+			fatal(err)
+		}
+		_ = k.Close()
+		return
+	}
+	waitForInterrupt()
+	_ = k.Close()
+}
+
+// runDemo builds the tutorial split-compute-merge graph over every kernel
+// currently registered with the name server and converts a sentence to
+// uppercase in parallel.
+func runDemo(local *kernel.Kernel, ns string) error {
+	names, err := kernel.ListNames(ns)
+	if err != nil {
+		return err
+	}
+	var peers []string
+	for n := range names {
+		peers = append(peers, n)
+	}
+	sort.Strings(peers)
+	fmt.Printf("demo across kernels: %v\n", peers)
+
+	// In a full deployment every kernel process attaches its own instance
+	// of the application; this single-binary demo attaches the local
+	// kernel and runs four worker threads on it (the listing above shows
+	// which peers a multi-process deployment would map to).
+	app := core.NewApp(core.Config{})
+	defer app.Close()
+	if _, err := app.AttachTransport(local.Transport("demo")); err != nil {
+		return err
+	}
+
+	main := core.MustCollection[struct{}](app, "main")
+	if err := main.Map(local.Name()); err != nil {
+		return err
+	}
+	workers := core.MustCollection[struct{}](app, "workers")
+	if err := workers.Map(local.Name() + "*4"); err != nil {
+		return err
+	}
+
+	split := core.Split[*demoReq, *demoWord]("split-words",
+		func(c *core.Ctx, in *demoReq, post func(*demoWord)) {
+			for i, w := range strings.Fields(in.Text) {
+				post(&demoWord{Word: w, Pos: i})
+			}
+		})
+	upper := core.Leaf[*demoWord, *demoWord]("upper",
+		func(c *core.Ctx, in *demoWord) *demoWord {
+			return &demoWord{Word: strings.ToUpper(in.Word), Pos: in.Pos}
+		})
+	merge := core.Merge[*demoWord, *demoRes]("join-words",
+		func(c *core.Ctx, first *demoWord, next func() (*demoWord, bool)) *demoRes {
+			words := map[int]string{}
+			max := 0
+			for in, ok := first, true; ok; in, ok = next() {
+				words[in.Pos] = in.Word
+				if in.Pos > max {
+					max = in.Pos
+				}
+			}
+			out := make([]string, max+1)
+			for i := range out {
+				out[i] = words[i]
+			}
+			return &demoRes{Text: strings.Join(out, " ")}
+		})
+	g, err := app.NewFlowgraph("demo-upper", core.Path(
+		core.NewNode(split, main, core.MainRoute()),
+		core.NewNode(upper, workers, core.RoundRobin()),
+		core.NewNode(merge, main, core.MainRoute()),
+	))
+	if err != nil {
+		return err
+	}
+	out, err := g.Call(&demoReq{Text: "dynamic parallel schedules over tcp kernels"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo result: %s\n", out.(*demoRes).Text)
+	return nil
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dps-kernel:", err)
+	os.Exit(1)
+}

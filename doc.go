@@ -1,0 +1,12 @@
+// Package repro is a Go reproduction of "DPS – Dynamic Parallel Schedules"
+// (Gerlach & Hersch, HIPS/IPDPS 2003): a framework for parallel
+// applications on distributed-memory clusters built from compositional
+// split-compute-merge flow graphs.
+//
+// The library lives in internal/core (the DPS model) with one package per
+// substrate (serialization, simulated cluster network, transports, kernel
+// runtime, dense linear algebra, Game of Life). Executables are under cmd/,
+// runnable examples under examples/, and the root bench_test.go regenerates
+// every table and figure of the paper's evaluation. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

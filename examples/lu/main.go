@@ -1,0 +1,97 @@
+// LU runs the paper's §5 block LU factorization with partial pivoting on a
+// simulated cluster. The flow graph is generated at runtime to fit the
+// matrix size (one collect-factor-stream construct per block column), and
+// the -pipelined flag switches between the stream-operation graph of
+// Figure 12 and the merge-then-split variant that Figure 15 compares
+// against. The factorization is verified via max|P*A - L*U| and against
+// the sequential blocked algorithm.
+//
+//	go run ./examples/lu [-n 512 -r 32 -nodes 4 -pipelined=true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/parlin"
+	"repro/internal/simnet"
+)
+
+func main() {
+	n := flag.Int("n", 512, "matrix size")
+	r := flag.Int("r", 32, "block size (n must be a multiple)")
+	nodes := flag.Int("nodes", 4, "virtual cluster nodes")
+	pipelined := flag.Bool("pipelined", true, "use stream operations (false: merge-then-split)")
+	flag.Parse()
+
+	net := simnet.New(simnet.GigabitEthernet())
+	defer net.Close()
+	names := make([]string, *nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	app, err := core.NewSimApp(core.Config{Window: 256}, net, names...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	lu, err := parlin.NewLU(app, *n, *r, parlin.LUOptions{Workers: *nodes, Pipelined: *pipelined})
+	if err != nil {
+		log.Fatal(err)
+	}
+	variant := "merge-then-split (non-pipelined)"
+	if *pipelined {
+		variant = "stream-pipelined (Figure 12)"
+	}
+	fmt.Printf("LU %dx%d, block %d (%d block columns), %d nodes, %s\n",
+		*n, *n, *r, lu.Blocks(), *nodes, variant)
+	fmt.Printf("generated flow graph has %d operation nodes\n", lu.Graph().NodeCount())
+
+	a := matrix.Random(*n, *n, 7)
+	start := time.Now()
+	fact, piv, err := lu.Factor(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("factorized in %v\n", elapsed.Round(time.Millisecond))
+
+	res := matrix.ResidualLU(a, fact, piv)
+	fmt.Printf("max|P*A - L*U| = %.3g\n", res)
+	if res > 1e-8*float64(*n) {
+		log.Fatal("VERIFICATION FAILED: residual too large")
+	}
+
+	ref := a.Clone()
+	if _, err := matrix.BlockLUFactor(ref, *r); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max diff vs sequential block LU = %.3g\n", fact.MaxAbsDiff(ref))
+
+	// Demonstrate the factorization by solving a linear system.
+	rhs := make([]float64, *n)
+	for i := range rhs {
+		rhs[i] = float64(i%17) - 8
+	}
+	x := matrix.LUSolve(fact, piv, rhs)
+	// Residual of A x - b.
+	worst := 0.0
+	for i := 0; i < *n; i++ {
+		s := -rhs[i]
+		for j := 0; j < *n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if s < 0 {
+			s = -s
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	fmt.Printf("solved A x = b with max residual %.3g\n", worst)
+}

@@ -1,0 +1,109 @@
+// Quickstart reproduces the paper's §3 tutorial application: a character
+// string is converted to uppercase in parallel by splitting it into its
+// individual characters, routing them round-robin over compute threads on
+// several (virtual) cluster nodes, and merging the results back in order.
+//
+//	go run ./examples/quickstart ["some text"]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/serial"
+)
+
+// StringToken and CharToken are the tutorial's data objects. Registration
+// (the paper's IDENTIFY macro) enables automatic serialization.
+type StringToken struct {
+	Str string
+}
+
+type CharToken struct {
+	Chr byte
+	Pos int
+}
+
+var (
+	_ = serial.MustRegister[StringToken]()
+	_ = serial.MustRegister[CharToken]()
+)
+
+func main() {
+	input := "dynamic parallel schedules"
+	if len(os.Args) > 1 {
+		input = strings.Join(os.Args[1:], " ")
+	}
+
+	// A local "cluster" of three nodes in this process. Swap NewLocalApp
+	// for NewSimApp to pay modelled network costs, or attach kernel
+	// transports (cmd/dps-kernel) for real TCP.
+	app, err := core.NewLocalApp(core.Config{}, "nodeA", "nodeB", "nodeC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	// Thread collections and their dynamic mapping to nodes: two compute
+	// threads on nodeB and one on nodeC, exactly the paper's
+	// computeThreads->map("nodeA*2 nodeB") idiom.
+	mainThread := core.MustCollection[struct{}](app, "main")
+	if err := mainThread.Map("nodeA"); err != nil {
+		log.Fatal(err)
+	}
+	computeThreads := core.MustCollection[struct{}](app, "proc")
+	if err := computeThreads.Map("nodeB*2 nodeC"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The three operations of the split-compute-merge construct.
+	splitString := core.Split[*StringToken, *CharToken]("SplitString",
+		func(c *core.Ctx, in *StringToken, post func(*CharToken)) {
+			for i := 0; i < len(in.Str); i++ {
+				post(&CharToken{Chr: in.Str[i], Pos: i})
+			}
+		})
+	toUpperCase := core.Leaf[*CharToken, *CharToken]("ToUpperCase",
+		func(c *core.Ctx, in *CharToken) *CharToken {
+			ch := in.Chr
+			if ch >= 'a' && ch <= 'z' {
+				ch -= 'a' - 'A'
+			}
+			return &CharToken{Chr: ch, Pos: in.Pos}
+		})
+	mergeString := core.Merge[*CharToken, *StringToken]("MergeString",
+		func(c *core.Ctx, first *CharToken, next func() (*CharToken, bool)) *StringToken {
+			buf := make([]byte, 0)
+			for in, ok := first, true; ok; in, ok = next() {
+				for len(buf) <= in.Pos {
+					buf = append(buf, 0)
+				}
+				buf[in.Pos] = in.Chr
+			}
+			return &StringToken{Str: string(buf)}
+		})
+
+	// The flow graph: the paper's
+	//   FlowgraphNode<SplitString, MainRoute>(theMainThread) >>
+	//   FlowgraphNode<ToUpperCase, RoundRobinRoute>(computeThreads) >>
+	//   FlowgraphNode<MergeString, MainRoute>(theMainThread)
+	roundRobin := core.ByKey[*CharToken]("RoundRobinRoute",
+		func(in *CharToken) int { return in.Pos })
+	graph, err := app.NewFlowgraph("graph", core.Path(
+		core.NewNode(splitString, mainThread, core.MainRoute()),
+		core.NewNode(toUpperCase, computeThreads, roundRobin),
+		core.NewNode(mergeString, mainThread, core.MainRoute()),
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := graph.Call(&StringToken{Str: input})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in : %s\nout: %s\n", input, out.(*StringToken).Str)
+}

@@ -1,0 +1,521 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4 and §5) on the simulated cluster substrate:
+//
+//	Figure 6  — ring transfer throughput, DPS vs raw transfers
+//	Table 1   — matmul execution-time reduction from comm/comp overlap
+//	Figure 9  — Game of Life speedup, improved vs simple flow graph
+//	Table 2   — Game of Life service-call overhead
+//	Figure 15 — LU factorization speedup, pipelined vs non-pipelined
+//
+// Each experiment returns a trace.Table whose rows mirror the paper's
+// presentation, plus free-text notes recording the paper's reference
+// values so EXPERIMENTS.md can compare shapes. Absolute numbers differ
+// from the 2003 testbed by construction; the shape checks are what matter.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/life"
+	"repro/internal/matrix"
+	"repro/internal/parlife"
+	"repro/internal/parlin"
+	"repro/internal/ringbench"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks problem sizes so the full suite completes in tens of
+	// seconds (used by `go test -bench` and CI); the default sizes follow
+	// the paper more closely.
+	Quick bool
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string
+	Table *trace.Table
+	Notes []string
+}
+
+func (r *Report) String() string {
+	s := r.Table.String()
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+func nodeNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+// gigabit is the modelled fabric for all experiments (the paper's Gigabit
+// Ethernet switch).
+func gigabit() simnet.Config { return simnet.GigabitEthernet() }
+
+// scaledGigabit speeds the fabric up by factor f. The paper's 733 MHz
+// Pentium III executed the unoptimized kernels roughly an order of
+// magnitude slower per element than this Go build, so compute-heavy
+// experiments scale the fabric equally to preserve the paper's
+// communication/computation balance (see DESIGN.md, substitutions).
+func scaledGigabit(f float64) simnet.Config {
+	cfg := simnet.GigabitEthernet()
+	cfg.Bandwidth *= f
+	cfg.Latency = time.Duration(float64(cfg.Latency) / f)
+	cfg.PerMessage = time.Duration(float64(cfg.PerMessage) / f)
+	return cfg
+}
+
+// Figure6 regenerates the round-trip throughput comparison: 4-node ring,
+// DPS data objects vs raw transfers, single-transfer sizes 1 KB - 1 MB.
+func Figure6(opt Options) (*Report, error) {
+	total := 32 << 20
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	if opt.Quick {
+		total = 4 << 20
+		sizes = []int{1 << 10, 16 << 10, 256 << 10}
+	}
+	t := &trace.Table{
+		Title:  "Figure 6: ring throughput (4 nodes), DPS vs raw transfers",
+		Header: []string{"size[B]", "DPS[MB/s]", "raw[MB/s]", "DPS/raw"},
+	}
+	for _, size := range sizes {
+		dps, err := ringbench.RunDPS(gigabit(), 4, total, size, 64)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 dps size=%d: %w", size, err)
+		}
+		raw, err := ringbench.RunRaw(gigabit(), 4, total, size)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 raw size=%d: %w", size, err)
+		}
+		t.AddRow(
+			fmt.Sprint(size),
+			fmt.Sprintf("%.1f", dps.Throughput),
+			fmt.Sprintf("%.1f", raw.Throughput),
+			fmt.Sprintf("%.2f", dps.Throughput/raw.Throughput),
+		)
+	}
+	return &Report{
+		ID:    "figure6",
+		Table: t,
+		Notes: []string{
+			"paper: DPS control structures cost matters only for small data objects;",
+			"paper: both curves rise with transfer size, DPS approaching the socket rate (~35 MB/s at 1 MB on their testbed).",
+			"check: DPS/raw ratio must increase monotonically with size and approach 1.",
+		},
+	}, nil
+}
+
+// table1Cell measures one (blockSize, workers) configuration: the full
+// pipelined run, the communication-only run, and the computation-only run
+// (zero-cost fabric), from which the paper's two reported quantities
+// follow: reduction = 1 - t_full/(t_comm + t_comp) and ratio =
+// t_comm/t_comp.
+func table1Cell(n, s, workers int) (reduction, ratio float64, err error) {
+	a := matrix.Random(n, n, 1)
+	b := matrix.Random(n, n, 2)
+	run := func(cfg *simnet.Config, compute bool) (time.Duration, error) {
+		var app *core.App
+		var net *simnet.Network
+		names := nodeNames("mm", workers+1) // +1: master node
+		if cfg != nil {
+			net = simnet.New(*cfg)
+			defer net.Close()
+			app, err = core.NewSimApp(core.Config{Window: 256}, net, names...)
+		} else {
+			app, err = core.NewLocalApp(core.Config{Window: 256}, names...)
+		}
+		if err != nil {
+			return 0, err
+		}
+		defer app.Close()
+		mm, err := parlin.NewMatmul(app, parlin.MatmulOptions{Name: "mm", Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		// Workers live on nodes 1..workers, master alone on node 0 (as in
+		// the paper, where the master distributes blocks over the network).
+		if err := mm.WorkersCollection().MapNodes(names[1:]...); err != nil {
+			return 0, err
+		}
+		sw := trace.StartStopwatch()
+		if _, err := mm.Run(a, b, s, compute); err != nil {
+			return 0, err
+		}
+		return sw.Elapsed(), nil
+	}
+	cfg := gigabit()
+	tFull, err := run(&cfg, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	tComm, err := run(&cfg, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	tComp, err := run(nil, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	reduction = 1 - tFull.Seconds()/(tComm.Seconds()+tComp.Seconds())
+	ratio = tComm.Seconds() / tComp.Seconds()
+	return reduction, ratio, nil
+}
+
+// Table1 regenerates the overlap experiment: block matrix multiplication
+// with splitting factors giving the paper's block sizes, on 1-4 compute
+// nodes.
+func Table1(opt Options) (*Report, error) {
+	n := 512
+	factors := []int{4, 8, 16, 32}
+	maxWorkers := 4
+	if opt.Quick {
+		n = 256
+		factors = []int{4, 8, 16}
+		maxWorkers = 2
+	}
+	t := &trace.Table{
+		Title:  fmt.Sprintf("Table 1: matmul overlap, n=%d (reduction in execution time / comm-comp ratio)", n),
+		Header: []string{"nodes", "block", "s", "reduction[%]", "ratio"},
+	}
+	for workers := 1; workers <= maxWorkers; workers++ {
+		for _, s := range factors {
+			red, ratio, err := table1Cell(n, s, workers)
+			if err != nil {
+				return nil, fmt.Errorf("table1 workers=%d s=%d: %w", workers, s, err)
+			}
+			t.AddRow(
+				fmt.Sprint(workers),
+				fmt.Sprint(n/s),
+				fmt.Sprint(s),
+				fmt.Sprintf("%.1f", red*100),
+				fmt.Sprintf("%.2f", ratio),
+			)
+		}
+	}
+	return &Report{
+		ID:    "table1",
+		Table: t,
+		Notes: []string{
+			"paper (n=1024): reductions 6.7%..35.6%; ratios 0.22..5.54; best gains at ratios 0.9-2.5;",
+			"paper: ratio grows with splitting factor s and with node count (computation parallelizes, the master's communication does not).",
+			"check: ratio increases along both axes; reduction peaks at mid ratios and falls once communication dominates.",
+		},
+	}, nil
+}
+
+// lifeSpeedup measures iterations/second of the life application for one
+// (worldW, worldH, nodes, improved) configuration on the simulated fabric,
+// taking the best of two runs to suppress scheduler noise.
+func lifeSpeedup(worldW, worldH, workers, iters int, improved bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < 2; rep++ {
+		el, err := lifeSpeedupOnce(worldW, worldH, workers, iters, improved)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+func lifeSpeedupOnce(worldW, worldH, workers, iters int, improved bool) (time.Duration, error) {
+	net := simnet.New(gigabit())
+	defer net.Close()
+	names := nodeNames("life", workers)
+	app, err := core.NewSimApp(core.Config{}, net, names...)
+	if err != nil {
+		return 0, err
+	}
+	defer app.Close()
+	sim, err := parlife.New(app, worldW, worldH, parlife.Options{Name: "life", Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	if err := sim.Load(life.RandomWorld(worldW, worldH, 0.3, 7)); err != nil {
+		return 0, err
+	}
+	// Warm-up iteration instantiates threads and connections.
+	if err := sim.Step(improved); err != nil {
+		return 0, err
+	}
+	sw := trace.StartStopwatch()
+	if err := sim.StepN(iters, improved); err != nil {
+		return 0, err
+	}
+	return sw.Elapsed(), nil
+}
+
+// Figure9 regenerates the Game of Life speedup curves for the simple and
+// improved graphs over three world sizes.
+func Figure9(opt Options) (*Report, error) {
+	// World sizes are scaled up from the paper's 400x400 / 4000x400 /
+	// 4000x4000 so that the compute per cell row matches the paper's
+	// comm/comp regime on a modern CPU (their 400x400 iteration took ~20 ms
+	// of computation; ours would take well under 1 ms).
+	worlds := [][2]int{{1000, 1000}, {4000, 1000}, {4000, 4000}}
+	nodesList := []int{1, 2, 4, 8}
+	iters := 6
+	if opt.Quick {
+		worlds = [][2]int{{1000, 1000}, {2000, 2000}}
+		nodesList = []int{1, 2, 4}
+		iters = 4
+	}
+	t := &trace.Table{
+		Title:  "Figure 9: Game of Life speedup (vs 1 node, same variant)",
+		Header: []string{"world", "variant", "nodes", "time/iter[ms]", "speedup"},
+	}
+	for _, w := range worlds {
+		for _, improved := range []bool{false, true} {
+			var base time.Duration
+			for _, workers := range nodesList {
+				el, err := lifeSpeedup(w[0], w[1], workers, iters, improved)
+				if err != nil {
+					return nil, fmt.Errorf("figure9 %dx%d workers=%d: %w", w[0], w[1], workers, err)
+				}
+				if workers == nodesList[0] {
+					base = el
+				}
+				variant := "simple"
+				if improved {
+					variant = "improved"
+				}
+				t.AddRow(
+					fmt.Sprintf("%dx%d", w[0], w[1]),
+					variant,
+					fmt.Sprint(workers),
+					fmt.Sprintf("%.2f", el.Seconds()*1000/float64(iters)),
+					fmt.Sprintf("%.2f", base.Seconds()/el.Seconds()),
+				)
+			}
+		}
+	}
+	return &Report{
+		ID:    "figure9",
+		Table: t,
+		Notes: []string{
+			"paper: improved graph above simple graph at every point; the gap is largest for the smallest world (400x400)",
+			"where communication dominates; larger worlds reduce the impact of border exchange.",
+			"check: improved time/iter <= simple time/iter per configuration; relative gap shrinks as the world grows.",
+		},
+	}, nil
+}
+
+// Table2 regenerates the graph-call overhead measurement: the life
+// simulation iterates on 4 nodes while a client repeatedly requests
+// randomly located blocks through the world-read service.
+func Table2(opt Options) (*Report, error) {
+	world := 5620
+	workers := 4
+	iters := 12
+	blocks := [][2]int{{0, 0}, {40, 40}, {400, 400}, {2400, 400}} // {h, w}; {0,0} = no calls
+	calls := 40
+	if opt.Quick {
+		world = 1404
+		iters = 6
+		calls = 12
+		blocks = [][2]int{{0, 0}, {40, 40}, {400, 400}}
+	}
+
+	t := &trace.Table{
+		Title:  fmt.Sprintf("Table 2: life %dx%d on %d nodes, world-read service calls during the simulation", world, world, workers),
+		Header: []string{"block", "call[ms](median)", "iter[ms]", "calls/s"},
+	}
+	for _, blk := range blocks {
+		net := simnet.New(gigabit())
+		names := nodeNames("t2", workers)
+		app, err := core.NewSimApp(core.Config{}, net, names...)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		sim, err := parlife.New(app, world, world, parlife.Options{Name: "life", Workers: workers})
+		if err == nil {
+			err = sim.Load(life.RandomWorld(world, world, 0.3, 11))
+		}
+		if err == nil {
+			err = sim.Step(true) // warm-up
+		}
+		if err != nil {
+			app.Close()
+			net.Close()
+			return nil, err
+		}
+
+		var samples trace.Samples
+		stop := make(chan struct{})
+		callsDone := make(chan int)
+		if blk[0] > 0 {
+			go func() {
+				n := 0
+				rngRow, rngCol := 1, 7
+				for {
+					select {
+					case <-stop:
+						callsDone <- n
+						return
+					default:
+					}
+					rngRow = (rngRow*1103515245 + 12345) & 0x7fffffff
+					rngCol = (rngCol*1103515245 + 12345) & 0x7fffffff
+					sw := trace.StartStopwatch()
+					if _, err := sim.ReadBlock(rngRow%world, rngCol%world, blk[0], blk[1]); err != nil {
+						callsDone <- n
+						return
+					}
+					samples.Add(sw.Elapsed())
+					n++
+					if n >= calls*iters {
+						<-stop
+						callsDone <- n
+						return
+					}
+				}
+			}()
+		}
+		sw := trace.StartStopwatch()
+		err = sim.StepN(iters, true)
+		iterElapsed := sw.Elapsed()
+		nCalls := 0
+		if blk[0] > 0 {
+			close(stop)
+			nCalls = <-callsDone
+		}
+		app.Close()
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		iterMs := iterElapsed.Seconds() * 1000 / float64(iters)
+		if blk[0] == 0 {
+			t.AddRow("none", "-", fmt.Sprintf("%.0f", iterMs), "-")
+			continue
+		}
+		t.AddRow(
+			fmt.Sprintf("%dx%d", blk[1], blk[0]),
+			fmt.Sprintf("%.2f", samples.Median().Seconds()*1000),
+			fmt.Sprintf("%.0f", iterMs),
+			fmt.Sprintf("%.1f", float64(nCalls)/iterElapsed.Seconds()),
+		)
+	}
+	return &Report{
+		ID:    "table2",
+		Table: t,
+		Notes: []string{
+			"paper (5620x5620, 4 nodes): iteration 1000 ms without calls; with calls 40x40/400x400/400x2400:",
+			"call 1.66/22.14/130.43 ms, iteration 1041/1284/1381 ms, 66.8/31.8/6.9 calls/s.",
+			"check: call time grows with block size; iteration time inflates moderately; calls/s falls.",
+		},
+	}, nil
+}
+
+// luRun measures one LU configuration (best of two runs).
+func luRun(n, r, workers int, pipelined bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < 2; rep++ {
+		el, err := luRunOnce(n, r, workers, pipelined)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+func luRunOnce(n, r, workers int, pipelined bool) (time.Duration, error) {
+	// Fabric scaled 10x: the paper's CPUs computed the unoptimized LU
+	// kernels roughly 10x slower relative to their Gigabit fabric than this
+	// build does, and the comm/comp ratio (4*flops/(r*BW)) is what shapes
+	// the speedup curves.
+	net := simnet.New(scaledGigabit(10))
+	defer net.Close()
+	names := nodeNames("lu", workers)
+	app, err := core.NewSimApp(core.Config{Window: 256}, net, names...)
+	if err != nil {
+		return 0, err
+	}
+	defer app.Close()
+	lu, err := parlin.NewLU(app, n, r, parlin.LUOptions{Name: "lu", Workers: workers, Pipelined: pipelined})
+	if err != nil {
+		return 0, err
+	}
+	a := matrix.Random(n, n, 3)
+	sw := trace.StartStopwatch()
+	if err := lu.FactorOnly(a); err != nil {
+		return 0, err
+	}
+	return sw.Elapsed(), nil
+}
+
+// Figure15 regenerates the LU factorization speedup comparison between the
+// pipelined (stream) and non-pipelined (merge-split) graphs.
+func Figure15(opt Options) (*Report, error) {
+	n, r := 2048, 64
+	nodesList := []int{1, 2, 4, 8}
+	if opt.Quick {
+		n, r = 512, 32
+		nodesList = []int{1, 2, 4}
+	}
+	t := &trace.Table{
+		Title:  fmt.Sprintf("Figure 15: LU factorization speedup, n=%d r=%d (vs 1 node, same variant)", n, r),
+		Header: []string{"variant", "nodes", "time[ms]", "speedup"},
+	}
+	for _, pipelined := range []bool{true, false} {
+		var base time.Duration
+		for _, workers := range nodesList {
+			el, err := luRun(n, r, workers, pipelined)
+			if err != nil {
+				return nil, fmt.Errorf("figure15 workers=%d pipelined=%v: %w", workers, pipelined, err)
+			}
+			if workers == nodesList[0] {
+				base = el
+			}
+			variant := "non-pipelined"
+			if pipelined {
+				variant = "pipelined"
+			}
+			t.AddRow(
+				variant,
+				fmt.Sprint(workers),
+				fmt.Sprintf("%.0f", el.Seconds()*1000),
+				fmt.Sprintf("%.2f", base.Seconds()/el.Seconds()),
+			)
+		}
+	}
+	return &Report{
+		ID:    "figure15",
+		Table: t,
+		Notes: []string{
+			"paper (4096x4096, no optimized BLAS): pipelined clearly above non-pipelined at every node count;",
+			"pipelined reaches ~6-7x at 8 nodes, non-pipelined saturates earlier.",
+			"check: pipelined time <= non-pipelined time per node count; gap widens with nodes.",
+		},
+	}, nil
+}
+
+// All runs every experiment in paper order.
+func All(opt Options) ([]*Report, error) {
+	var out []*Report
+	for _, f := range []func(Options) (*Report, error){Figure6, Table1, Figure9, Table2, Figure15} {
+		r, err := f(opt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; timing-based shape
+// assertions are skipped because instrumentation skews the compute/comm
+// balance the experiments measure.
+const raceEnabled = true

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/serial"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Config tunes an application's runtime behaviour.
+type Config struct {
+	// Window bounds the number of tokens in circulation per split–merge
+	// pair (the paper's flow-control feedback). Zero selects DefaultWindow.
+	Window int
+	// ForceSerialize marshals and unmarshals tokens even for same-node
+	// transfers, exercising the full networking path inside one process —
+	// the paper's several-kernels-per-host debugging mode.
+	ForceSerialize bool
+	// Registry is the token type registry; nil selects serial.DefaultRegistry.
+	Registry *serial.Registry
+}
+
+// DefaultWindow is the default per-split flow-control window.
+const DefaultWindow = 64
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return DefaultWindow
+}
+
+func (c Config) registry() *serial.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return serial.DefaultRegistry
+}
+
+// App is a DPS application: a set of node runtimes plus the thread
+// collections and flow graphs defined on them. In the paper each node runs
+// an instance of the application process; here an App owns one Runtime per
+// cluster node, attached to a shared transport fabric (in-process,
+// simulated network, or TCP).
+type App struct {
+	cfg Config
+	reg *serial.Registry
+
+	mu          sync.Mutex
+	runtimes    map[string]*Runtime
+	nodeOrder   []string
+	collections map[string]*ThreadCollection
+	graphs      map[string]*Flowgraph
+
+	callSeq atomic.Uint64
+	callMu  sync.Mutex
+	calls   map[uint64]chan CallResult
+
+	failErr atomic.Value // errBox
+	closed  atomic.Bool
+
+	cleanup []func()
+}
+
+// CallResult is the outcome of one flow-graph invocation.
+type CallResult struct {
+	Value Token
+	Err   error
+}
+
+// NewApp creates an application with no nodes; attach transports with
+// AttachTransport or use the NewLocalApp / NewSimApp conveniences.
+func NewApp(cfg Config) *App {
+	return &App{
+		cfg:         cfg,
+		reg:         cfg.registry(),
+		runtimes:    make(map[string]*Runtime),
+		collections: make(map[string]*ThreadCollection),
+		graphs:      make(map[string]*Flowgraph),
+		calls:       make(map[uint64]chan CallResult),
+	}
+}
+
+// NewLocalApp creates an application whose nodes communicate through an
+// in-process fabric with no modelled cost (the paper's single-host mode).
+func NewLocalApp(cfg Config, nodeNames ...string) (*App, error) {
+	app := NewApp(cfg)
+	fabric := transport.NewInproc()
+	for _, name := range nodeNames {
+		n, err := fabric.Node(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := app.AttachTransport(n); err != nil {
+			return nil, err
+		}
+	}
+	app.cleanup = append(app.cleanup, fabric.Close)
+	return app, nil
+}
+
+// NewSimApp creates an application whose nodes are attached to a simulated
+// cluster network; tokens crossing nodes are serialized and pay the
+// modelled NIC and latency costs.
+func NewSimApp(cfg Config, net *simnet.Network, nodeNames ...string) (*App, error) {
+	app := NewApp(cfg)
+	for _, name := range nodeNames {
+		nd, err := net.AddNode(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := app.AttachTransport(transport.NewSimNode(nd)); err != nil {
+			return nil, err
+		}
+	}
+	return app, nil
+}
+
+// AttachTransport adds a cluster node to the application. The transport's
+// Local() name becomes the node name used in mapping strings.
+func (app *App) AttachTransport(tr transport.Transport) (*Runtime, error) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	name := tr.Local()
+	if _, ok := app.runtimes[name]; ok {
+		return nil, fmt.Errorf("dps: node %q already attached", name)
+	}
+	rt := newRuntime(app, tr, len(app.nodeOrder))
+	app.runtimes[name] = rt
+	app.nodeOrder = append(app.nodeOrder, name)
+	tr.SetHandler(rt.handleMessage)
+	return rt, nil
+}
+
+// NodeNames lists the application's nodes in attachment order.
+func (app *App) NodeNames() []string {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	return append([]string(nil), app.nodeOrder...)
+}
+
+// MasterNode returns the first attached node, conventionally hosting main
+// threads and graph calls.
+func (app *App) MasterNode() string {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if len(app.nodeOrder) == 0 {
+		return ""
+	}
+	return app.nodeOrder[0]
+}
+
+// Graph returns a registered flow graph by name (the paper's named graphs,
+// reusable by other applications).
+func (app *App) Graph(name string) (*Flowgraph, bool) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	g, ok := app.graphs[name]
+	return g, ok
+}
+
+// Collection returns a registered thread collection by name.
+func (app *App) Collection(name string) (*ThreadCollection, bool) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	tc, ok := app.collections[name]
+	return tc, ok
+}
+
+// errBox gives atomic.Value a consistent concrete type regardless of the
+// stored error's dynamic type.
+type errBox struct{ err error }
+
+// Err reports the first unrecoverable runtime error, if any.
+func (app *App) Err() error {
+	if v := app.failErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// Close shuts the application down. Pending calls fail.
+func (app *App) Close() {
+	if app.closed.Swap(true) {
+		return
+	}
+	app.fail(fmt.Errorf("dps: application closed"))
+	app.mu.Lock()
+	rts := make([]*Runtime, 0, len(app.runtimes))
+	for _, rt := range app.runtimes {
+		rts = append(rts, rt)
+	}
+	cleanup := app.cleanup
+	app.mu.Unlock()
+	for _, rt := range rts {
+		_ = rt.tr.Close()
+	}
+	for _, f := range cleanup {
+		f()
+	}
+}
+
+// fail records the first unrecoverable error, aborts all pending calls and
+// wakes blocked operations so they unwind.
+func (app *App) fail(err error) {
+	app.failErr.CompareAndSwap(nil, errBox{err: err})
+	first := app.Err()
+	app.callMu.Lock()
+	pending := app.calls
+	app.calls = make(map[uint64]chan CallResult)
+	app.callMu.Unlock()
+	for _, ch := range pending {
+		select {
+		case ch <- CallResult{Err: first}:
+		default:
+		}
+	}
+	app.mu.Lock()
+	rts := make([]*Runtime, 0, len(app.runtimes))
+	for _, rt := range app.runtimes {
+		rts = append(rts, rt)
+	}
+	app.mu.Unlock()
+	for _, rt := range rts {
+		rt.abortLocal()
+	}
+}
+
+func (app *App) addCollection(tc *ThreadCollection) error {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if _, ok := app.collections[tc.name]; ok {
+		return fmt.Errorf("dps: collection %q already exists", tc.name)
+	}
+	app.collections[tc.name] = tc
+	return nil
+}
+
+func (app *App) addGraph(g *Flowgraph) error {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if _, ok := app.graphs[g.name]; ok {
+		return fmt.Errorf("dps: graph %q already exists", g.name)
+	}
+	app.graphs[g.name] = g
+	return nil
+}
+
+func (app *App) hasNode(name string) bool {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	_, ok := app.runtimes[name]
+	return ok
+}
+
+func (app *App) runtime(name string) (*Runtime, bool) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	rt, ok := app.runtimes[name]
+	return rt, ok
+}
+
+func (app *App) registerCall() (uint64, chan CallResult) {
+	id := app.callSeq.Add(1)
+	ch := make(chan CallResult, 1)
+	app.callMu.Lock()
+	app.calls[id] = ch
+	app.callMu.Unlock()
+	return id, ch
+}
+
+func (app *App) completeCall(id uint64, res CallResult) {
+	app.callMu.Lock()
+	ch, ok := app.calls[id]
+	delete(app.calls, id)
+	app.callMu.Unlock()
+	if ok {
+		ch <- res
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Call executes the flow graph on one input token from the application's
+// master node and waits for the single output token. Multiple concurrent
+// calls pipeline through the graph, each identified by a call ID.
+func (g *Flowgraph) Call(tok Token) (Token, error) {
+	return g.CallFrom(g.app.MasterNode(), tok)
+}
+
+// CallFrom is Call with an explicit origin node; the result token is routed
+// back to that node.
+func (g *Flowgraph) CallFrom(origin string, tok Token) (Token, error) {
+	ch, err := g.CallAsyncFrom(origin, tok)
+	if err != nil {
+		return nil, err
+	}
+	res := <-ch
+	return res.Value, res.Err
+}
+
+// CallTimeout is CallFrom with a deadline, mainly for tests: it fails
+// rather than hanging when an experiment wires a graph incorrectly.
+func (g *Flowgraph) CallTimeout(origin string, tok Token, d time.Duration) (Token, error) {
+	ch, err := g.CallAsyncFrom(origin, tok)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.Value, res.Err
+	case <-time.After(d):
+		return nil, fmt.Errorf("dps: graph %q: call timed out after %v", g.name, d)
+	}
+}
+
+// CallAsync starts a call from the master node and returns the channel the
+// result will be delivered on.
+func (g *Flowgraph) CallAsync(tok Token) (<-chan CallResult, error) {
+	return g.CallAsyncFrom(g.app.MasterNode(), tok)
+}
+
+// CallAsyncFrom starts a call from the given origin node. The returned
+// channel receives exactly one CallResult; pending calls fail when the
+// application fails or closes.
+func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, error) {
+	app := g.app
+	if err := app.Err(); err != nil {
+		return nil, err
+	}
+	rt, ok := app.runtime(origin)
+	if !ok {
+		return nil, fmt.Errorf("dps: graph %q: unknown origin node %q", g.name, origin)
+	}
+	t, err := tokType(tok)
+	if err != nil {
+		return nil, err
+	}
+	entryNode := g.nodes[g.entry]
+	if !entryNode.op.acceptsIn(t) {
+		return nil, fmt.Errorf("dps: graph %q: entry %q does not accept %s", g.name, entryNode.op.name, t)
+	}
+	for _, n := range g.nodes {
+		if n.tc.ThreadCount() == 0 {
+			return nil, fmt.Errorf("dps: graph %q: collection %q is not mapped", g.name, n.tc.Name())
+		}
+	}
+	count := entryNode.tc.ThreadCount()
+	ct := rt.tracker(g.name, g.entry)
+	thread := entryNode.route.pick(tok, RouteCtx{ThreadCount: count, Seq: 0, Outstanding: ct.outstanding})
+	if thread < 0 || thread >= count {
+		return nil, fmt.Errorf("dps: graph %q: entry route %q returned thread %d of %d", g.name, entryNode.route.Name(), thread, count)
+	}
+	target, err := entryNode.tc.NodeOf(thread)
+	if err != nil {
+		return nil, err
+	}
+	id, ch := app.registerCall()
+	env := &envelope{
+		Graph:      g.name,
+		Node:       g.entry,
+		Thread:     thread,
+		CallID:     id,
+		CallOrigin: origin,
+		LastWorker: -1,
+		CreditNode: -1,
+		Token:      tok,
+	}
+	if err := rt.sendSafe(env, target); err != nil {
+		app.completeCall(id, CallResult{Err: err})
+	}
+	return ch, nil
+}
+
+// GraphCallOp wraps a flow graph as a leaf operation: the caller's graph
+// sees the whole remote computation as a single 1→1 node, preserving
+// pipelining and queueing across the call (paper Figure 10). The target may
+// belong to another application, making it an inter-application parallel
+// service call.
+func GraphCallOp(name string, target *Flowgraph) *OpDef {
+	entry := target.nodes[target.entry].op
+	exit := target.nodes[target.exit].op
+	return &OpDef{
+		name:     name,
+		kind:     KindLeaf,
+		inTypes:  entry.InTypes(),
+		outTypes: exit.OutTypes(),
+		run: func(x *exec) {
+			out, err := x.ctx.CallGraph(target, x.in)
+			if err != nil {
+				panic(opError{fmt.Errorf("graph call %q: %w", target.Name(), err)})
+			}
+			x.post(out)
+		},
+	}
+}

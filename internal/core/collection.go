@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ThreadCollection is a named group of DPS threads. Each thread carries a
+// private instance of the collection's state type S (the paper's thread
+// class members, used to build distributed data structures) and is placed
+// on a cluster node by Map.
+//
+// Threads are instantiated lazily on their node the first time a token is
+// routed to them, mirroring the paper's on-demand application deployment.
+type ThreadCollection struct {
+	app       *App
+	name      string
+	stateType reflect.Type // nil for stateless collections
+	newState  func() any
+
+	mu         sync.RWMutex
+	placements []string // placements[i] = node name of thread i
+}
+
+// NewCollection creates a thread collection whose threads each own a
+// zero-initialized *S. Use struct{} for stateless collections.
+func NewCollection[S any](app *App, name string) (*ThreadCollection, error) {
+	st := reflect.TypeOf((*S)(nil)).Elem()
+	tc := &ThreadCollection{
+		app:       app,
+		name:      name,
+		stateType: st,
+		newState:  func() any { return new(S) },
+	}
+	if err := app.addCollection(tc); err != nil {
+		return nil, err
+	}
+	return tc, nil
+}
+
+// MustCollection is NewCollection panicking on error, for example setup code.
+func MustCollection[S any](app *App, name string) *ThreadCollection {
+	tc, err := NewCollection[S](app, name)
+	if err != nil {
+		panic(err)
+	}
+	return tc
+}
+
+// Name returns the collection's name.
+func (tc *ThreadCollection) Name() string { return tc.name }
+
+// Map places the collection's threads on cluster nodes using the paper's
+// mapping-string syntax: node names separated by spaces with an optional
+// multiplier, e.g. "nodeA*2 nodeB" creates threads 0 and 1 on nodeA and
+// thread 2 on nodeB. Map replaces any previous mapping; it must not be
+// called while a graph using the collection is executing.
+func (tc *ThreadCollection) Map(spec string) error {
+	placements, err := ParseMapping(spec)
+	if err != nil {
+		return fmt.Errorf("dps: collection %q: %w", tc.name, err)
+	}
+	return tc.MapNodes(placements...)
+}
+
+// MapNodes places thread i on nodes[i].
+func (tc *ThreadCollection) MapNodes(nodes ...string) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("dps: collection %q: empty mapping", tc.name)
+	}
+	for _, n := range nodes {
+		if !tc.app.hasNode(n) {
+			return fmt.Errorf("dps: collection %q: unknown node %q", tc.name, n)
+		}
+	}
+	tc.mu.Lock()
+	tc.placements = append([]string(nil), nodes...)
+	tc.mu.Unlock()
+	return nil
+}
+
+// MapRoundRobin places n threads across the application's nodes in order,
+// wrapping around (a convenience not in the paper but implied by its
+// dynamic mapping facilities).
+func (tc *ThreadCollection) MapRoundRobin(n int) error {
+	all := tc.app.NodeNames()
+	if len(all) == 0 {
+		return fmt.Errorf("dps: collection %q: application has no nodes", tc.name)
+	}
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = all[i%len(all)]
+	}
+	return tc.MapNodes(nodes...)
+}
+
+// ThreadCount returns the number of mapped threads.
+func (tc *ThreadCollection) ThreadCount() int {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return len(tc.placements)
+}
+
+// NodeOf returns the cluster node hosting thread i.
+func (tc *ThreadCollection) NodeOf(i int) (string, error) {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	if i < 0 || i >= len(tc.placements) {
+		return "", fmt.Errorf("dps: collection %q: thread index %d out of range [0,%d)", tc.name, i, len(tc.placements))
+	}
+	return tc.placements[i], nil
+}
+
+// Placements returns a copy of the node assignment of every thread.
+func (tc *ThreadCollection) Placements() []string {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return append([]string(nil), tc.placements...)
+}
+
+// ParseMapping parses the paper's thread-mapping string syntax
+// ("nodeA*2 nodeB nodeC*3") into an explicit per-thread node list.
+func ParseMapping(spec string) ([]string, error) {
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty mapping string")
+	}
+	var out []string
+	for _, f := range fields {
+		name := f
+		count := 1
+		if i := strings.IndexByte(f, '*'); i >= 0 {
+			name = f[:i]
+			c, err := strconv.Atoi(f[i+1:])
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("bad multiplier in %q", f)
+			}
+			count = c
+		}
+		if name == "" {
+			return nil, fmt.Errorf("empty node name in %q", f)
+		}
+		for j := 0; j < count; j++ {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// StateOf returns the current thread's state as *S. It panics if the
+// thread's collection was not declared with state type S, surfacing wiring
+// mistakes immediately (the analogue of the paper's compile-time thread
+// type parameter).
+func StateOf[S any](c *Ctx) *S {
+	s, ok := c.State().(*S)
+	if !ok {
+		panic(fmt.Sprintf("dps: thread state is %T, not *%s", c.State(), reflect.TypeOf((*S)(nil)).Elem()))
+	}
+	return s
+}

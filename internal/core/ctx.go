@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Ctx is the execution context passed to every operation body. It exposes
+// the thread's identity and state, and implements posting and group
+// consumption with DPS semantics: the thread's execution lock is released
+// whenever the operation blocks (flow-controlled posts, waiting for the
+// next group token, nested graph calls), so other operations of the same
+// thread keep making progress — e.g. a stalled split and the merge feeding
+// its window on one main thread.
+type Ctx struct {
+	rt    *Runtime
+	inst  *threadInstance
+	graph *Flowgraph
+	node  *GraphNode
+	env   *envelope
+
+	sg      *splitGroup // group opened by this split/stream execution
+	mg      *mergeGroup // group consumed by this merge/stream execution
+	postSeq int
+}
+
+// Node returns the cluster node name the operation is executing on.
+func (c *Ctx) Node() string { return c.rt.name }
+
+// ThreadIndex returns the thread's index within its collection.
+func (c *Ctx) ThreadIndex() int { return c.inst.index }
+
+// ThreadCount returns the size of the executing thread's collection.
+func (c *Ctx) ThreadCount() int { return c.inst.tc.ThreadCount() }
+
+// State returns the thread's private state (*S for a collection created
+// with NewCollection[S]); see also the typed helper StateOf.
+func (c *Ctx) State() any { return c.inst.state }
+
+// Graph returns the flow graph being executed.
+func (c *Ctx) Graph() *Flowgraph { return c.graph }
+
+// App returns the owning application.
+func (c *Ctx) App() *App { return c.rt.app }
+
+// GroupIndex returns the index of the current input token within its group
+// (the posting order assigned by the split), or -1 outside a group.
+func (c *Ctx) GroupIndex() int {
+	if fr, ok := c.env.topFrame(); ok {
+		return fr.Index
+	}
+	return -1
+}
+
+// CallGraph invokes another flow graph and waits for its result, releasing
+// the thread while blocked. Called on a graph exposed by another
+// application this is the paper's inter-application parallel service call
+// (Figure 10): the call behaves like a leaf operation, preserving
+// pipelining and token queueing.
+func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
+	origin := c.rt.name
+	if g.app != c.rt.app {
+		// Foreign application: its result returns to its own master node
+		// and reaches us through the in-process call table.
+		origin = g.app.MasterNode()
+	}
+	ch, err := g.CallAsyncFrom(origin, tok)
+	if err != nil {
+		return nil, err
+	}
+	c.inst.lock.unlock()
+	res := <-ch
+	c.inst.lock.lock()
+	return res.Value, res.Err
+}
+
+// failIfAborted panics with the application error if a failure was
+// recorded, unwinding blocked operations.
+func (c *Ctx) failIfAborted() {
+	if err := c.rt.app.Err(); err != nil {
+		panic(opError{err})
+	}
+}
+
+// postOut posts an output token according to the executing operation's
+// kind: leaves forward the accounting frames unchanged, splits and streams
+// push a frame of their group (blocking on the flow-control window), and
+// merges pop the completed group's frame.
+func (c *Ctx) postOut(tok Token) {
+	if tok == nil {
+		panic(opError{fmt.Errorf("posted nil token")})
+	}
+	t, err := tokType(tok)
+	if err != nil {
+		panic(opError{err})
+	}
+	seq := c.postSeq
+	c.postSeq++
+	g := c.graph
+
+	var frames []frame
+	lastWorker, creditNode := -1, -1
+	switch c.node.op.kind {
+	case KindLeaf:
+		frames = c.env.Frames
+		// Carry the load-balancing charge through to the merge.
+		lastWorker, creditNode = c.env.LastWorker, c.env.CreditNode
+	case KindSplit:
+		fr := c.pushGroupFrame(tok, seq)
+		frames = append(append(make([]frame, 0, len(c.env.Frames)+1), c.env.Frames...), fr)
+	case KindStream:
+		fr := c.pushGroupFrame(tok, seq)
+		outer := c.env.Frames[:len(c.env.Frames)-1]
+		frames = append(append(make([]frame, 0, len(outer)+1), outer...), fr)
+	case KindMerge:
+		// A merge produces its single output only after the whole group has
+		// been consumed; posting earlier is a programming error (the paper's
+		// waitForNextToken loop runs to completion before postToken).
+		c.mg.mu.Lock()
+		complete := c.mg.total >= 0 && c.mg.consumed >= c.mg.total
+		c.mg.mu.Unlock()
+		if !complete {
+			panic(opError{fmt.Errorf("merge posted its output before consuming its group (call next until it reports false)")})
+		}
+		frames = c.env.Frames[:len(c.env.Frames)-1]
+	}
+
+	if c.node.id == g.exit {
+		c.rt.sendResult(c.env, tok)
+		return
+	}
+
+	succ, err := g.successorFor(c.node.id, t)
+	if err != nil {
+		panic(opError{err})
+	}
+	succNode := g.nodes[succ]
+	var thread int
+	if succNode.op.kind == KindMerge || succNode.op.kind == KindStream {
+		if len(frames) == 0 {
+			panic(opError{fmt.Errorf("no group frame routing into %s %q", succNode.op.kind, succNode.op.name)})
+		}
+		thread = frames[len(frames)-1].MergeThread
+	} else {
+		thread = c.pickRoute(succNode, tok, seq, succ)
+	}
+
+	isOpenerPost := c.node.op.kind == KindSplit || c.node.op.kind == KindStream
+	if isOpenerPost && succNode.op.kind == KindLeaf {
+		c.rt.tracker(g.name, succ).charge(thread)
+		lastWorker, creditNode = thread, succ
+	}
+
+	env := &envelope{
+		Graph:      g.name,
+		Node:       succ,
+		Thread:     thread,
+		CallID:     c.env.CallID,
+		CallOrigin: c.env.CallOrigin,
+		LastWorker: lastWorker,
+		CreditNode: creditNode,
+		Frames:     frames,
+		Token:      tok,
+	}
+	target, err := succNode.tc.NodeOf(thread)
+	if err != nil {
+		panic(opError{err})
+	}
+	c.rt.send(env, target)
+}
+
+// pickRoute evaluates a node's routing function with bounds checking.
+func (c *Ctx) pickRoute(succNode *GraphNode, tok Token, seq int, succID int) int {
+	count := succNode.tc.ThreadCount()
+	if count == 0 {
+		panic(opError{fmt.Errorf("collection %q is not mapped", succNode.tc.Name())})
+	}
+	ct := c.rt.tracker(c.graph.name, succID)
+	rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.outstanding}
+	idx := succNode.route.pick(tok, rc)
+	if idx < 0 || idx >= count {
+		panic(opError{fmt.Errorf("route %q returned thread %d for collection %q of %d threads", succNode.route.Name(), idx, succNode.tc.Name(), count)})
+	}
+	return idx
+}
+
+// pushGroupFrame allocates the next index in the execution's open group,
+// fixing the paired merge instance on the first post and enforcing the
+// flow-control window.
+func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
+	sg := c.sg
+	if sg == nil {
+		panic(opError{fmt.Errorf("internal: opener post without a split group")})
+	}
+	sg.mu.Lock()
+	if sg.mergeThread < 0 {
+		closerNode := sg.graph.nodes[sg.closer]
+		count := closerNode.tc.ThreadCount()
+		if count == 0 {
+			sg.mu.Unlock()
+			panic(opError{fmt.Errorf("collection %q is not mapped", closerNode.tc.Name())})
+		}
+		ct := c.rt.tracker(sg.graph.name, sg.closer)
+		rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.outstanding}
+		mt := closerNode.route.pick(tok, rc)
+		if mt < 0 || mt >= count {
+			sg.mu.Unlock()
+			panic(opError{fmt.Errorf("route %q returned thread %d for collection %q of %d threads", closerNode.route.Name(), mt, closerNode.tc.Name(), count)})
+		}
+		sg.mergeThread = mt
+	}
+	unlocked := false
+	for sg.posted-sg.acked >= sg.window {
+		if !unlocked {
+			c.rt.stats.windowStalls.Add(1)
+			c.inst.lock.unlock()
+			unlocked = true
+		}
+		sg.cond.Wait()
+		if err := c.rt.app.Err(); err != nil {
+			sg.mu.Unlock()
+			if unlocked {
+				// Reacquire so the execution's deferred unlock stays
+				// balanced while the panic unwinds.
+				c.inst.lock.lock()
+			}
+			panic(opError{err})
+		}
+	}
+	idx := sg.posted
+	sg.posted++
+	mt := sg.mergeThread
+	sg.mu.Unlock()
+	if unlocked {
+		c.inst.lock.lock()
+	}
+	return frame{GroupID: sg.id, Index: idx, Origin: c.rt.name, MergeThread: mt}
+}
+
+// nextIn yields the next token of the group consumed by a merge/stream
+// execution, acknowledging consumption to the split side.
+func (c *Ctx) nextIn() (Token, bool) {
+	mg := c.mg
+	if mg == nil {
+		panic(opError{fmt.Errorf("internal: next called outside a collector")})
+	}
+	mg.mu.Lock()
+	unlocked := false
+	for {
+		if len(mg.buf) > 0 {
+			bt := mg.buf[0]
+			mg.buf = mg.buf[1:]
+			mg.consumed++
+			mg.mu.Unlock()
+			if unlocked {
+				c.inst.lock.lock()
+			}
+			c.rt.ackConsumed(bt)
+			return bt.tok, true
+		}
+		if mg.total >= 0 && mg.consumed >= mg.total {
+			mg.mu.Unlock()
+			if unlocked {
+				c.inst.lock.lock()
+			}
+			return nil, false
+		}
+		if !unlocked {
+			c.inst.lock.unlock()
+			unlocked = true
+		}
+		mg.cond.Wait()
+		if err := c.rt.app.Err(); err != nil {
+			mg.mu.Unlock()
+			if unlocked {
+				// Keep the thread lock balanced for the deferred unlock.
+				c.inst.lock.lock()
+			}
+			panic(opError{err})
+		}
+	}
+}

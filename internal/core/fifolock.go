@@ -1,0 +1,58 @@
+package core
+
+import "sync"
+
+// fifoLock is a mutual-exclusion lock granting ownership in reservation
+// order. DPS serializes the operation bodies executing on one thread; the
+// dispatcher reserves a ticket synchronously when a token arrives so that
+// executions start in arrival order, even though each runs in its own
+// goroutine. Operations release the lock while blocked (merge Next, flow
+// controlled Post, graph calls), which reproduces the paper's behaviour of
+// a thread whose split is stalled still making progress on its merge.
+type fifoLock struct {
+	mu      sync.Mutex
+	locked  bool
+	waiters []chan struct{}
+}
+
+// ticket is a reservation for the lock.
+type ticket struct {
+	ch <-chan struct{}
+}
+
+// reserve enqueues a reservation. The returned ticket's wait() blocks until
+// the lock is owned by the caller.
+func (l *fifoLock) reserve() ticket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.locked && len(l.waiters) == 0 {
+		l.locked = true
+		granted := make(chan struct{})
+		close(granted)
+		return ticket{ch: granted}
+	}
+	ch := make(chan struct{})
+	l.waiters = append(l.waiters, ch)
+	return ticket{ch: ch}
+}
+
+func (t ticket) wait() { <-t.ch }
+
+// lock reserves and waits.
+func (l *fifoLock) lock() { l.reserve().wait() }
+
+// unlock passes ownership to the oldest waiter, if any.
+func (l *fifoLock) unlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.locked {
+		panic("core: unlock of unlocked fifoLock")
+	}
+	if len(l.waiters) > 0 {
+		ch := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		close(ch)
+		return
+	}
+	l.locked = false
+}

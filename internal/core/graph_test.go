@@ -1,0 +1,254 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// helpers building small op sets for validation tests.
+func valOps() (split, leaf, merge, stream *core.OpDef) {
+	split = core.Split[*CountToken, *CountToken]("vsplit",
+		func(c *core.Ctx, in *CountToken, post func(*CountToken)) { post(in) })
+	leaf = core.Leaf[*CountToken, *CountToken]("vleaf",
+		func(c *core.Ctx, in *CountToken) *CountToken { return in })
+	merge = core.Merge[*CountToken, *CountToken]("vmerge",
+		func(c *core.Ctx, first *CountToken, next func() (*CountToken, bool)) *CountToken {
+			for _, ok := first, true; ok; _, ok = next() {
+			}
+			return first
+		})
+	stream = core.Stream[*CountToken, *CountToken]("vstream",
+		func(c *core.Ctx, first *CountToken, next func() (*CountToken, bool), post func(*CountToken)) {
+			for in, ok := first, true; ok; in, ok = next() {
+				post(in)
+			}
+		})
+	return
+}
+
+func valApp(t *testing.T) (*core.App, *core.ThreadCollection) {
+	t.Helper()
+	app := newLocalApp(t, core.Config{}, "node0")
+	tc := core.MustCollection[struct{}](app, "tc")
+	if err := tc.Map("node0"); err != nil {
+		t.Fatal(err)
+	}
+	return app, tc
+}
+
+func expectBuildError(t *testing.T, app *core.App, name string, b *core.PathBuilder, wantSub string) {
+	t.Helper()
+	_, err := app.NewFlowgraph(name, b)
+	if err == nil {
+		t.Fatalf("graph %q: expected validation error containing %q", name, wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("graph %q: error %q does not contain %q", name, err, wantSub)
+	}
+}
+
+func TestValidateUnbalancedMergeWithoutSplit(t *testing.T) {
+	app, tc := valApp(t)
+	_, leaf, merge, _ := valOps()
+	expectBuildError(t, app, "g", core.Path(
+		core.NewNode(leaf, tc, core.MainRoute()),
+		core.NewNode(merge, tc, core.MainRoute()),
+	), "no enclosing split")
+}
+
+func TestValidateUnmatchedSplit(t *testing.T) {
+	app, tc := valApp(t)
+	split, leaf, _, _ := valOps()
+	expectBuildError(t, app, "g", core.Path(
+		core.NewNode(split, tc, core.MainRoute()),
+		core.NewNode(leaf, tc, core.MainRoute()),
+	), "unmatched split")
+}
+
+func TestValidateTypeMismatch(t *testing.T) {
+	app, tc := valApp(t)
+	emitA := core.Leaf[*CountToken, *AToken]("emitA",
+		func(c *core.Ctx, in *CountToken) *AToken { return &AToken{} })
+	wantB := core.Leaf[*BToken, *BToken]("wantB",
+		func(c *core.Ctx, in *BToken) *BToken { return in })
+	expectBuildError(t, app, "g", core.Path(
+		core.NewNode(emitA, tc, core.MainRoute()),
+		core.NewNode(wantB, tc, core.MainRoute()),
+	), "no successor accepts")
+}
+
+func TestValidateAmbiguousPaths(t *testing.T) {
+	app, tc := valApp(t)
+	split, leaf, merge, _ := valOps()
+	leaf2 := core.Leaf[*CountToken, *CountToken]("vleaf2",
+		func(c *core.Ctx, in *CountToken) *CountToken { return in })
+	nodeS := core.NewNode(split, tc, core.MainRoute())
+	nodeM := core.NewNode(merge, tc, core.MainRoute())
+	b := core.Path(nodeS, core.NewNode(leaf, tc, core.MainRoute()), nodeM).
+		Add(nodeS, core.NewNode(leaf2, tc, core.MainRoute()), nodeM)
+	expectBuildError(t, app, "g", b, "ambiguous")
+}
+
+func TestValidateCycle(t *testing.T) {
+	app, tc := valApp(t)
+	_, leaf, _, _ := valOps()
+	leaf2 := core.Leaf[*CountToken, *CountToken]("vleaf2",
+		func(c *core.Ctx, in *CountToken) *CountToken { return in })
+	n1 := core.NewNode(leaf, tc, core.MainRoute())
+	n2 := core.NewNode(leaf2, tc, core.MainRoute())
+	b := core.Path(n1, n2).Add(n2, n1)
+	if _, err := app.NewFlowgraph("g", b); err == nil {
+		t.Fatal("expected cycle detection error")
+	}
+}
+
+func TestValidateSelfLoop(t *testing.T) {
+	app, tc := valApp(t)
+	_, leaf, _, _ := valOps()
+	n := core.NewNode(leaf, tc, core.MainRoute())
+	expectBuildError(t, app, "g", core.Path(n, n), "self-loop")
+}
+
+func TestValidateStreamAsExit(t *testing.T) {
+	app, tc := valApp(t)
+	split, _, _, stream := valOps()
+	expectBuildError(t, app, "g", core.Path(
+		core.NewNode(split, tc, core.MainRoute()),
+		core.NewNode(stream, tc, core.MainRoute()),
+	), "exit")
+}
+
+func TestValidateNodeReuseAcrossGraphs(t *testing.T) {
+	app, tc := valApp(t)
+	_, leaf, _, _ := valOps()
+	n := core.NewNode(leaf, tc, core.MainRoute())
+	if _, err := app.NewFlowgraph("g1", core.Path(n)); err != nil {
+		t.Fatal(err)
+	}
+	expectBuildError(t, app, "g2", core.Path(n), "already belongs")
+}
+
+func TestValidateDuplicateGraphName(t *testing.T) {
+	app, tc := valApp(t)
+	_, leaf, _, _ := valOps()
+	if _, err := app.NewFlowgraph("dup", core.Path(core.NewNode(leaf, tc, core.MainRoute()))); err != nil {
+		t.Fatal(err)
+	}
+	leaf2 := core.Leaf[*CountToken, *CountToken]("vleaf2",
+		func(c *core.Ctx, in *CountToken) *CountToken { return in })
+	expectBuildError(t, app, "dup", core.Path(core.NewNode(leaf2, tc, core.MainRoute())), "already exists")
+}
+
+func TestSingleLeafGraph(t *testing.T) {
+	app, tc := valApp(t)
+	leaf := core.Leaf[*CountToken, *CountToken]("inc",
+		func(c *core.Ctx, in *CountToken) *CountToken { return &CountToken{N: in.N + 1} })
+	g, err := app.NewFlowgraph("single", core.Path(core.NewNode(leaf, tc, core.MainRoute())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.CallTimeout(app.MasterNode(), &CountToken{N: 41}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*CountToken).N; got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	app, tc := valApp(t)
+	split, leaf, merge, _ := valOps()
+	g, err := app.NewFlowgraph("dot", core.Path(
+		core.NewNode(split, tc, core.MainRoute()),
+		core.NewNode(leaf, tc, core.RoundRobin()),
+		core.NewNode(merge, tc, core.MainRoute()),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "vsplit", "vleaf", "vmerge", "->", "round-robin"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestParseMapping(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+		err  bool
+	}{
+		{"nodeA*2 nodeB", []string{"nodeA", "nodeA", "nodeB"}, false},
+		{"a", []string{"a"}, false},
+		{"a*1 b*3", []string{"a", "b", "b", "b"}, false},
+		{"  a   b  ", []string{"a", "b"}, false},
+		{"", nil, true},
+		{"a*0", nil, true},
+		{"a*x", nil, true},
+		{"*3", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := core.ParseMapping(tc.spec)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseMapping(%q): expected error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMapping(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseMapping(%q) = %v, want %v", tc.spec, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseMapping(%q) = %v, want %v", tc.spec, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMapUnknownNode(t *testing.T) {
+	app := newLocalApp(t, core.Config{}, "node0")
+	tc := core.MustCollection[struct{}](app, "tc")
+	if err := tc.Map("ghost"); err == nil {
+		t.Fatal("expected unknown node error")
+	}
+}
+
+func TestCallUnmappedCollection(t *testing.T) {
+	app := newLocalApp(t, core.Config{}, "node0")
+	tc := core.MustCollection[struct{}](app, "unmapped")
+	leaf := core.Leaf[*CountToken, *CountToken]("id",
+		func(c *core.Ctx, in *CountToken) *CountToken { return in })
+	g, err := app.NewFlowgraph("g", core.Path(core.NewNode(leaf, tc, core.MainRoute())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Call(&CountToken{}); err == nil || !strings.Contains(err.Error(), "not mapped") {
+		t.Fatalf("expected not-mapped error, got %v", err)
+	}
+}
+
+func TestCallWrongTokenType(t *testing.T) {
+	app, tc := valApp(t)
+	leaf := core.Leaf[*CountToken, *CountToken]("id",
+		func(c *core.Ctx, in *CountToken) *CountToken { return in })
+	g, err := app.NewFlowgraph("g", core.Path(core.NewNode(leaf, tc, core.MainRoute())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Call(&AToken{}); err == nil || !strings.Contains(err.Error(), "does not accept") {
+		t.Fatalf("expected type error, got %v", err)
+	}
+}

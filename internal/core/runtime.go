@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Runtime is the per-node controller of the paper's §3: it sequences the
+// program execution on one cluster node according to the flow graphs and
+// thread collections, creates thread instances lazily, dispatches incoming
+// tokens, and maintains split-side group state (flow-control windows and
+// load-balancing credits).
+type Runtime struct {
+	app     *App
+	tr      transport.Transport
+	name    string
+	nodeIdx int
+
+	groupSeq atomic.Uint64
+
+	stats statCounters
+
+	mu      sync.Mutex
+	threads map[string]*threadInstance
+	splits  map[uint64]*splitGroup
+	credits map[creditKey]*creditTracker
+}
+
+type creditKey struct {
+	graph string
+	node  int
+}
+
+// creditTracker counts tokens dispatched to each thread of a collection and
+// not yet acknowledged by the downstream merge — the feedback information
+// the paper uses for load balancing.
+type creditTracker struct {
+	mu  sync.Mutex
+	out []int
+}
+
+func (ct *creditTracker) charge(i int) {
+	ct.mu.Lock()
+	for len(ct.out) <= i {
+		ct.out = append(ct.out, 0)
+	}
+	ct.out[i]++
+	ct.mu.Unlock()
+}
+
+func (ct *creditTracker) release(i int) {
+	ct.mu.Lock()
+	if i >= 0 && i < len(ct.out) && ct.out[i] > 0 {
+		ct.out[i]--
+	}
+	ct.mu.Unlock()
+}
+
+func (ct *creditTracker) outstanding(i int) int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if i < 0 || i >= len(ct.out) {
+		return 0
+	}
+	return ct.out[i]
+}
+
+// splitGroup is the split-side state of one open group: the flow-control
+// window and the identity of the paired merge instance.
+type splitGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	id          uint64
+	graph       *Flowgraph
+	opener      int // graph node that opened the group
+	closer      int // paired merge/stream node
+	window      int
+	posted      int
+	acked       int
+	done        bool // opener's execute returned
+	mergeThread int  // -1 until the first token fixes the instance
+}
+
+func newSplitGroup(id uint64, g *Flowgraph, opener int, window int) *splitGroup {
+	sg := &splitGroup{
+		id:          id,
+		graph:       g,
+		opener:      opener,
+		closer:      g.closerOf[opener],
+		window:      window,
+		mergeThread: -1,
+	}
+	sg.cond = sync.NewCond(&sg.mu)
+	return sg
+}
+
+// mergeGroup is the merge-side state of one group on a thread instance.
+type mergeGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf      []bufferedToken
+	started  bool
+	received int
+	consumed int
+	total    int // -1 while unknown
+}
+
+type bufferedToken struct {
+	tok        Token
+	lastWorker int
+	creditNode int
+	origin     string
+	groupID    uint64
+}
+
+func newMergeGroup() *mergeGroup {
+	mg := &mergeGroup{total: -1}
+	mg.cond = sync.NewCond(&mg.mu)
+	return mg
+}
+
+// threadInstance is one DPS thread: user state plus a FIFO execution lock
+// serializing the operation bodies that run on it.
+type threadInstance struct {
+	rt    *Runtime
+	tc    *ThreadCollection
+	index int
+	state any
+	lock  fifoLock
+
+	mu     sync.Mutex
+	groups map[uint64]*mergeGroup
+}
+
+func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
+	return &Runtime{
+		app:     app,
+		tr:      tr,
+		name:    tr.Local(),
+		nodeIdx: idx,
+		threads: make(map[string]*threadInstance),
+		splits:  make(map[uint64]*splitGroup),
+		credits: make(map[creditKey]*creditTracker),
+	}
+}
+
+// Name returns the cluster node name this runtime controls.
+func (rt *Runtime) Name() string { return rt.name }
+
+func (rt *Runtime) newGroupID() uint64 {
+	return uint64(rt.nodeIdx)<<48 | (rt.groupSeq.Add(1) & (1<<48 - 1))
+}
+
+// instance returns (creating lazily) the local thread instance of tc with
+// the given index, verifying the mapping places it on this node.
+func (rt *Runtime) instance(tc *ThreadCollection, index int) (*threadInstance, error) {
+	node, err := tc.NodeOf(index)
+	if err != nil {
+		return nil, err
+	}
+	if node != rt.name {
+		return nil, fmt.Errorf("dps: thread %s[%d] is mapped to %q, not %q", tc.Name(), index, node, rt.name)
+	}
+	key := fmt.Sprintf("%s#%d", tc.Name(), index)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if inst, ok := rt.threads[key]; ok {
+		return inst, nil
+	}
+	inst := &threadInstance{
+		rt:     rt,
+		tc:     tc,
+		index:  index,
+		state:  tc.newState(),
+		groups: make(map[uint64]*mergeGroup),
+	}
+	rt.threads[key] = inst
+	return inst, nil
+}
+
+func (rt *Runtime) tracker(graph string, node int) *creditTracker {
+	key := creditKey{graph: graph, node: node}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ct, ok := rt.credits[key]
+	if !ok {
+		ct = &creditTracker{}
+		rt.credits[key] = ct
+	}
+	return ct
+}
+
+// handleMessage is the transport receive entry point.
+func (rt *Runtime) handleMessage(src string, payload []byte) {
+	if len(payload) == 0 {
+		rt.app.fail(fmt.Errorf("dps: empty message from %q", src))
+		return
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case msgToken:
+		env, err := decodeEnvelope(body)
+		if err != nil {
+			rt.app.fail(fmt.Errorf("dps: bad token message from %q: %w", src, err))
+			return
+		}
+		tok, _, err := rt.app.reg.Unmarshal(env.Payload)
+		if err != nil {
+			rt.app.fail(fmt.Errorf("dps: cannot deserialize token from %q: %w", src, err))
+			return
+		}
+		env.Token = tok
+		rt.dispatchLocal(env)
+	case msgGroupEnd:
+		m, err := decodeGroupEnd(body)
+		if err != nil {
+			rt.app.fail(fmt.Errorf("dps: bad group-end from %q: %w", src, err))
+			return
+		}
+		rt.handleGroupEnd(m)
+	case msgAck:
+		m, err := decodeAck(body)
+		if err != nil {
+			rt.app.fail(fmt.Errorf("dps: bad ack from %q: %w", src, err))
+			return
+		}
+		rt.handleAck(m)
+	case msgResult:
+		m, err := decodeResult(body)
+		if err != nil {
+			rt.app.fail(fmt.Errorf("dps: bad result from %q: %w", src, err))
+			return
+		}
+		tok, _, err := rt.app.reg.Unmarshal(m.Payload)
+		if err != nil {
+			rt.app.fail(fmt.Errorf("dps: cannot deserialize result: %w", err))
+			return
+		}
+		rt.app.completeCall(m.CallID, CallResult{Value: tok})
+	default:
+		rt.app.fail(fmt.Errorf("dps: unknown message kind %d from %q", kind, src))
+	}
+}
+
+// dispatchLocal hands an envelope (token decoded) to its destination thread
+// on this node.
+func (rt *Runtime) dispatchLocal(env *envelope) {
+	g, ok := rt.app.Graph(env.Graph)
+	if !ok {
+		rt.app.fail(fmt.Errorf("dps: unknown graph %q", env.Graph))
+		return
+	}
+	if env.Node < 0 || env.Node >= len(g.nodes) {
+		rt.app.fail(fmt.Errorf("dps: graph %q has no node %d", env.Graph, env.Node))
+		return
+	}
+	node := g.nodes[env.Node]
+	inst, err := rt.instance(node.tc, env.Thread)
+	if err != nil {
+		rt.app.fail(err)
+		return
+	}
+	switch node.op.kind {
+	case KindLeaf, KindSplit:
+		tk := inst.lock.reserve()
+		go rt.runSimple(inst, g, node, env, tk)
+	case KindMerge, KindStream:
+		rt.deliverToGroup(inst, g, node, env)
+	}
+}
+
+// runSimple executes a leaf or split operation body.
+func (rt *Runtime) runSimple(inst *threadInstance, g *Flowgraph, node *GraphNode, env *envelope, tk ticket) {
+	tk.wait()
+	defer inst.lock.unlock()
+	defer rt.recoverOp(g, node)
+
+	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env}
+	if node.op.kind == KindSplit {
+		sg := newSplitGroup(rt.newGroupID(), g, node.id, rt.app.cfg.window())
+		rt.mu.Lock()
+		rt.splits[sg.id] = sg
+		rt.mu.Unlock()
+		rt.stats.groupsOpened.Add(1)
+		c.sg = sg
+	}
+	x := &exec{
+		ctx: c,
+		in:  env.Token,
+		next: func() (Token, bool) {
+			panic(opError{fmt.Errorf("dps: %s %q must not call next", node.op.kind, node.op.name)})
+		},
+		post: c.postOut,
+	}
+	node.op.run(x)
+	rt.finishOpener(c)
+	if node.op.kind == KindLeaf && c.postSeq != 1 {
+		panic(opError{fmt.Errorf("dps: leaf %q posted %d tokens; a leaf posts exactly one", node.op.name, c.postSeq)})
+	}
+}
+
+// finishOpener closes the group opened by a split or stream execution:
+// announces the total to the paired merge instance and enforces the
+// at-least-one-token rule.
+func (rt *Runtime) finishOpener(c *Ctx) {
+	sg := c.sg
+	if sg == nil {
+		return
+	}
+	sg.mu.Lock()
+	posted := sg.posted
+	mergeThread := sg.mergeThread
+	sg.done = true
+	sg.mu.Unlock()
+	if posted == 0 {
+		panic(opError{fmt.Errorf("dps: %s %q posted no tokens for its group", c.node.op.kind, c.node.op.name)})
+	}
+	closerNode := sg.graph.nodes[sg.closer]
+	end := &groupEndMsg{
+		Graph:   sg.graph.name,
+		Node:    sg.closer,
+		Thread:  mergeThread,
+		GroupID: sg.id,
+		Total:   posted,
+	}
+	target, err := closerNode.tc.NodeOf(mergeThread)
+	if err != nil {
+		panic(opError{err})
+	}
+	if target == rt.name {
+		rt.handleGroupEnd(end)
+	} else if err := rt.tr.Send(target, encodeGroupEnd(end)); err != nil {
+		panic(opError{err})
+	}
+	rt.maybeReapSplit(sg)
+}
+
+// sendSafe is send for non-operation goroutines (graph calls): it converts
+// the panic-based error propagation into an error return.
+func (rt *Runtime) sendSafe(env *envelope, targetNode string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if oe, ok := r.(opError); ok {
+				err = oe.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	rt.send(env, targetNode)
+	return nil
+}
+
+// abortLocal wakes every blocked wait on this node so operations observe
+// the application failure and unwind.
+func (rt *Runtime) abortLocal() {
+	rt.mu.Lock()
+	splits := make([]*splitGroup, 0, len(rt.splits))
+	for _, sg := range rt.splits {
+		splits = append(splits, sg)
+	}
+	insts := make([]*threadInstance, 0, len(rt.threads))
+	for _, inst := range rt.threads {
+		insts = append(insts, inst)
+	}
+	rt.mu.Unlock()
+	for _, sg := range splits {
+		sg.mu.Lock()
+		sg.cond.Broadcast()
+		sg.mu.Unlock()
+	}
+	for _, inst := range insts {
+		inst.mu.Lock()
+		groups := make([]*mergeGroup, 0, len(inst.groups))
+		for _, mg := range inst.groups {
+			groups = append(groups, mg)
+		}
+		inst.mu.Unlock()
+		for _, mg := range groups {
+			mg.mu.Lock()
+			mg.cond.Broadcast()
+			mg.mu.Unlock()
+		}
+	}
+}
+
+// deliverToGroup buffers a token for (or starts) the merge/stream execution
+// of its group on the destination thread.
+func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *GraphNode, env *envelope) {
+	fr, ok := env.topFrame()
+	if !ok {
+		rt.app.fail(fmt.Errorf("dps: token reached %s %q with an empty frame stack", node.op.kind, node.op.name))
+		return
+	}
+	inst.mu.Lock()
+	mg, ok := inst.groups[fr.GroupID]
+	if !ok {
+		mg = newMergeGroup()
+		inst.groups[fr.GroupID] = mg
+	}
+	inst.mu.Unlock()
+
+	bt := bufferedToken{
+		tok:        env.Token,
+		lastWorker: env.LastWorker,
+		creditNode: env.CreditNode,
+		origin:     fr.Origin,
+		groupID:    fr.GroupID,
+	}
+	mg.mu.Lock()
+	mg.received++
+	if !mg.started {
+		mg.started = true
+		mg.mu.Unlock()
+		tk := inst.lock.reserve()
+		go rt.runCollector(inst, g, node, env, bt, mg, tk)
+		return
+	}
+	mg.buf = append(mg.buf, bt)
+	mg.cond.Broadcast()
+	mg.mu.Unlock()
+}
+
+// runCollector executes a merge or stream body for one group, fed by the
+// group's buffer.
+func (rt *Runtime) runCollector(inst *threadInstance, g *Flowgraph, node *GraphNode, firstEnv *envelope, first bufferedToken, mg *mergeGroup, tk ticket) {
+	tk.wait()
+	defer inst.lock.unlock()
+	defer rt.recoverOp(g, node)
+
+	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, mg: mg}
+	if node.op.kind == KindStream {
+		sg := newSplitGroup(rt.newGroupID(), g, node.id, rt.app.cfg.window())
+		rt.mu.Lock()
+		rt.splits[sg.id] = sg
+		rt.mu.Unlock()
+		rt.stats.groupsOpened.Add(1)
+		c.sg = sg
+	}
+	// The first token counts as consumed when the execution starts.
+	rt.ackConsumed(first)
+	mg.mu.Lock()
+	mg.consumed++
+	mg.mu.Unlock()
+
+	x := &exec{
+		ctx:  c,
+		in:   first.tok,
+		next: c.nextIn,
+		post: c.postOut,
+	}
+	node.op.run(x)
+
+	// Drain-check: the operation must have consumed its whole group.
+	mg.mu.Lock()
+	complete := mg.total >= 0 && mg.consumed == mg.total
+	mg.mu.Unlock()
+	if !complete {
+		panic(opError{fmt.Errorf("dps: %s %q returned before consuming its group (use next until it reports false)", node.op.kind, node.op.name)})
+	}
+	rt.finishOpener(c)
+	if node.op.kind == KindMerge && c.postSeq != 1 {
+		panic(opError{fmt.Errorf("dps: merge %q posted %d tokens; a merge posts exactly one", node.op.name, c.postSeq)})
+	}
+	fr, _ := firstEnv.topFrame()
+	inst.mu.Lock()
+	delete(inst.groups, fr.GroupID)
+	inst.mu.Unlock()
+}
+
+// ackConsumed notifies the split-side node that one token of a group has
+// been consumed by the merge, releasing flow-control window space and
+// load-balancing credits.
+func (rt *Runtime) ackConsumed(bt bufferedToken) {
+	rt.stats.acksSent.Add(1)
+	m := &ackMsg{GroupID: bt.groupID, Worker: bt.lastWorker, RouteNode: bt.creditNode}
+	if bt.origin == rt.name {
+		rt.handleAck(m)
+		return
+	}
+	if err := rt.tr.Send(bt.origin, encodeAck(m)); err != nil {
+		rt.app.fail(err)
+	}
+}
+
+func (rt *Runtime) handleAck(m *ackMsg) {
+	rt.mu.Lock()
+	sg := rt.splits[m.GroupID]
+	rt.mu.Unlock()
+	if sg != nil {
+		sg.mu.Lock()
+		sg.acked++
+		sg.cond.Broadcast()
+		sg.mu.Unlock()
+		rt.maybeReapSplit(sg)
+		if m.RouteNode >= 0 {
+			rt.tracker(sg.graph.name, m.RouteNode).release(m.Worker)
+		}
+	}
+}
+
+func (rt *Runtime) maybeReapSplit(sg *splitGroup) {
+	sg.mu.Lock()
+	reap := sg.done && sg.acked >= sg.posted
+	sg.mu.Unlock()
+	if reap {
+		rt.mu.Lock()
+		delete(rt.splits, sg.id)
+		rt.mu.Unlock()
+	}
+}
+
+func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
+	g, ok := rt.app.Graph(m.Graph)
+	if !ok {
+		rt.app.fail(fmt.Errorf("dps: group-end for unknown graph %q", m.Graph))
+		return
+	}
+	node := g.nodes[m.Node]
+	inst, err := rt.instance(node.tc, m.Thread)
+	if err != nil {
+		rt.app.fail(err)
+		return
+	}
+	inst.mu.Lock()
+	mg, ok := inst.groups[m.GroupID]
+	if !ok {
+		mg = newMergeGroup()
+		inst.groups[m.GroupID] = mg
+	}
+	inst.mu.Unlock()
+	mg.mu.Lock()
+	mg.total = m.Total
+	mg.cond.Broadcast()
+	mg.mu.Unlock()
+}
+
+// sendResult delivers a graph's final output to the caller.
+func (rt *Runtime) sendResult(env *envelope, tok Token) {
+	if env.CallOrigin == rt.name {
+		if rt.app.cfg.ForceSerialize {
+			payload, err := rt.app.reg.Marshal(tok)
+			if err != nil {
+				panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
+			}
+			out, _, err := rt.app.reg.Unmarshal(payload)
+			if err != nil {
+				panic(opError{fmt.Errorf("dps: cannot deserialize result: %w", err)})
+			}
+			tok = out
+		}
+		rt.stats.callsCompleted.Add(1)
+		rt.app.completeCall(env.CallID, CallResult{Value: tok})
+		return
+	}
+	payload, err := rt.app.reg.Marshal(tok)
+	if err != nil {
+		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
+	}
+	if err := rt.tr.Send(env.CallOrigin, encodeResult(&resultMsg{CallID: env.CallID, Payload: payload})); err != nil {
+		panic(opError{err})
+	}
+}
+
+// send routes an envelope toward the node hosting its destination thread.
+func (rt *Runtime) send(env *envelope, targetNode string) {
+	rt.stats.tokensPosted.Add(1)
+	if targetNode == rt.name && !rt.app.cfg.ForceSerialize {
+		// Same address space: transfer the pointer directly, bypassing the
+		// communication layer (paper §4).
+		rt.stats.tokensLocal.Add(1)
+		rt.dispatchLocal(env)
+		return
+	}
+	if targetNode == rt.name {
+		// ForceSerialize: full marshalling, then local delivery.
+		payload, err := rt.app.reg.Marshal(env.Token)
+		if err != nil {
+			panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
+		}
+		tok, _, err := rt.app.reg.Unmarshal(payload)
+		if err != nil {
+			panic(opError{fmt.Errorf("dps: cannot deserialize %T: %w", env.Token, err)})
+		}
+		env.Payload = payload
+		env.Token = tok
+		rt.dispatchLocal(env)
+		return
+	}
+	// The token is serialized straight into the wire buffer after the
+	// envelope header (single copy).
+	buf := encodeEnvelopeHeader(env)
+	buf, err := rt.app.reg.Append(buf, env.Token)
+	if err != nil {
+		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
+	}
+	env.Token = nil
+	rt.stats.tokensRemote.Add(1)
+	rt.stats.bytesSent.Add(int64(len(buf)))
+	if err := rt.tr.Send(targetNode, buf); err != nil {
+		panic(opError{err})
+	}
+}
+
+// opError wraps runtime failures raised inside operation executions so the
+// recovery handler can distinguish them from program bugs (both abort the
+// application, but opErrors carry cleaner messages).
+type opError struct{ err error }
+
+func (rt *Runtime) recoverOp(g *Flowgraph, node *GraphNode) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if oe, ok := r.(opError); ok {
+		rt.app.fail(fmt.Errorf("graph %q, operation %q: %w", g.name, node.op.name, oe.err))
+		return
+	}
+	rt.app.fail(fmt.Errorf("dps: panic in graph %q, operation %q: %v", g.name, node.op.name, r))
+}

@@ -1,0 +1,81 @@
+package core
+
+import "sync/atomic"
+
+// Stats are cumulative counters of a node runtime (and, aggregated, of a
+// whole application). They expose the macro-dataflow activity the paper
+// describes — tokens circulating, local pointer handoffs vs serialized
+// network transfers — and are used by the experiment harness and tests.
+type Stats struct {
+	// TokensPosted counts operation outputs (including final results).
+	TokensPosted int64
+	// TokensLocal counts tokens delivered by same-node pointer handoff.
+	TokensLocal int64
+	// TokensRemote counts tokens serialized and sent over the transport.
+	TokensRemote int64
+	// BytesSent counts serialized token bytes (envelope headers included).
+	BytesSent int64
+	// GroupsOpened counts split/stream groups created on the node.
+	GroupsOpened int64
+	// AcksSent counts consumption acknowledgements issued by merges.
+	AcksSent int64
+	// WindowStalls counts posts that blocked on the flow-control window.
+	WindowStalls int64
+	// CallsCompleted counts graph-call results delivered on the node.
+	CallsCompleted int64
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o *Stats) {
+	s.TokensPosted += o.TokensPosted
+	s.TokensLocal += o.TokensLocal
+	s.TokensRemote += o.TokensRemote
+	s.BytesSent += o.BytesSent
+	s.GroupsOpened += o.GroupsOpened
+	s.AcksSent += o.AcksSent
+	s.WindowStalls += o.WindowStalls
+	s.CallsCompleted += o.CallsCompleted
+}
+
+// statCounters is the atomic backing store embedded in each Runtime.
+type statCounters struct {
+	tokensPosted   atomic.Int64
+	tokensLocal    atomic.Int64
+	tokensRemote   atomic.Int64
+	bytesSent      atomic.Int64
+	groupsOpened   atomic.Int64
+	acksSent       atomic.Int64
+	windowStalls   atomic.Int64
+	callsCompleted atomic.Int64
+}
+
+func (c *statCounters) snapshot() *Stats {
+	return &Stats{
+		TokensPosted:   c.tokensPosted.Load(),
+		TokensLocal:    c.tokensLocal.Load(),
+		TokensRemote:   c.tokensRemote.Load(),
+		BytesSent:      c.bytesSent.Load(),
+		GroupsOpened:   c.groupsOpened.Load(),
+		AcksSent:       c.acksSent.Load(),
+		WindowStalls:   c.windowStalls.Load(),
+		CallsCompleted: c.callsCompleted.Load(),
+	}
+}
+
+// Stats returns a snapshot of this node runtime's counters.
+func (rt *Runtime) Stats() *Stats { return rt.stats.snapshot() }
+
+// Stats aggregates the counters of every node runtime.
+func (app *App) Stats() *Stats {
+	app.mu.Lock()
+	rts := make([]*Runtime, 0, len(app.runtimes))
+	for _, rt := range app.runtimes {
+		rts = append(rts, rt)
+	}
+	app.mu.Unlock()
+	total := &Stats{}
+	for _, rt := range rts {
+		total.add(rt.Stats())
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+// Package core implements Dynamic Parallel Schedules (DPS), the primary
+// contribution of Gerlach & Hersch (HIPS/IPDPS 2003): compositional
+// split-compute-merge flow graphs of operations, mapped at runtime onto
+// collections of threads spread across the nodes of a distributed-memory
+// cluster.
+//
+// An application defines
+//
+//   - token types: plain Go structs registered with internal/serial
+//     (the paper's data objects with the IDENTIFY macro);
+//   - operations: Split (1→N), Leaf (1→1), Merge (N→1) and Stream (N→M,
+//     a fused merge+split that may emit before all inputs arrived);
+//   - thread collections: named groups of threads carrying user state,
+//     mapped to cluster nodes with mapping strings such as "nodeA*2 nodeB";
+//   - routing functions choosing the destination thread index per token;
+//   - flow graphs: directed acyclic graphs built from Path/Add (the
+//     paper's >> and += operators), type-checked and balance-checked at
+//     construction time.
+//
+// Graphs execute fully pipelined: tokens travel as soon as they are posted,
+// queues decouple producers from consumers, and a per-split flow-control
+// window bounds the number of tokens in circulation between each
+// split–merge pair. Communication with remote threads is serialized and
+// paid on the transport (typically internal/simnet, modelling the paper's
+// Gigabit Ethernet cluster); local transfers bypass serialization unless
+// Config.ForceSerialize is set.
+package core
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Token is a DPS data object: a pointer to a struct whose exported fields
+// are serializable by internal/serial. The empty interface is used so that
+// operations can exchange heterogeneous token types along conditional graph
+// paths; typed operation constructors (Leaf, Split, Merge, Stream) restore
+// static typing at the user level.
+type Token = any
+
+// tokType normalizes a token value or type to its underlying struct type,
+// which is the unit of type compatibility checks on graph edges.
+func tokType(v any) (reflect.Type, error) {
+	t := reflect.TypeOf(v)
+	if t == nil {
+		return nil, fmt.Errorf("dps: nil token")
+	}
+	if t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		return nil, fmt.Errorf("dps: tokens must be pointers to structs, got %s", t)
+	}
+	return t.Elem(), nil
+}
+
+// typeOfGeneric returns the struct type for a generic token parameter,
+// which must instantiate to a pointer-to-struct type.
+func typeOfGeneric[T any]() reflect.Type {
+	t := reflect.TypeOf((*T)(nil)).Elem() // T itself
+	if t.Kind() == reflect.Pointer && t.Elem().Kind() == reflect.Struct {
+		return t.Elem()
+	}
+	panic(fmt.Sprintf("dps: token type parameter must be a pointer to struct, got %s", t))
+}
+
+// frame is one level of the split–merge accounting stack carried by every
+// token envelope. A split pushes a frame on each posted token; the paired
+// merge (or stream) pops it. Origin names the cluster node holding the
+// split-side window state so that consumption acknowledgements can be
+// routed back for flow control and load balancing.
+type frame struct {
+	GroupID     uint64
+	Index       int
+	Origin      string
+	MergeThread int // thread instance of the paired merge, fixed per group
+}
+
+// envelope is the runtime wrapper around a token in flight.
+type envelope struct {
+	Graph      string
+	Node       int // destination graph node id
+	Thread     int // destination thread index in that node's collection
+	CallID     uint64
+	CallOrigin string
+	LastWorker int // thread index charged with this token for load balancing
+	CreditNode int // graph node whose credit tracker was charged, -1 if none
+	Frames     []frame
+	Token      Token // set on the local fast path
+	Payload    []byte
+}
+
+func (e *envelope) topFrame() (*frame, bool) {
+	if len(e.Frames) == 0 {
+		return nil, false
+	}
+	return &e.Frames[len(e.Frames)-1], true
+}

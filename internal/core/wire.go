@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire message kinds exchanged between node runtimes. Per-sender FIFO is
+// guaranteed by the transport, as with the paper's TCP connections.
+const (
+	msgToken    byte = 1 // an envelope carrying a serialized data object
+	msgGroupEnd byte = 2 // split finished: announces the group's token count
+	msgAck      byte = 3 // merge consumed a token of a group
+	msgResult   byte = 4 // final graph output returning to the caller
+)
+
+type groupEndMsg struct {
+	Graph   string
+	Node    int
+	Thread  int
+	GroupID uint64
+	Total   int
+}
+
+type ackMsg struct {
+	GroupID uint64
+	Worker  int
+	// RouteNode identifies the graph node whose load-balancing credits the
+	// worker acknowledgement feeds (the leaf collection between the split
+	// and the merge).
+	Graph     string
+	RouteNode int
+}
+
+type resultMsg struct {
+	CallID  uint64
+	Payload []byte
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", nil, fmt.Errorf("dps: truncated string")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+func appendInt(b []byte, v int) []byte {
+	return binary.AppendVarint(b, int64(v))
+}
+
+func readInt(b []byte) (int, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("dps: truncated varint")
+	}
+	return int(v), b[n:], nil
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func readUint64(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("dps: truncated uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// encodeEnvelopeHeader writes the envelope header; the serialized token
+// payload is appended directly afterwards by the caller, avoiding an
+// intermediate copy of potentially large data objects.
+func encodeEnvelopeHeader(e *envelope) []byte {
+	b := make([]byte, 0, 96)
+	b = append(b, msgToken)
+	b = appendString(b, e.Graph)
+	b = appendInt(b, e.Node)
+	b = appendInt(b, e.Thread)
+	b = appendUint64(b, e.CallID)
+	b = appendString(b, e.CallOrigin)
+	b = appendInt(b, e.LastWorker)
+	b = appendInt(b, e.CreditNode)
+	b = appendInt(b, len(e.Frames))
+	for _, f := range e.Frames {
+		b = appendUint64(b, f.GroupID)
+		b = appendInt(b, f.Index)
+		b = appendString(b, f.Origin)
+		b = appendInt(b, f.MergeThread)
+	}
+	return b
+}
+
+func decodeEnvelope(b []byte) (*envelope, error) {
+	e := &envelope{}
+	var err error
+	if e.Graph, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if e.Node, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if e.Thread, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if e.CallID, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	if e.CallOrigin, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if e.LastWorker, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if e.CreditNode, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	var nframes int
+	if nframes, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if nframes < 0 || nframes > 1<<16 {
+		return nil, fmt.Errorf("dps: implausible frame count %d", nframes)
+	}
+	e.Frames = make([]frame, nframes)
+	for i := range e.Frames {
+		f := &e.Frames[i]
+		if f.GroupID, b, err = readUint64(b); err != nil {
+			return nil, err
+		}
+		if f.Index, b, err = readInt(b); err != nil {
+			return nil, err
+		}
+		if f.Origin, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if f.MergeThread, b, err = readInt(b); err != nil {
+			return nil, err
+		}
+	}
+	e.Payload = b
+	return e, nil
+}
+
+func encodeGroupEnd(m *groupEndMsg) []byte {
+	b := []byte{msgGroupEnd}
+	b = appendString(b, m.Graph)
+	b = appendInt(b, m.Node)
+	b = appendInt(b, m.Thread)
+	b = appendUint64(b, m.GroupID)
+	b = appendInt(b, m.Total)
+	return b
+}
+
+func decodeGroupEnd(b []byte) (*groupEndMsg, error) {
+	m := &groupEndMsg{}
+	var err error
+	if m.Graph, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if m.Node, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if m.Thread, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if m.GroupID, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	if m.Total, _, err = readInt(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeAck(m *ackMsg) []byte {
+	b := []byte{msgAck}
+	b = appendUint64(b, m.GroupID)
+	b = appendInt(b, m.Worker)
+	b = appendString(b, m.Graph)
+	b = appendInt(b, m.RouteNode)
+	return b
+}
+
+func decodeAck(b []byte) (*ackMsg, error) {
+	m := &ackMsg{}
+	var err error
+	if m.GroupID, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	if m.Worker, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if m.Graph, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if m.RouteNode, _, err = readInt(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeResult(m *resultMsg) []byte {
+	b := []byte{msgResult}
+	b = appendUint64(b, m.CallID)
+	return append(b, m.Payload...)
+}
+
+func decodeResult(b []byte) (*resultMsg, error) {
+	m := &resultMsg{}
+	var err error
+	if m.CallID, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	m.Payload = b
+	return m, nil
+}

@@ -1,0 +1,253 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/transport/tcptransport"
+)
+
+// Kernel is one node daemon of the DPS runtime environment. It owns a
+// single TCP endpoint and multiplexes any number of applications over it;
+// each application attaches through Transport(appName), which yields a
+// transport.Transport whose node name is the kernel name.
+//
+// Lazy launch: if a message arrives for an application that has no local
+// instance but a registered factory, the kernel invokes the factory — the
+// paper's "when an application thread posts a data object to a thread
+// running on a node where there is no active instance of the application,
+// the kernel on that node starts a new instance" — and queues messages
+// until the instance installs its handler.
+type Kernel struct {
+	name   string
+	nsAddr string
+	node   *tcptransport.Node
+
+	mu        sync.Mutex
+	ports     map[string]*appPort
+	factories map[string]func(*Kernel) error
+	launched  map[string]bool
+	pending   map[string][]pendingMsg
+	resolved  map[string]string // kernel name -> addr cache
+	closed    bool
+}
+
+type pendingMsg struct {
+	src     string
+	payload []byte
+}
+
+// maxPending bounds the per-application queue of messages received before
+// the instance is up.
+const maxPending = 65536
+
+// Start launches a kernel listening on listenAddr and registers it with
+// the name server at nsAddr.
+func Start(name, listenAddr, nsAddr string) (*Kernel, error) {
+	k := &Kernel{
+		name:      name,
+		nsAddr:    nsAddr,
+		ports:     make(map[string]*appPort),
+		factories: make(map[string]func(*Kernel) error),
+		launched:  make(map[string]bool),
+		pending:   make(map[string][]pendingMsg),
+		resolved:  make(map[string]string),
+	}
+	node, err := tcptransport.Listen(name, listenAddr, k.resolve)
+	if err != nil {
+		return nil, err
+	}
+	k.node = node
+	node.SetHandler(k.demux)
+	if err := RegisterName(nsAddr, name, node.Addr()); err != nil {
+		_ = node.Close()
+		return nil, err
+	}
+	return k, nil
+}
+
+// Name returns the kernel's cluster-unique name.
+func (k *Kernel) Name() string { return k.name }
+
+// Addr returns the kernel's TCP address.
+func (k *Kernel) Addr() string { return k.node.Addr() }
+
+// Close unregisters and stops the kernel.
+func (k *Kernel) Close() error {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return nil
+	}
+	k.closed = true
+	k.mu.Unlock()
+	_ = UnregisterName(k.nsAddr, k.name)
+	return k.node.Close()
+}
+
+// resolve looks a peer kernel up through the name server, caching results
+// (connections themselves are opened lazily by the TCP transport, matching
+// the paper's delayed connection establishment).
+func (k *Kernel) resolve(name string) (string, error) {
+	k.mu.Lock()
+	if addr, ok := k.resolved[name]; ok {
+		k.mu.Unlock()
+		return addr, nil
+	}
+	k.mu.Unlock()
+	addr, err := LookupName(k.nsAddr, name)
+	if err != nil {
+		return "", err
+	}
+	k.mu.Lock()
+	k.resolved[name] = addr
+	k.mu.Unlock()
+	return addr, nil
+}
+
+// RegisterApp installs a lazy-launch factory: the first message addressed
+// to appName triggers factory(k), which must attach the application to this
+// kernel (typically core.App.AttachTransport(k.Transport(appName))).
+func (k *Kernel) RegisterApp(appName string, factory func(*Kernel) error) {
+	k.mu.Lock()
+	k.factories[appName] = factory
+	k.mu.Unlock()
+}
+
+// Launched reports whether an application instance is active on this kernel.
+func (k *Kernel) Launched(appName string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.launched[appName] {
+		return true
+	}
+	p, ok := k.ports[appName]
+	return ok && p.hasHandler()
+}
+
+// Transport returns the application's attachment point on this kernel.
+func (k *Kernel) Transport(appName string) transport.Transport {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p, ok := k.ports[appName]; ok {
+		return p
+	}
+	p := &appPort{kernel: k, app: appName}
+	k.ports[appName] = p
+	return p
+}
+
+// demux routes an incoming kernel frame ("appName" length-prefixed, then
+// payload) to the right application, lazily launching it if needed.
+func (k *Kernel) demux(src string, payload []byte) {
+	appName, rest, err := splitAppFrame(payload)
+	if err != nil {
+		return // malformed frame: drop (a real kernel would log)
+	}
+
+	k.mu.Lock()
+	p, ok := k.ports[appName]
+	if ok && p.hasHandler() {
+		k.mu.Unlock()
+		p.deliver(src, rest)
+		return
+	}
+	factory := k.factories[appName]
+	alreadyLaunched := k.launched[appName]
+	if factory != nil && !alreadyLaunched {
+		k.launched[appName] = true
+	}
+	if len(k.pending[appName]) < maxPending {
+		k.pending[appName] = append(k.pending[appName], pendingMsg{src: src, payload: rest})
+	}
+	k.mu.Unlock()
+
+	if factory != nil && !alreadyLaunched {
+		if err := factory(k); err != nil {
+			k.mu.Lock()
+			delete(k.pending, appName)
+			k.mu.Unlock()
+			return
+		}
+		// The factory attached the app; its SetHandler flushed the queue.
+	}
+}
+
+// flushPending delivers queued messages once an app handler is installed.
+func (k *Kernel) flushPending(appName string, p *appPort) {
+	for {
+		k.mu.Lock()
+		queue := k.pending[appName]
+		delete(k.pending, appName)
+		k.mu.Unlock()
+		if len(queue) == 0 {
+			return
+		}
+		for _, m := range queue {
+			p.deliver(m.src, m.payload)
+		}
+	}
+}
+
+// appPort is one application's transport endpoint multiplexed on a kernel.
+type appPort struct {
+	kernel *Kernel
+	app    string
+
+	mu      sync.Mutex
+	handler transport.Handler
+}
+
+// Local implements transport.Transport: the node name is the kernel name.
+func (p *appPort) Local() string { return p.kernel.name }
+
+// SetHandler implements transport.Transport and releases queued messages.
+func (p *appPort) SetHandler(h transport.Handler) {
+	p.mu.Lock()
+	p.handler = h
+	p.mu.Unlock()
+	p.kernel.flushPending(p.app, p)
+}
+
+func (p *appPort) hasHandler() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.handler != nil
+}
+
+func (p *appPort) deliver(src string, payload []byte) {
+	p.mu.Lock()
+	h := p.handler
+	p.mu.Unlock()
+	if h != nil {
+		h(src, payload)
+	}
+}
+
+// Send implements transport.Transport, framing the payload with the
+// application name so the destination kernel can demultiplex (and launch).
+func (p *appPort) Send(dst string, payload []byte) error {
+	return p.kernel.node.Send(dst, makeAppFrame(p.app, payload))
+}
+
+// Close implements transport.Transport (the kernel endpoint stays up).
+func (p *appPort) Close() error { return nil }
+
+var _ transport.Transport = (*appPort)(nil)
+
+func makeAppFrame(app string, payload []byte) []byte {
+	b := make([]byte, 0, len(app)+len(payload)+4)
+	b = binary.AppendUvarint(b, uint64(len(app)))
+	b = append(b, app...)
+	return append(b, payload...)
+}
+
+func splitAppFrame(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", nil, fmt.Errorf("kernel: malformed app frame")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}

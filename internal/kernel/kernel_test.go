@@ -1,0 +1,287 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serial"
+)
+
+func startNS(t *testing.T) *NameServer {
+	t.Helper()
+	ns, err := StartNameServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ns.Close() })
+	return ns
+}
+
+func TestNameServerRegisterLookup(t *testing.T) {
+	ns := startNS(t)
+	if err := RegisterName(ns.Addr(), "k1", "1.2.3.4:5"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := LookupName(ns.Addr(), "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "1.2.3.4:5" {
+		t.Fatalf("got %q", addr)
+	}
+	if _, err := LookupName(ns.Addr(), "ghost"); err == nil {
+		t.Fatal("expected lookup failure")
+	}
+	all, err := ListNames(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all["k1"] != "1.2.3.4:5" {
+		t.Fatalf("list: %v", all)
+	}
+	if err := UnregisterName(ns.Addr(), "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupName(ns.Addr(), "k1"); err == nil {
+		t.Fatal("expected lookup failure after DEL")
+	}
+}
+
+func startKernel(t *testing.T, ns *NameServer, name string) *Kernel {
+	t.Helper()
+	k, err := Start(name, "127.0.0.1:0", ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = k.Close() })
+	return k
+}
+
+func TestKernelTransportExchange(t *testing.T) {
+	ns := startNS(t)
+	k1 := startKernel(t, ns, "kA")
+	k2 := startKernel(t, ns, "kB")
+
+	t1 := k1.Transport("app")
+	t2 := k2.Transport("app")
+	got := make(chan string, 1)
+	t2.SetHandler(func(src string, payload []byte) { got <- src + ":" + string(payload) })
+	t1.SetHandler(func(src string, payload []byte) {})
+	if err := t1.Send("kB", []byte("hello kernels")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m != "kA:hello kernels" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestKernelMultiplexesApps(t *testing.T) {
+	ns := startNS(t)
+	k1 := startKernel(t, ns, "kA")
+	k2 := startKernel(t, ns, "kB")
+
+	a1, b1 := k1.Transport("app1"), k1.Transport("app2")
+	a2, b2 := k2.Transport("app1"), k2.Transport("app2")
+	gotA := make(chan string, 1)
+	gotB := make(chan string, 1)
+	a2.SetHandler(func(src string, p []byte) { gotA <- string(p) })
+	b2.SetHandler(func(src string, p []byte) { gotB <- string(p) })
+	a1.SetHandler(func(string, []byte) {})
+	b1.SetHandler(func(string, []byte) {})
+
+	if err := a1.Send("kB", []byte("for app1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Send("kB", []byte("for app2")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-gotA:
+		if m != "for app1" {
+			t.Fatalf("app1 got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout app1")
+	}
+	select {
+	case m := <-gotB:
+		if m != "for app2" {
+			t.Fatalf("app2 got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout app2")
+	}
+}
+
+func TestLazyApplicationLaunch(t *testing.T) {
+	ns := startNS(t)
+	k1 := startKernel(t, ns, "kA")
+	k2 := startKernel(t, ns, "kB")
+
+	var launches atomic.Int32
+	received := make(chan string, 8)
+	k2.RegisterApp("lazy", func(k *Kernel) error {
+		launches.Add(1)
+		tr := k.Transport("lazy")
+		tr.SetHandler(func(src string, p []byte) { received <- string(p) })
+		return nil
+	})
+	if k2.Launched("lazy") {
+		t.Fatal("app reported launched before any message")
+	}
+
+	sender := k1.Transport("lazy")
+	sender.SetHandler(func(string, []byte) {})
+	for i := 0; i < 3; i++ {
+		if err := sender.Send("kB", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case m := <-received:
+			if !strings.HasPrefix(m, "m") {
+				t.Fatalf("got %q", m)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout waiting for message %d", i)
+		}
+	}
+	if got := launches.Load(); got != 1 {
+		t.Fatalf("factory ran %d times, want 1", got)
+	}
+	if !k2.Launched("lazy") {
+		t.Fatal("app not reported launched")
+	}
+}
+
+// DPS application tokens for the end-to-end kernel test.
+type kReq struct {
+	Text string
+}
+
+type kRes struct {
+	Text string
+}
+
+var (
+	_ = serial.MustRegister[kReq]()
+	_ = serial.MustRegister[kRes]()
+)
+
+// TestDPSAppOverKernels runs a real DPS flow graph whose nodes are two
+// kernels communicating over genuine TCP sockets resolved via the name
+// server.
+func TestDPSAppOverKernels(t *testing.T) {
+	ns := startNS(t)
+	k1 := startKernel(t, ns, "kern0")
+	k2 := startKernel(t, ns, "kern1")
+
+	app := core.NewApp(core.Config{})
+	defer app.Close()
+	if _, err := app.AttachTransport(k1.Transport("upper")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AttachTransport(k2.Transport("upper")); err != nil {
+		t.Fatal(err)
+	}
+
+	main := core.MustCollection[struct{}](app, "main")
+	workers := core.MustCollection[struct{}](app, "workers")
+	if err := main.Map("kern0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := workers.Map("kern1*2"); err != nil {
+		t.Fatal(err)
+	}
+
+	split := core.Split[*kReq, *kReq]("ksplit",
+		func(c *core.Ctx, in *kReq, post func(*kReq)) {
+			for _, word := range strings.Fields(in.Text) {
+				post(&kReq{Text: word})
+			}
+		})
+	upper := core.Leaf[*kReq, *kRes]("kupper",
+		func(c *core.Ctx, in *kReq) *kRes { return &kRes{Text: strings.ToUpper(in.Text)} })
+	join := core.Merge[*kRes, *kRes]("kjoin",
+		func(c *core.Ctx, first *kRes, next func() (*kRes, bool)) *kRes {
+			words := []string{}
+			for in, ok := first, true; ok; in, ok = next() {
+				words = append(words, in.Text)
+			}
+			return &kRes{Text: fmt.Sprint(len(words))}
+		})
+	g, err := app.NewFlowgraph("kupper", core.Path(
+		core.NewNode(split, main, core.MainRoute()),
+		core.NewNode(upper, workers, core.RoundRobin()),
+		core.NewNode(join, main, core.MainRoute()),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.CallTimeout(app.MasterNode(), &kReq{Text: "tokens over real tcp kernels"}, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*kRes).Text; got != "5" {
+		t.Fatalf("got %q words", got)
+	}
+}
+
+func TestServiceRegistry(t *testing.T) {
+	app, err := core.NewLocalApp(core.Config{}, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	tc := core.MustCollection[struct{}](app, "tc")
+	if err := tc.Map("n0"); err != nil {
+		t.Fatal(err)
+	}
+	leaf := core.Leaf[*kReq, *kRes]("echo",
+		func(c *core.Ctx, in *kReq) *kRes { return &kRes{Text: in.Text + "!"} })
+	g, err := app.NewFlowgraph("echo", core.Path(core.NewNode(leaf, tc, core.MainRoute())))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewServiceRegistry()
+	if err := reg.Expose("echo-service", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Expose("echo-service", g); err == nil {
+		t.Fatal("expected duplicate expose error")
+	}
+	out, err := reg.Call("echo-service", &kReq{Text: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*kRes).Text; got != "ping!" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := reg.Call("nope", &kReq{}); err == nil {
+		t.Fatal("expected unknown service error")
+	}
+	if op, err := ServiceCallOp(reg, "call-echo", "echo-service"); err != nil || op == nil {
+		t.Fatalf("ServiceCallOp: %v", err)
+	}
+	if _, err := ServiceCallOp(reg, "x", "nope"); err == nil {
+		t.Fatal("expected unknown service error")
+	}
+	if n := reg.Names(); len(n) != 1 || n[0] != "echo-service" {
+		t.Fatalf("Names = %v", n)
+	}
+	reg.Withdraw("echo-service")
+	if _, ok := reg.Lookup("echo-service"); ok {
+		t.Fatal("service not withdrawn")
+	}
+}

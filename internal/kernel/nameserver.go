@@ -1,0 +1,183 @@
+// Package kernel reproduces the paper's §4 runtime support: a kernel runs
+// on every participating computer, named independently of the host (so
+// several kernels may share a machine for debugging), kernels locate each
+// other through a simple name server, applications are launched lazily when
+// a data object must reach a node without a running instance, and running
+// applications can expose flow graphs as services callable by other
+// applications.
+package kernel
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// NameServer is the paper's "simple name server": kernels register their
+// (name, address) pair and resolve peers. The protocol is line-based over
+// TCP: "REG name addr", "GET name", "DEL name", "LIST".
+type NameServer struct {
+	listener net.Listener
+
+	mu      sync.Mutex
+	entries map[string]string
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// StartNameServer listens on addr (e.g. "127.0.0.1:0").
+func StartNameServer(addr string) (*NameServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NameServer{listener: l, entries: make(map[string]string)}
+	ns.wg.Add(1)
+	go ns.serve()
+	return ns, nil
+}
+
+// Addr returns the name server's bound address.
+func (ns *NameServer) Addr() string { return ns.listener.Addr().String() }
+
+// Close stops the server.
+func (ns *NameServer) Close() error {
+	ns.mu.Lock()
+	ns.closed = true
+	ns.mu.Unlock()
+	err := ns.listener.Close()
+	ns.wg.Wait()
+	return err
+}
+
+// Snapshot returns a copy of the current registrations.
+func (ns *NameServer) Snapshot() map[string]string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make(map[string]string, len(ns.entries))
+	for k, v := range ns.entries {
+		out[k] = v
+	}
+	return out
+}
+
+func (ns *NameServer) serve() {
+	defer ns.wg.Done()
+	for {
+		c, err := ns.listener.Accept()
+		if err != nil {
+			return
+		}
+		ns.wg.Add(1)
+		go func() {
+			defer ns.wg.Done()
+			defer c.Close()
+			sc := bufio.NewScanner(c)
+			for sc.Scan() {
+				resp := ns.handle(sc.Text())
+				if _, err := fmt.Fprintln(c, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (ns *NameServer) handle(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty"
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	switch fields[0] {
+	case "REG":
+		if len(fields) != 3 {
+			return "ERR usage: REG name addr"
+		}
+		ns.entries[fields[1]] = fields[2]
+		return "OK"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET name"
+		}
+		addr, ok := ns.entries[fields[1]]
+		if !ok {
+			return "ERR unknown " + fields[1]
+		}
+		return "OK " + addr
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERR usage: DEL name"
+		}
+		delete(ns.entries, fields[1])
+		return "OK"
+	case "LIST":
+		var sb strings.Builder
+		sb.WriteString("OK")
+		for k, v := range ns.entries {
+			sb.WriteString(" ")
+			sb.WriteString(k)
+			sb.WriteString("=")
+			sb.WriteString(v)
+		}
+		return sb.String()
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}
+
+// nsRequest performs one request against a name server.
+func nsRequest(nsAddr, line string) (string, error) {
+	c, err := net.Dial("tcp", nsAddr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintln(c, line); err != nil {
+		return "", err
+	}
+	sc := bufio.NewScanner(c)
+	if !sc.Scan() {
+		return "", fmt.Errorf("kernel: name server closed connection")
+	}
+	resp := sc.Text()
+	if !strings.HasPrefix(resp, "OK") {
+		return "", fmt.Errorf("kernel: name server: %s", resp)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(resp, "OK")), nil
+}
+
+// RegisterName registers a kernel with the name server.
+func RegisterName(nsAddr, name, addr string) error {
+	_, err := nsRequest(nsAddr, fmt.Sprintf("REG %s %s", name, addr))
+	return err
+}
+
+// LookupName resolves a kernel name.
+func LookupName(nsAddr, name string) (string, error) {
+	return nsRequest(nsAddr, "GET "+name)
+}
+
+// UnregisterName removes a kernel from the name server.
+func UnregisterName(nsAddr, name string) error {
+	_, err := nsRequest(nsAddr, "DEL "+name)
+	return err
+}
+
+// ListNames returns all registrations.
+func ListNames(nsAddr string) (map[string]string, error) {
+	resp, err := nsRequest(nsAddr, "LIST")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, kv := range strings.Fields(resp) {
+		if i := strings.IndexByte(kv, '='); i > 0 {
+			out[kv[:i]] = kv[i+1:]
+		}
+	}
+	return out, nil
+}

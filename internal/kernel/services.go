@@ -1,0 +1,80 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ServiceRegistry lets running applications expose flow graphs as parallel
+// services callable by other applications (paper Figure 10 and §6). Within
+// one runtime environment the registry brokers calls in process while the
+// service's internal parallel work still crosses the (simulated or real)
+// network.
+type ServiceRegistry struct {
+	mu       sync.RWMutex
+	services map[string]*core.Flowgraph
+}
+
+// NewServiceRegistry creates an empty registry.
+func NewServiceRegistry() *ServiceRegistry {
+	return &ServiceRegistry{services: make(map[string]*core.Flowgraph)}
+}
+
+// Expose publishes a flow graph under a service name.
+func (r *ServiceRegistry) Expose(name string, g *core.Flowgraph) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[name]; ok {
+		return fmt.Errorf("kernel: service %q already exposed", name)
+	}
+	r.services[name] = g
+	return nil
+}
+
+// Withdraw removes a service.
+func (r *ServiceRegistry) Withdraw(name string) {
+	r.mu.Lock()
+	delete(r.services, name)
+	r.mu.Unlock()
+}
+
+// Lookup resolves a service name to its flow graph.
+func (r *ServiceRegistry) Lookup(name string) (*core.Flowgraph, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.services[name]
+	return g, ok
+}
+
+// Names lists the exposed services.
+func (r *ServiceRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.services))
+	for n := range r.services {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Call invokes a service synchronously from outside any graph.
+func (r *ServiceRegistry) Call(name string, tok core.Token) (core.Token, error) {
+	g, ok := r.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown service %q", name)
+	}
+	return g.Call(tok)
+}
+
+// ServiceCallOp builds a leaf operation that calls the named service,
+// resolving it at graph-construction time. In and Out name the request and
+// response token types.
+func ServiceCallOp(r *ServiceRegistry, opName, serviceName string) (*core.OpDef, error) {
+	g, ok := r.Lookup(serviceName)
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown service %q", serviceName)
+	}
+	return core.GraphCallOp(opName, g), nil
+}

@@ -1,0 +1,207 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// LUFactor computes the LU factorization with partial pivoting of a square
+// matrix in place: on return A holds L (unit lower, diagonal implicit) and
+// U (upper). The returned pivot vector records, for each step k, the row
+// that was swapped with row k (LAPACK-style ipiv). It is the reference
+// sequential algorithm the DPS-parallel factorization is validated against.
+func LUFactor(a *Matrix) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: LU of non-square %dx%d", a.Rows, a.Cols)
+	}
+	piv, err := PanelLU(a, 0, 0, a.Rows, a.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return piv, nil
+}
+
+// PanelLU factors the m x n (m >= n) panel of a starting at (r0, c0) in
+// place with partial pivoting, swapping entire rows of a (so already
+// factored columns to the left and trailing columns to the right stay
+// consistent). Pivot indices are relative to r0.
+func PanelLU(a *Matrix, r0, c0, m, n int) ([]int, error) {
+	if m < n {
+		return nil, fmt.Errorf("matrix: panel LU needs rows >= cols, got %dx%d", m, n)
+	}
+	piv := make([]int, n)
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest magnitude in column c0+k at or below r0+k.
+		p := k
+		max := math.Abs(a.At(r0+k, c0+k))
+		for i := k + 1; i < m; i++ {
+			if v := math.Abs(a.At(r0+i, c0+k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("matrix: singular at column %d", c0+k)
+		}
+		piv[k] = p
+		a.SwapRows(r0+k, r0+p)
+		pivot := a.At(r0+k, c0+k)
+		for i := k + 1; i < m; i++ {
+			l := a.At(r0+i, c0+k) / pivot
+			a.Set(r0+i, c0+k, l)
+			if l == 0 {
+				continue
+			}
+			rowK := a.Data[(r0+k)*a.Cols+c0 : (r0+k)*a.Cols+c0+n]
+			rowI := a.Data[(r0+i)*a.Cols+c0 : (r0+i)*a.Cols+c0+n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return piv, nil
+}
+
+// TrsmLowerUnit solves L * X = B in place on B, where l is unit lower
+// triangular (the strictly-lower part of a factored block; the unit
+// diagonal is implicit). This is the paper's step 2 trsm.
+func TrsmLowerUnit(l, b *Matrix) {
+	if l.Rows != l.Cols || l.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: trsm shapes %dx%d, %dx%d", l.Rows, l.Cols, b.Rows, b.Cols))
+	}
+	n := l.Rows
+	for i := 1; i < n; i++ {
+		bi := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k := 0; k < i; k++ {
+			v := l.At(i, k)
+			if v == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range bi {
+				bi[j] -= v * bk[j]
+			}
+		}
+	}
+}
+
+// BlockLUFactor computes the same factorization as LUFactor using the
+// paper's right-looking block algorithm with block size r: panel LU of the
+// current block column, trsm on the block row, and a trailing-submatrix
+// update built from block multiplications. The pivot vector matches
+// LUFactor's layout.
+func BlockLUFactor(a *Matrix, r int) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: LU of non-square %dx%d", a.Rows, a.Cols)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("matrix: block size %d", r)
+	}
+	n := a.Rows
+	piv := make([]int, n)
+	for k := 0; k < n; k += r {
+		b := min(r, n-k)
+		// Step 1: rectangular LU of the panel (rows k..n, cols k..k+b). Full
+		// rows are swapped so the left and right parts stay consistent.
+		p, err := PanelLU(a, k, k, n-k, b)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < b; i++ {
+			piv[k+i] = p[i] + k
+		}
+		if k+b < n {
+			// Step 2: solve L11 * T12 = A12 (unit lower triangular).
+			l11 := a.Block(k, k, b, b)
+			t12 := a.Block(k, k+b, b, n-k-b)
+			TrsmLowerUnit(l11, t12)
+			a.SetBlock(k, k+b, t12)
+			// Step 3: A' = B - L21 * T12.
+			l21 := a.Block(k+b, k, n-k-b, b)
+			prod := l21.Mul(t12)
+			for i := 0; i < prod.Rows; i++ {
+				ai := a.Data[(k+b+i)*a.Cols+k+b : (k+b+i)*a.Cols+n]
+				pi := prod.Data[i*prod.Cols : (i+1)*prod.Cols]
+				for j := range ai {
+					ai[j] -= pi[j]
+				}
+			}
+		}
+	}
+	return piv, nil
+}
+
+// SplitLU extracts the unit-lower L and upper U factors from an in-place
+// factored matrix.
+func SplitLU(a *Matrix) (l, u *Matrix) {
+	n := a.Rows
+	l = Identity(n)
+	u = New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j < i {
+				l.Set(i, j, a.At(i, j))
+			} else {
+				u.Set(i, j, a.At(i, j))
+			}
+		}
+	}
+	return l, u
+}
+
+// ApplyPivots applies the pivot vector's row swaps to m (forward order),
+// producing P*m for the permutation encoded by piv.
+func ApplyPivots(m *Matrix, piv []int) {
+	for k, p := range piv {
+		if p != k {
+			m.SwapRows(k, p)
+		}
+	}
+}
+
+// ResidualLU returns max|P*A - L*U| for an original matrix a, its in-place
+// factorization fact and pivot vector piv — the correctness check used by
+// the tests and the LU example.
+func ResidualLU(a, fact *Matrix, piv []int) float64 {
+	pa := a.Clone()
+	ApplyPivots(pa, piv)
+	l, u := SplitLU(fact)
+	return pa.MaxAbsDiff(l.Mul(u))
+}
+
+// LUSolve solves A x = b given the in-place factorization and pivots.
+func LUSolve(fact *Matrix, piv []int, b []float64) []float64 {
+	n := fact.Rows
+	if len(b) != n {
+		panic("matrix: rhs length mismatch")
+	}
+	x := append([]float64(nil), b...)
+	for k, p := range piv {
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= fact.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= fact.At(i, j) * x[j]
+		}
+		x[i] = s / fact.At(i, i)
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

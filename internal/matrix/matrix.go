@@ -1,0 +1,234 @@
+// Package matrix provides the dense linear-algebra substrate used by the
+// paper's evaluation: block matrix multiplication (Table 1's overlap
+// experiment) and block LU factorization with partial pivoting (§5 and
+// Figure 15). Like the authors — who state that "no optimized linear
+// algebra library was used" — the kernels are plain Go loops.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all the same length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Random fills a matrix with deterministic pseudo-random values in [-1, 1).
+func Random(rows, cols int, seed int64) *Matrix {
+	m := New(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports element-wise equality within tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := range m.Data {
+		if d := math.Abs(m.Data[i] - o.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Block extracts the sub-matrix of size rows x cols at (r0, c0).
+func (m *Matrix) Block(r0, c0, rows, cols int) *Matrix {
+	if r0 < 0 || c0 < 0 || r0+rows > m.Rows || c0+cols > m.Cols {
+		panic(fmt.Sprintf("matrix: block (%d,%d)+%dx%d out of %dx%d", r0, c0, rows, cols, m.Rows, m.Cols))
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(out.Data[i*cols:(i+1)*cols], m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+cols])
+	}
+	return out
+}
+
+// SetBlock writes o into m at (r0, c0).
+func (m *Matrix) SetBlock(r0, c0 int, o *Matrix) {
+	if r0 < 0 || c0 < 0 || r0+o.Rows > m.Rows || c0+o.Cols > m.Cols {
+		panic(fmt.Sprintf("matrix: set block (%d,%d)+%dx%d out of %dx%d", r0, c0, o.Rows, o.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < o.Rows; i++ {
+		copy(m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+o.Cols], o.Data[i*o.Cols:(i+1)*o.Cols])
+	}
+}
+
+// Mul returns m * o (naive ikj kernel with a hoisted row pointer — the
+// unoptimized reference kernel).
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: mul %dx%d by %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*o.Cols : (i+1)*o.Cols]
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			ok := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j := range oi {
+				oi[j] += a * ok[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulAdd computes m += a*b, reusing m's storage.
+func (m *Matrix) MulAdd(a, b *Matrix) {
+	if a.Cols != b.Rows || m.Rows != a.Rows || m.Cols != b.Cols {
+		panic("matrix: muladd shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for k := 0; k < a.Cols; k++ {
+			v := ai[k]
+			if v == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range mi {
+				mi[j] += v * bk[j]
+			}
+		}
+	}
+}
+
+// Sub computes m -= o in place.
+func (m *Matrix) Sub(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("matrix: sub shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] -= o.Data[i]
+	}
+}
+
+// Add computes m += o in place.
+func (m *Matrix) Add(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("matrix: add shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Norm1 returns the max column sum (1-norm).
+func (m *Matrix) Norm1() float64 {
+	max := 0.0
+	for j := 0; j < m.Cols; j++ {
+		s := 0.0
+		for i := 0; i < m.Rows; i++ {
+			s += math.Abs(m.At(i, j))
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("%dx%d[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < 6; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols && j < 6; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.3g", m.At(i, j))
+		}
+	}
+	if m.Rows > 6 || m.Cols > 6 {
+		s += " ..."
+	}
+	return s + "]"
+}

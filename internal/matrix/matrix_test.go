@@ -1,0 +1,283 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAt(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("bad shape %+v", m)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At broken")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong: %v", m)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := Random(5, 5, 1)
+	i := Identity(5)
+	if !a.Mul(i).Equal(a, 1e-12) || !i.Mul(a).Equal(a, 1e-12) {
+		t.Fatal("identity multiplication failed")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.Equal(want, 1e-12) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMulShapesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulAddMatchesMul(t *testing.T) {
+	a := Random(7, 5, 2)
+	b := Random(5, 9, 3)
+	c := Random(7, 9, 4)
+	want := c.Clone()
+	want.Add(a.Mul(b))
+	got := c.Clone()
+	got.MulAdd(a, b)
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("MulAdd diverges from Mul+Add")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	a := Random(8, 10, 5)
+	blk := a.Block(2, 3, 4, 5)
+	if blk.Rows != 4 || blk.Cols != 5 {
+		t.Fatalf("block shape %dx%d", blk.Rows, blk.Cols)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			if blk.At(i, j) != a.At(2+i, 3+j) {
+				t.Fatal("block content wrong")
+			}
+		}
+	}
+	b := New(8, 10)
+	b.SetBlock(2, 3, blk)
+	if b.At(3, 4) != a.At(3, 4) {
+		t.Fatal("SetBlock content wrong")
+	}
+	if b.At(0, 0) != 0 {
+		t.Fatal("SetBlock wrote outside target area")
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	a.SwapRows(0, 2)
+	if a.At(0, 0) != 5 || a.At(2, 1) != 2 {
+		t.Fatalf("swap wrong: %v", a)
+	}
+	a.SwapRows(1, 1) // no-op
+	if a.At(1, 0) != 3 {
+		t.Fatal("self swap changed row")
+	}
+}
+
+func TestLUFactorReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16, 33, 64} {
+		a := Random(n, n, int64(n))
+		fact := a.Clone()
+		piv, err := LUFactor(fact)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res := ResidualLU(a, fact, piv); res > 1e-9*float64(n) {
+			t.Fatalf("n=%d: residual %g", n, res)
+		}
+	}
+}
+
+func TestLUFactorSingular(t *testing.T) {
+	a := New(3, 3) // all zeros
+	if _, err := LUFactor(a); err == nil {
+		t.Fatal("expected singularity error")
+	}
+}
+
+func TestLUFactorNonSquare(t *testing.T) {
+	if _, err := LUFactor(New(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestBlockLUMatchesReference(t *testing.T) {
+	for _, n := range []int{4, 8, 12, 32, 48} {
+		for _, r := range []int{1, 2, 4, 8, 16, 5} {
+			a := Random(n, n, int64(n*100+r))
+			ref := a.Clone()
+			refPiv, err := LUFactor(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blk := a.Clone()
+			blkPiv, err := BlockLUFactor(blk, r)
+			if err != nil {
+				t.Fatalf("n=%d r=%d: %v", n, r, err)
+			}
+			if res := ResidualLU(a, blk, blkPiv); res > 1e-9*float64(n) {
+				t.Fatalf("n=%d r=%d: residual %g", n, r, res)
+			}
+			// Same permutation and factors as the unblocked algorithm.
+			for i := range refPiv {
+				if refPiv[i] != blkPiv[i] {
+					t.Fatalf("n=%d r=%d: pivot %d differs: %d vs %d", n, r, i, refPiv[i], blkPiv[i])
+				}
+			}
+			if !ref.Equal(blk, 1e-9*float64(n)) {
+				t.Fatalf("n=%d r=%d: factors differ by %g", n, r, ref.MaxAbsDiff(blk))
+			}
+		}
+	}
+}
+
+func TestTrsmLowerUnit(t *testing.T) {
+	// Build a unit lower triangular L, compute B = L*X, then solve back.
+	n, m := 6, 4
+	l := Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, float64(i-j)*0.5)
+		}
+	}
+	x := Random(n, m, 9)
+	b := l.Mul(x)
+	TrsmLowerUnit(l, b)
+	if !b.Equal(x, 1e-9) {
+		t.Fatalf("trsm residual %g", b.MaxAbsDiff(x))
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	n := 20
+	a := Random(n, n, 77)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = float64(i) - 3.5
+	}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j) * xTrue[j]
+		}
+	}
+	fact := a.Clone()
+	piv, err := LUFactor(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := LUSolve(fact, piv, b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestApplyPivotsIsPermutation(t *testing.T) {
+	a := Random(10, 10, 3)
+	fact := a.Clone()
+	piv, err := LUFactor(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Identity(10)
+	ApplyPivots(p, piv)
+	// Each row and column of P has exactly one 1.
+	for i := 0; i < 10; i++ {
+		rowSum, colSum := 0.0, 0.0
+		for j := 0; j < 10; j++ {
+			rowSum += p.At(i, j)
+			colSum += p.At(j, i)
+		}
+		if rowSum != 1 || colSum != 1 {
+			t.Fatalf("not a permutation at %d: row %g col %g", i, rowSum, colSum)
+		}
+	}
+}
+
+// Property-based checks on algebraic identities.
+func TestQuickMulDistributes(t *testing.T) {
+	f := func(seed1, seed2, seed3 int64) bool {
+		a := Random(6, 5, seed1)
+		b := Random(5, 4, seed2)
+		c := Random(5, 4, seed3)
+		// a*(b+c) == a*b + a*c
+		bc := b.Clone()
+		bc.Add(c)
+		left := a.Mul(bc)
+		right := a.Mul(b)
+		right.Add(a.Mul(c))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLUReconstruction(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%24) + 1
+		a := Random(n, n, seed)
+		fact := a.Clone()
+		piv, err := LUFactor(fact)
+		if err != nil {
+			return true // singular random matrix: vanishingly unlikely, skip
+		}
+		return ResidualLU(a, fact, piv) < 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm1(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if got := m.Norm1(); got != 6 {
+		t.Fatalf("Norm1 = %g want 6", got)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	x := Random(256, 256, 1)
+	y := Random(256, 256, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+func BenchmarkLU256(b *testing.B) {
+	a := Random(256, 256, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := a.Clone()
+		if _, err := LUFactor(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

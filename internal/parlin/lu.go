@@ -1,0 +1,498 @@
+package parlin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/serial"
+)
+
+// Tokens of the LU factorization application (paper Figures 11-13).
+
+// LUStart distributes an NxN matrix in column strips of width R.
+type LUStart struct {
+	N, R int
+	A    []float64
+}
+
+// ColLoad carries one column strip to its owner.
+type ColLoad struct {
+	Col  int
+	N, R int
+	Data []float64
+}
+
+// ColNotify reports that column Col finished its work for Step (Step -1
+// means the strip was loaded).
+type ColNotify struct {
+	Step int
+	Col  int
+}
+
+// TrsmOrder asks the owner of column Col to apply Step's row exchanges,
+// solve the triangular system, and update its trailing blocks. The panel
+// (column Step's factored strip below row Step*R) travels with the order,
+// as on a real distributed-memory machine.
+type TrsmOrder struct {
+	Step      int
+	Col       int
+	R         int
+	PanelRows int
+	Panel     []float64
+	Piv       []int
+}
+
+// FlipOrder asks the owner of an already-factored column (Col < Step) to
+// apply Step's row exchanges to its L storage (paper Figure 12 (f)).
+type FlipOrder struct {
+	Step int
+	Col  int
+	Piv  []int
+}
+
+// FlipNotify reports a completed row exchange.
+type FlipNotify struct {
+	Step int
+	Col  int
+}
+
+// LUDone terminates the factorization graph.
+type LUDone struct {
+	Steps int
+}
+
+// GatherCol requests a worker's column strip and pivots.
+type GatherCol struct {
+	Col int
+}
+
+// ColData returns a strip (and the pivots of the step this column owned).
+type ColData struct {
+	Col  int
+	Data []float64
+	Piv  []int
+}
+
+// LUResult is the reassembled in-place factorization.
+type LUResult struct {
+	N    int
+	Fact []float64
+	Piv  []int
+}
+
+var (
+	_ = serial.MustRegister[LUStart]()
+	_ = serial.MustRegister[ColLoad]()
+	_ = serial.MustRegister[ColNotify]()
+	_ = serial.MustRegister[TrsmOrder]()
+	_ = serial.MustRegister[FlipOrder]()
+	_ = serial.MustRegister[FlipNotify]()
+	_ = serial.MustRegister[LUDone]()
+	_ = serial.MustRegister[GatherCol]()
+	_ = serial.MustRegister[ColData]()
+	_ = serial.MustRegister[LUResult]()
+)
+
+// luState is a worker thread's column storage.
+type luState struct {
+	n, r int
+	cols map[int]*matrix.Matrix // column strips (n x r), keyed by block column
+	pivs map[int][]int          // pivots of the steps whose panel this thread factored
+	// Row-exchange orders for one column may arrive out of step order
+	// (they are posted by different nodes); nextFlip tracks the next step
+	// whose exchanges may be applied per column and pendFlips buffers
+	// early arrivals, preserving the sequential algorithm's swap order.
+	nextFlip  map[int]int
+	pendFlips map[int]map[int][]int
+}
+
+func (st *luState) init(n, r int) {
+	if st.cols == nil {
+		st.cols = make(map[int]*matrix.Matrix)
+		st.pivs = make(map[int][]int)
+		st.nextFlip = make(map[int]int)
+		st.pendFlips = make(map[int]map[int][]int)
+	}
+	st.n, st.r = n, r
+}
+
+// applyFlip applies step's row exchanges to column col as soon as all
+// earlier steps' exchanges have been applied.
+func (st *luState) applyFlip(col, step, r int, piv []int) {
+	if pending, ok := st.pendFlips[col]; !ok || pending == nil {
+		st.pendFlips[col] = make(map[int][]int)
+	}
+	st.pendFlips[col][step] = piv
+	strip := st.cols[col]
+	for {
+		next := st.nextFlip[col]
+		p, ok := st.pendFlips[col][next]
+		if !ok {
+			return
+		}
+		delete(st.pendFlips[col], next)
+		base := next * r
+		for i, pi := range p {
+			if pi != i {
+				strip.SwapRows(base+i, base+pi)
+			}
+		}
+		st.nextFlip[col] = next + 1
+	}
+}
+
+// LU is a DPS block LU factorization for one fixed problem shape. The flow
+// graph is generated to fit the matrix size (paper §5: "the graph is
+// created to fit the size of the problem"), chaining one
+// collect-factor-stream construct per block column.
+type LU struct {
+	app       *core.App
+	name      string
+	n, r, nb  int
+	workers   int
+	pipelined bool
+
+	master *core.ThreadCollection
+	col    *core.ThreadCollection
+	factor *core.Flowgraph
+	gather *core.Flowgraph
+}
+
+// LUOptions configures the factorization application.
+type LUOptions struct {
+	// Name prefixes collections and graphs.
+	Name string
+	// Workers is the number of column-owning threads (default one per node).
+	Workers int
+	// Pipelined selects the stream-operation variant (true, Figure 12) or
+	// the merge-then-split variant (false) that Figure 15 compares against.
+	Pipelined bool
+}
+
+// NewLU generates the factorization and gather graphs for NxN matrices
+// with block size r.
+func NewLU(app *core.App, n, r int, opt LUOptions) (*LU, error) {
+	if opt.Name == "" {
+		opt.Name = "lu"
+	}
+	if n <= 0 || r <= 0 || n%r != 0 {
+		return nil, fmt.Errorf("parlin: n=%d must be a positive multiple of r=%d", n, r)
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = len(app.NodeNames())
+	}
+	l := &LU{
+		app: app, name: opt.Name,
+		n: n, r: r, nb: n / r,
+		workers:   opt.Workers,
+		pipelined: opt.Pipelined,
+	}
+	var err error
+	if l.master, err = core.NewCollection[struct{}](app, opt.Name+"-master"); err != nil {
+		return nil, err
+	}
+	if err = l.master.MapNodes(app.MasterNode()); err != nil {
+		return nil, err
+	}
+	if l.col, err = core.NewCollection[luState](app, opt.Name+"-cols"); err != nil {
+		return nil, err
+	}
+	if err = l.col.MapRoundRobin(opt.Workers); err != nil {
+		return nil, err
+	}
+	if err := l.buildFactorGraph(); err != nil {
+		return nil, err
+	}
+	return l, l.buildGatherGraph()
+}
+
+func (l *LU) owner(col int) int { return col % l.workers }
+
+// factorPanel runs the panel LU of block column k on the owner's strip and
+// returns the broadcast payload (panel rows k*r..n and relative pivots).
+func (l *LU) factorPanel(st *luState, k int) ([]float64, []int) {
+	strip, ok := st.cols[k]
+	if !ok {
+		panic(fmt.Sprintf("parlin: column %d not loaded on its owner", k))
+	}
+	rows := l.n - k*l.r
+	piv, err := matrix.PanelLU(strip, k*l.r, 0, rows, l.r)
+	if err != nil {
+		panic(fmt.Errorf("parlin: panel %d: %w", k, err))
+	}
+	st.pivs[k] = piv
+	st.nextFlip[k] = k + 1 // later steps' flips apply in order from here
+	panel := strip.Block(k*l.r, 0, rows, l.r)
+	return panel.Data, piv
+}
+
+// applyTrsm performs the paper's step 2 and 3 for one trailing column:
+// row exchanges, triangular solve, and the block multiply update.
+func (l *LU) applyTrsm(st *luState, in *TrsmOrder) {
+	strip := st.cols[in.Col]
+	k := in.Step
+	base := k * l.r
+	for i, p := range in.Piv {
+		if p != i {
+			strip.SwapRows(base+i, base+p)
+		}
+	}
+	panel := &matrix.Matrix{Rows: in.PanelRows, Cols: in.R, Data: in.Panel}
+	l11 := panel.Block(0, 0, in.R, in.R)
+	t := strip.Block(base, 0, in.R, l.r)
+	matrix.TrsmLowerUnit(l11, t)
+	strip.SetBlock(base, 0, t)
+	if rest := l.n - base - in.R; rest > 0 {
+		l21 := panel.Block(in.R, 0, rest, in.R)
+		prod := l21.Mul(t)
+		for i := 0; i < rest; i++ {
+			dst := strip.Data[(base+in.R+i)*strip.Cols : (base+in.R+i+1)*strip.Cols]
+			src := prod.Data[i*prod.Cols : (i+1)*prod.Cols]
+			for x := range dst {
+				dst[x] -= src[x]
+			}
+		}
+	}
+}
+
+// collector builds the stream body of construct C_k: it collects the
+// notifications of step k-1 (or the strip loads for k == 0), factors panel
+// k as soon as column k's notification arrives, and emits the step-k trsm
+// orders — immediately in the pipelined variant, after the whole group in
+// the merge-then-split variant — plus the row-exchange orders for the
+// already-factored columns.
+func (l *LU) collector(k int) func(c *core.Ctx, first core.Token, next func() (core.Token, bool), post func(core.Token)) {
+	return func(c *core.Ctx, first core.Token, next func() (core.Token, bool), post func(core.Token)) {
+		st := core.StateOf[luState](c)
+		var panel []float64
+		var piv []int
+		ready := false
+		var pendingTrsm []int
+		emitTrsm := func(col int) {
+			post(&TrsmOrder{
+				Step: k, Col: col, R: l.r,
+				PanelRows: l.n - k*l.r,
+				Panel:     panel, Piv: piv,
+			})
+		}
+		emitFlips := func() {
+			for j := 0; j < k; j++ {
+				post(&FlipOrder{Step: k, Col: j, Piv: piv})
+			}
+		}
+		handle := func(tok core.Token) {
+			cn, ok := tok.(*ColNotify)
+			if !ok {
+				return // FlipNotify: consumed for synchronization only
+			}
+			switch {
+			case cn.Col == k:
+				panel, piv = l.factorPanel(st, k)
+				ready = true
+				if l.pipelined {
+					emitFlips()
+					for _, col := range pendingTrsm {
+						emitTrsm(col)
+					}
+					pendingTrsm = nil
+				}
+			case cn.Col > k:
+				if ready && l.pipelined {
+					emitTrsm(cn.Col)
+				} else {
+					pendingTrsm = append(pendingTrsm, cn.Col)
+				}
+			}
+		}
+		for tok, ok := first, true; ok; tok, ok = next() {
+			handle(tok)
+		}
+		if !ready {
+			panic(fmt.Sprintf("parlin: step %d never saw column %d's notification", k, k))
+		}
+		if !l.pipelined {
+			emitFlips()
+			for _, col := range pendingTrsm {
+				emitTrsm(col)
+			}
+			pendingTrsm = nil
+		}
+		if k == l.nb-1 && k == 0 {
+			post(&LUDone{Steps: l.nb})
+		}
+	}
+}
+
+func (l *LU) buildFactorGraph() error {
+	toCol := core.ByKey[*ColLoad](l.name+"-to-col", func(in *ColLoad) int { return l.owner(in.Col) })
+	toTrsm := core.ByKey[*TrsmOrder](l.name+"-to-trsm", func(in *TrsmOrder) int { return l.owner(in.Col) })
+	toFlip := core.ByKey[*FlipOrder](l.name+"-to-flip", func(in *FlipOrder) int { return l.owner(in.Col) })
+
+	split := core.Split[*LUStart, *ColLoad](l.name+"-distribute",
+		func(c *core.Ctx, in *LUStart, post func(*ColLoad)) {
+			a := &matrix.Matrix{Rows: in.N, Cols: in.N, Data: in.A}
+			for j := 0; j < l.nb; j++ {
+				strip := a.Block(0, j*in.R, in.N, in.R)
+				post(&ColLoad{Col: j, N: in.N, R: in.R, Data: strip.Data})
+			}
+		})
+	load := core.Leaf[*ColLoad, *ColNotify](l.name+"-load",
+		func(c *core.Ctx, in *ColLoad) *ColNotify {
+			st := core.StateOf[luState](c)
+			st.init(in.N, in.R)
+			st.cols[in.Col] = &matrix.Matrix{Rows: in.N, Cols: in.R, Data: in.Data}
+			return &ColNotify{Step: -1, Col: in.Col}
+		})
+	trsmLeaf := func(k int) *core.OpDef {
+		return core.Leaf[*TrsmOrder, *ColNotify](fmt.Sprintf("%s-trsm-%d", l.name, k),
+			func(c *core.Ctx, in *TrsmOrder) *ColNotify {
+				st := core.StateOf[luState](c)
+				l.applyTrsm(st, in)
+				return &ColNotify{Step: in.Step, Col: in.Col}
+			})
+	}
+	flipLeaf := func(k int) *core.OpDef {
+		return core.Leaf[*FlipOrder, *FlipNotify](fmt.Sprintf("%s-flip-%d", l.name, k),
+			func(c *core.Ctx, in *FlipOrder) *FlipNotify {
+				st := core.StateOf[luState](c)
+				st.applyFlip(in.Col, in.Step, l.r, in.Piv)
+				return &FlipNotify{Step: in.Step, Col: in.Col}
+			})
+	}
+	finalMerge := core.MergeAny(l.name+"-terminate",
+		[]core.Token{(*FlipNotify)(nil), (*LUDone)(nil)},
+		[]core.Token{(*LUDone)(nil)},
+		func(c *core.Ctx, first core.Token, next func() (core.Token, bool)) core.Token {
+			for _, ok := first, true; ok; _, ok = next() {
+			}
+			return &LUDone{Steps: l.nb}
+		})
+
+	nSplit := core.NewNode(split, l.master, core.MainRoute())
+	nLoad := core.NewNode(load, l.col, toCol)
+	nFinal := core.NewNode(finalMerge, l.master, core.MainRoute())
+
+	if l.nb == 1 {
+		// Single block column: the collector factors and terminates.
+		c0 := core.StreamAny(l.name+"-step-0",
+			[]core.Token{(*ColNotify)(nil)},
+			[]core.Token{(*LUDone)(nil)},
+			l.collector(0))
+		b := core.Path(nSplit, nLoad, core.NewNode(c0, l.col, core.ToThread(l.owner(0))), nFinal)
+		g, err := l.app.NewFlowgraph(l.name+"-factor", b)
+		if err != nil {
+			return err
+		}
+		l.factor = g
+		return nil
+	}
+
+	// General chain: C_0 -> T_0 -> C_1 -> {T_1, F_1} -> C_2 ... ->
+	// C_{nb-1} -> F_{nb-1} -> final merge.
+	collectors := make([]*core.GraphNode, l.nb)
+	for k := 0; k < l.nb; k++ {
+		ins := []core.Token{(*ColNotify)(nil)}
+		if k >= 2 { // steps >= 2 also collect flip notifications
+			ins = append(ins, (*FlipNotify)(nil))
+		}
+		var outs []core.Token
+		switch {
+		case k == l.nb-1:
+			outs = []core.Token{(*FlipOrder)(nil)}
+		case k == 0:
+			outs = []core.Token{(*TrsmOrder)(nil)}
+		default:
+			outs = []core.Token{(*TrsmOrder)(nil), (*FlipOrder)(nil)}
+		}
+		op := core.StreamAny(fmt.Sprintf("%s-step-%d", l.name, k), ins, outs, l.collector(k))
+		collectors[k] = core.NewNode(op, l.col, core.ToThread(l.owner(k)))
+	}
+
+	b := core.Path(nSplit, nLoad, collectors[0])
+	for k := 0; k < l.nb-1; k++ {
+		nTrsm := core.NewNode(trsmLeaf(k), l.col, toTrsm)
+		b.Add(collectors[k], nTrsm, collectors[k+1])
+		if k >= 1 {
+			nFlip := core.NewNode(flipLeaf(k), l.col, toFlip)
+			b.Add(collectors[k], nFlip, collectors[k+1])
+		}
+	}
+	nFlipLast := core.NewNode(flipLeaf(l.nb-1), l.col, toFlip)
+	b.Add(collectors[l.nb-1], nFlipLast, nFinal)
+
+	g, err := l.app.NewFlowgraph(l.name+"-factor", b)
+	if err != nil {
+		return err
+	}
+	l.factor = g
+	return nil
+}
+
+func (l *LU) buildGatherGraph() error {
+	split := core.Split[*LUDone, *GatherCol](l.name+"-gather-split",
+		func(c *core.Ctx, in *LUDone, post func(*GatherCol)) {
+			for j := 0; j < l.nb; j++ {
+				post(&GatherCol{Col: j})
+			}
+		})
+	leaf := core.Leaf[*GatherCol, *ColData](l.name+"-gather-col",
+		func(c *core.Ctx, in *GatherCol) *ColData {
+			st := core.StateOf[luState](c)
+			strip := st.cols[in.Col]
+			out := &ColData{Col: in.Col, Data: append([]float64(nil), strip.Data...)}
+			if piv, ok := st.pivs[in.Col]; ok {
+				out.Piv = append([]int(nil), piv...)
+			}
+			return out
+		})
+	merge := core.Merge[*ColData, *LUResult](l.name+"-gather-merge",
+		func(c *core.Ctx, first *ColData, next func() (*ColData, bool)) *LUResult {
+			res := &LUResult{N: l.n, Fact: make([]float64, l.n*l.n), Piv: make([]int, l.n)}
+			fact := &matrix.Matrix{Rows: l.n, Cols: l.n, Data: res.Fact}
+			for in, ok := first, true; ok; in, ok = next() {
+				strip := &matrix.Matrix{Rows: l.n, Cols: l.r, Data: in.Data}
+				fact.SetBlock(0, in.Col*l.r, strip)
+				for i, p := range in.Piv {
+					res.Piv[in.Col*l.r+i] = in.Col*l.r + p
+				}
+			}
+			return res
+		})
+	g, err := l.app.NewFlowgraph(l.name+"-gather", core.Path(
+		core.NewNode(split, l.master, core.MainRoute()),
+		core.NewNode(leaf, l.col, core.ByKey[*GatherCol](l.name+"-to-gathercol", func(in *GatherCol) int { return l.owner(in.Col) })),
+		core.NewNode(merge, l.master, core.MainRoute()),
+	))
+	l.gather = g
+	return err
+}
+
+// Factor runs the distributed factorization of a (which must be n x n) and
+// returns the in-place factors and global pivot vector.
+func (l *LU) Factor(a *matrix.Matrix) (*matrix.Matrix, []int, error) {
+	if a.Rows != l.n || a.Cols != l.n {
+		return nil, nil, fmt.Errorf("parlin: matrix is %dx%d, app built for %d", a.Rows, a.Cols, l.n)
+	}
+	if _, err := l.factor.Call(&LUStart{N: l.n, R: l.r, A: append([]float64(nil), a.Data...)}); err != nil {
+		return nil, nil, err
+	}
+	out, err := l.gather.Call(&LUDone{})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := out.(*LUResult)
+	return &matrix.Matrix{Rows: res.N, Cols: res.N, Data: res.Fact}, res.Piv, nil
+}
+
+// FactorOnly runs the factorization without gathering (for timing).
+func (l *LU) FactorOnly(a *matrix.Matrix) error {
+	_, err := l.factor.Call(&LUStart{N: l.n, R: l.r, A: append([]float64(nil), a.Data...)})
+	return err
+}
+
+// Graph exposes the generated factorization flow graph.
+func (l *LU) Graph() *core.Flowgraph { return l.factor }
+
+// Blocks returns the number of block columns (the generated chain length).
+func (l *LU) Blocks() int { return l.nb }

@@ -1,0 +1,215 @@
+// Package parlin implements the paper's linear-algebra applications on DPS
+// flow graphs: block matrix multiplication (the Table 1 overlap workload)
+// and block LU factorization with partial pivoting (§5, Figures 11-15),
+// in both the fully pipelined (stream-operation) form and the
+// merge-then-split form used as the non-pipelined comparison in Figure 15.
+package parlin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/serial"
+)
+
+// MatmulOrder starts a block matrix multiplication: multiply the NxN
+// matrices A and B split into SxS blocks. Compute=false turns the worker
+// kernel off, which the Table 1 harness uses to measure pure communication
+// time.
+type MatmulOrder struct {
+	N, S    int
+	Compute bool
+	A, B    []float64
+}
+
+// MulJob carries the two operand blocks of one block product A[i,k]*B[k,j].
+type MulJob struct {
+	I, J, K  int
+	BlkRows  int // rows of the A block (and of the result)
+	BlkInner int // cols of A block == rows of B block
+	BlkCols  int // cols of the B block (and of the result)
+	Compute  bool
+	A, B     []float64
+}
+
+// MulPart is one partial product destined for C[i,j].
+type MulPart struct {
+	I, J       int
+	Rows, Cols int
+	Data       []float64
+}
+
+// MatResult is the assembled product matrix.
+type MatResult struct {
+	N    int
+	Data []float64
+}
+
+var (
+	_ = serial.MustRegister[MatmulOrder]()
+	_ = serial.MustRegister[MulJob]()
+	_ = serial.MustRegister[MulPart]()
+	_ = serial.MustRegister[MatResult]()
+)
+
+// Matmul is a DPS block matrix multiplication application.
+type Matmul struct {
+	app     *core.App
+	master  *core.ThreadCollection
+	workers *core.ThreadCollection
+	graph   *core.Flowgraph
+}
+
+// MatmulOptions configures the application.
+type MatmulOptions struct {
+	// Name prefixes collections and the graph.
+	Name string
+	// Workers is the number of compute threads (default: one per node).
+	Workers int
+	// Route overrides the worker routing function (default: block affinity
+	// by C-block index).
+	Route *core.Route
+}
+
+// NewMatmul builds the split-multiply-merge graph of the Table 1 workload:
+// the split posts one job per (i, j, k) block triple carrying both operand
+// blocks, workers multiply, and the merge accumulates partial products
+// into C. Pipelining overlaps the job/result transfers with the block
+// multiplications.
+func NewMatmul(app *core.App, opt MatmulOptions) (*Matmul, error) {
+	if opt.Name == "" {
+		opt.Name = "matmul"
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = len(app.NodeNames())
+	}
+	m := &Matmul{app: app}
+	var err error
+	if m.master, err = core.NewCollection[struct{}](app, opt.Name+"-master"); err != nil {
+		return nil, err
+	}
+	if err = m.master.MapNodes(app.MasterNode()); err != nil {
+		return nil, err
+	}
+	if m.workers, err = core.NewCollection[struct{}](app, opt.Name+"-workers"); err != nil {
+		return nil, err
+	}
+	if err = m.workers.MapRoundRobin(opt.Workers); err != nil {
+		return nil, err
+	}
+
+	split := core.Split[*MatmulOrder, *MulJob](opt.Name+"-split",
+		func(c *core.Ctx, in *MatmulOrder, post func(*MulJob)) {
+			if in.N%in.S != 0 {
+				panic(fmt.Sprintf("parlin: N=%d not divisible by S=%d", in.N, in.S))
+			}
+			blk := in.N / in.S
+			a := &matrix.Matrix{Rows: in.N, Cols: in.N, Data: in.A}
+			b := &matrix.Matrix{Rows: in.N, Cols: in.N, Data: in.B}
+			for i := 0; i < in.S; i++ {
+				for j := 0; j < in.S; j++ {
+					for k := 0; k < in.S; k++ {
+						post(&MulJob{
+							I: i, J: j, K: k,
+							BlkRows: blk, BlkInner: blk, BlkCols: blk,
+							Compute: in.Compute,
+							A:       a.Block(i*blk, k*blk, blk, blk).Data,
+							B:       b.Block(k*blk, j*blk, blk, blk).Data,
+						})
+					}
+				}
+			}
+		})
+	mul := core.Leaf[*MulJob, *MulPart](opt.Name+"-mul",
+		func(c *core.Ctx, in *MulJob) *MulPart {
+			out := &MulPart{I: in.I, J: in.J, Rows: in.BlkRows, Cols: in.BlkCols}
+			if in.Compute {
+				a := &matrix.Matrix{Rows: in.BlkRows, Cols: in.BlkInner, Data: in.A}
+				b := &matrix.Matrix{Rows: in.BlkInner, Cols: in.BlkCols, Data: in.B}
+				out.Data = a.Mul(b).Data
+			} else {
+				out.Data = make([]float64, in.BlkRows*in.BlkCols)
+			}
+			return out
+		})
+	merge := core.Merge[*MulPart, *MatResult](opt.Name+"-merge",
+		func(c *core.Ctx, first *MulPart, next func() (*MulPart, bool)) *MatResult {
+			var acc *matrix.Matrix
+			blk := 0
+			add := func(p *MulPart) {
+				if acc == nil {
+					blk = p.Rows
+					// The result size is unknown until the first part; infer
+					// from the largest block index seen lazily by growing.
+					acc = matrix.New(0, 0)
+				}
+				needed := (maxInt(p.I, p.J) + 1) * blk
+				if acc.Rows < needed {
+					grown := matrix.New(needed, needed)
+					grown.SetBlock(0, 0, acc)
+					acc = grown
+				}
+				for r := 0; r < p.Rows; r++ {
+					dst := acc.Data[(p.I*blk+r)*acc.Cols+p.J*blk : (p.I*blk+r)*acc.Cols+p.J*blk+p.Cols]
+					src := p.Data[r*p.Cols : (r+1)*p.Cols]
+					for x := range dst {
+						dst[x] += src[x]
+					}
+				}
+			}
+			for in, ok := first, true; ok; in, ok = next() {
+				add(in)
+			}
+			return &MatResult{N: acc.Rows, Data: acc.Data}
+		})
+
+	route := opt.Route
+	if route == nil {
+		route = core.ByKey[*MulJob](opt.Name+"-affinity", func(in *MulJob) int { return in.I*31 + in.J })
+	}
+	m.graph, err = app.NewFlowgraph(opt.Name, core.Path(
+		core.NewNode(split, m.master, core.MainRoute()),
+		core.NewNode(mul, m.workers, route),
+		core.NewNode(merge, m.master, core.MainRoute()),
+	))
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run multiplies a and b with splitting factor s. compute=false skips the
+// block kernel (communication-only measurement).
+func (m *Matmul) Run(a, b *matrix.Matrix, s int, compute bool) (*matrix.Matrix, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, fmt.Errorf("parlin: matmul needs equal square matrices")
+	}
+	out, err := m.graph.Call(&MatmulOrder{
+		N: a.Rows, S: s, Compute: compute,
+		A: append([]float64(nil), a.Data...),
+		B: append([]float64(nil), b.Data...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := out.(*MatResult)
+	if res.N != a.Rows {
+		return nil, fmt.Errorf("parlin: result is %dx%d, want %d", res.N, res.N, a.Rows)
+	}
+	return &matrix.Matrix{Rows: res.N, Cols: res.N, Data: res.Data}, nil
+}
+
+// Graph exposes the flow graph (e.g. for DOT export).
+func (m *Matmul) Graph() *core.Flowgraph { return m.graph }
+
+// WorkersCollection exposes the compute thread collection so callers can
+// remap it (e.g. placing workers on nodes distinct from the master).
+func (m *Matmul) WorkersCollection() *core.ThreadCollection { return m.workers }

@@ -1,0 +1,226 @@
+// Package ringbench reproduces the paper's Figure 6 experiment: 100 MB of
+// data forwarded around a ring of 4 nodes, each node re-sending a block as
+// soon as it receives it, comparing
+//
+//   - DPS data objects (full envelope + serialization through the runtime)
+//     against
+//   - raw transfers posted directly on the simulated network,
+//
+// as a function of the single-transfer block size. The DPS control
+// structures induce a relative overhead that matters only for small data
+// objects — the crossover shape this harness regenerates.
+package ringbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serial"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// BlockToken is the payload data object circulating around the DPS ring.
+type BlockToken struct {
+	Seq  int
+	Data []byte
+}
+
+// RingOrder starts a DPS ring run.
+type RingOrder struct {
+	Blocks    int
+	BlockSize int
+}
+
+// RingDone reports the number of forwarded blocks.
+type RingDone struct {
+	Blocks int
+}
+
+var (
+	_ = serial.MustRegister[BlockToken]()
+	_ = serial.MustRegister[RingOrder]()
+	_ = serial.MustRegister[RingDone]()
+)
+
+// Result is one measured configuration.
+type Result struct {
+	BlockSize  int
+	TotalBytes int64
+	Elapsed    time.Duration
+	Throughput float64 // MB/s of payload leaving the first node
+}
+
+// RunDPS measures the DPS ring: a split on node 0 posts the blocks, leaf
+// operations on nodes 1..n-1 forward them, and the merge back on node 0
+// collects them. Pipelining keeps every hop busy, as in the paper's test
+// where "individual machines forward the data as soon as they receive it".
+func RunDPS(cfg simnet.Config, ringNodes, totalBytes, blockSize, window int) (Result, error) {
+	if ringNodes < 2 {
+		return Result{}, fmt.Errorf("ringbench: need at least 2 nodes")
+	}
+	net := simnet.New(cfg)
+	defer net.Close()
+	names := make([]string, ringNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("ring%d", i)
+	}
+	app, err := core.NewSimApp(core.Config{Window: window}, net, names...)
+	if err != nil {
+		return Result{}, err
+	}
+	defer app.Close()
+
+	single := make([]*core.ThreadCollection, ringNodes)
+	for i := range single {
+		tc, err := core.NewCollection[struct{}](app, fmt.Sprintf("hop%d", i))
+		if err != nil {
+			return Result{}, err
+		}
+		if err := tc.MapNodes(names[i]); err != nil {
+			return Result{}, err
+		}
+		single[i] = tc
+	}
+
+	split := core.Split[*RingOrder, *BlockToken]("ring-split",
+		func(c *core.Ctx, in *RingOrder, post func(*BlockToken)) {
+			for i := 0; i < in.Blocks; i++ {
+				post(&BlockToken{Seq: i, Data: make([]byte, in.BlockSize)})
+			}
+		})
+	forward := func(hop int) *core.OpDef {
+		return core.Leaf[*BlockToken, *BlockToken](fmt.Sprintf("ring-forward-%d", hop),
+			func(c *core.Ctx, in *BlockToken) *BlockToken { return in })
+	}
+	merge := core.Merge[*BlockToken, *RingDone]("ring-merge",
+		func(c *core.Ctx, first *BlockToken, next func() (*BlockToken, bool)) *RingDone {
+			n := 0
+			for _, ok := first, true; ok; _, ok = next() {
+				n++
+			}
+			return &RingDone{Blocks: n}
+		})
+
+	nodes := []*core.GraphNode{core.NewNode(split, single[0], core.MainRoute())}
+	for i := 1; i < ringNodes; i++ {
+		nodes = append(nodes, core.NewNode(forward(i), single[i], core.MainRoute()))
+	}
+	nodes = append(nodes, core.NewNode(merge, single[0], core.MainRoute()))
+	g, err := app.NewFlowgraph("ring", core.Path(nodes...))
+	if err != nil {
+		return Result{}, err
+	}
+
+	blocks := totalBytes / blockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	sw := trace.StartStopwatch()
+	out, err := g.Call(&RingOrder{Blocks: blocks, BlockSize: blockSize})
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed := sw.Elapsed()
+	if got := out.(*RingDone).Blocks; got != blocks {
+		return Result{}, fmt.Errorf("ringbench: %d of %d blocks arrived", got, blocks)
+	}
+	total := int64(blocks) * int64(blockSize)
+	return Result{
+		BlockSize:  blockSize,
+		TotalBytes: total,
+		Elapsed:    elapsed,
+		Throughput: trace.ThroughputMBs(total, elapsed),
+	}, nil
+}
+
+// RunRaw measures the same ring using direct sends on the simulated
+// network, without DPS envelopes or serialization — the paper's socket
+// baseline. Each node forwards each block as soon as it arrives.
+func RunRaw(cfg simnet.Config, ringNodes, totalBytes, blockSize int) (Result, error) {
+	if ringNodes < 2 {
+		return Result{}, fmt.Errorf("ringbench: need at least 2 nodes")
+	}
+	net := simnet.New(cfg)
+	defer net.Close()
+	names := make([]string, ringNodes)
+	nodes := make([]*simnet.Node, ringNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("raw%d", i)
+		nd, err := net.AddNode(names[i])
+		if err != nil {
+			return Result{}, err
+		}
+		nodes[i] = nd
+	}
+
+	blocks := totalBytes / blockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	errs := make(chan error, ringNodes)
+	done := make(chan struct{})
+
+	// Forwarders on nodes 1..n-1.
+	for i := 1; i < ringNodes; i++ {
+		go func(i int) {
+			nxt := names[(i+1)%ringNodes]
+			for j := 0; j < blocks; j++ {
+				select {
+				case m := <-nodes[i].Inbox():
+					if err := nodes[i].Send(nxt, m.Payload); err != nil {
+						errs <- err
+						return
+					}
+				case <-nodes[i].Done():
+					errs <- fmt.Errorf("ringbench: node %d shut down", i)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	// Collector back on node 0.
+	go func() {
+		for j := 0; j < blocks; j++ {
+			select {
+			case <-nodes[0].Inbox():
+			case <-nodes[0].Done():
+				errs <- fmt.Errorf("ringbench: collector shut down")
+				return
+			}
+		}
+		close(done)
+		errs <- nil
+	}()
+
+	sw := trace.StartStopwatch()
+	go func() {
+		payload := make([]byte, blockSize)
+		for j := 0; j < blocks; j++ {
+			buf := make([]byte, blockSize)
+			copy(buf, payload)
+			if err := nodes[0].Send(names[1], buf); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+
+	for i := 0; i < ringNodes+1; i++ {
+		if err := <-errs; err != nil {
+			return Result{}, err
+		}
+	}
+	<-done
+	elapsed := sw.Elapsed()
+	total := int64(blocks) * int64(blockSize)
+	return Result{
+		BlockSize:  blockSize,
+		TotalBytes: total,
+		Elapsed:    elapsed,
+		Throughput: trace.ThroughputMBs(total, elapsed),
+	}, nil
+}

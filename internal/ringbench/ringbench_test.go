@@ -1,0 +1,105 @@
+package ringbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// testCfg models a deliberately modest NIC so that the modelled transfer
+// time dominates the runtime's CPU costs even when `go test ./...` runs
+// other timing-heavy packages in parallel on the same machine.
+func testCfg() simnet.Config {
+	return simnet.Config{
+		Bandwidth:  120e6,
+		Latency:    20 * time.Microsecond,
+		PerMessage: 10 * time.Microsecond,
+	}
+}
+
+func TestRunDPSDeliversAllBytes(t *testing.T) {
+	res, err := RunDPS(testCfg(), 4, 1<<20, 64<<10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 1<<20 {
+		t.Fatalf("moved %d bytes", res.TotalBytes)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestRunRawDeliversAllBytes(t *testing.T) {
+	res, err := RunRaw(testCfg(), 4, 1<<20, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 1<<20 {
+		t.Fatalf("moved %d bytes", res.TotalBytes)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestDPSOverheadShrinksWithBlockSize(t *testing.T) {
+	// The paper's Figure 6 shape: DPS control structures hurt mainly for
+	// small data objects; for large blocks DPS approaches the raw rate.
+	cfg := testCfg()
+	const total = 2 << 20
+	smallDPS, err := RunDPS(cfg, 4, total, 1<<10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallRaw, err := RunRaw(cfg, 4, total, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeDPS, err := RunDPS(cfg, 4, total, 256<<10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeRaw, err := RunRaw(cfg, 4, total, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallRatio := smallDPS.Throughput / smallRaw.Throughput
+	largeRatio := largeDPS.Throughput / largeRaw.Throughput
+	// Generous slack: `go test ./...` runs packages in parallel, so other
+	// timing-heavy suites can perturb individual ratios. The paper-scale
+	// sweep in internal/bench (single-process) checks strict monotonicity.
+	if largeRatio < smallRatio*0.7 {
+		t.Fatalf("DPS relative throughput should improve with block size: small %.2f, large %.2f",
+			smallRatio, largeRatio)
+	}
+	if largeRatio < 0.35 {
+		t.Fatalf("DPS large-block throughput too far from raw: ratio %.2f", largeRatio)
+	}
+}
+
+func TestThroughputGrowsWithBlockSize(t *testing.T) {
+	cfg := testCfg()
+	small, err := RunDPS(cfg, 4, 1<<20, 1<<10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunDPS(cfg, 4, 1<<20, 128<<10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Throughput <= small.Throughput {
+		t.Fatalf("throughput should grow with block size: %.1f vs %.1f MB/s",
+			small.Throughput, large.Throughput)
+	}
+}
+
+func TestRejectsTinyRing(t *testing.T) {
+	if _, err := RunDPS(testCfg(), 1, 1024, 256, 8); err == nil {
+		t.Fatal("expected error for 1-node ring")
+	}
+	if _, err := RunRaw(testCfg(), 1, 1024, 256); err == nil {
+		t.Fatal("expected error for 1-node ring")
+	}
+}

@@ -1,0 +1,202 @@
+package serial
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Edge cases of the codec: embedded structs, arrays of structs, nested
+// maps, recursive types via pointers, deep nesting, and special float
+// values — everything a DPS data object may legitimately contain.
+
+type embeddedBase struct {
+	ID int
+}
+
+type withEmbedded struct {
+	embeddedBase // unexported embedded: skipped (field name is lowercase? no: type name)
+	Base         embeddedBase
+	Name         string
+}
+
+type arrayOfStructs struct {
+	Grid [2][3]point
+}
+
+type point struct {
+	X, Y float64
+}
+
+type nestedMaps struct {
+	ByName map[string]map[int]point
+}
+
+type linkedNode struct {
+	Value int
+	Next  *linkedNode
+}
+
+type deepNest struct {
+	A struct {
+		B struct {
+			C struct {
+				D []string
+			}
+		}
+	}
+}
+
+type floatEdge struct {
+	Vals []float64
+	F32  float32
+}
+
+func edgeRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, err := range []error{
+		Register[withEmbedded](r),
+		Register[arrayOfStructs](r),
+		Register[nestedMaps](r),
+		Register[linkedNode](r),
+		Register[deepNest](r),
+		Register[floatEdge](r),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func edgeRoundTrip(t *testing.T, r *Registry, v any) any {
+	t.Helper()
+	b, err := r.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out, n, err := r.Unmarshal(b)
+	if err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	if n != len(b) {
+		t.Fatalf("%T: consumed %d of %d bytes", v, n, len(b))
+	}
+	return out
+}
+
+func TestEmbeddedStruct(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &withEmbedded{Base: embeddedBase{ID: 9}, Name: "emb"}
+	in.embeddedBase.ID = 5 // embedded field is exported through the type
+	out := edgeRoundTrip(t, r, in).(*withEmbedded)
+	if out.Name != "emb" || out.Base.ID != 9 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &arrayOfStructs{}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			in.Grid[i][j] = point{X: float64(i), Y: float64(j) / 3}
+		}
+	}
+	out := edgeRoundTrip(t, r, in).(*arrayOfStructs)
+	if !reflect.DeepEqual(in.Grid, out.Grid) {
+		t.Fatalf("grid differs: %+v", out.Grid)
+	}
+}
+
+func TestNestedMaps(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &nestedMaps{ByName: map[string]map[int]point{
+		"a": {1: {X: 1}, 2: {Y: 2}},
+		"b": {},
+		"c": nil,
+	}}
+	out := edgeRoundTrip(t, r, in).(*nestedMaps)
+	if !reflect.DeepEqual(in.ByName["a"], out.ByName["a"]) {
+		t.Fatalf("map a differs: %+v", out.ByName)
+	}
+	if out.ByName["b"] == nil || len(out.ByName["b"]) != 0 {
+		t.Fatal("empty inner map not preserved")
+	}
+	if out.ByName["c"] != nil {
+		t.Fatal("nil inner map not preserved")
+	}
+}
+
+func TestRecursiveTypeViaPointers(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &linkedNode{Value: 1, Next: &linkedNode{Value: 2, Next: &linkedNode{Value: 3}}}
+	out := edgeRoundTrip(t, r, in).(*linkedNode)
+	vals := []int{}
+	for n := out; n != nil; n = n.Next {
+		vals = append(vals, n.Value)
+	}
+	if !reflect.DeepEqual(vals, []int{1, 2, 3}) {
+		t.Fatalf("chain = %v", vals)
+	}
+}
+
+func TestDeeplyNestedAnonymousStructs(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &deepNest{}
+	in.A.B.C.D = []string{"x", "", "zz"}
+	out := edgeRoundTrip(t, r, in).(*deepNest)
+	if !reflect.DeepEqual(in.A.B.C.D, out.A.B.C.D) {
+		t.Fatalf("got %+v", out.A.B.C.D)
+	}
+}
+
+func TestFloatSpecials(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &floatEdge{
+		Vals: []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+		F32:  float32(math.Inf(-1)),
+	}
+	out := edgeRoundTrip(t, r, in).(*floatEdge)
+	for i, v := range in.Vals {
+		got := out.Vals[i]
+		if math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("val %d: %x != %x", i, math.Float64bits(got), math.Float64bits(v))
+		}
+	}
+	if !math.IsInf(float64(out.F32), -1) {
+		t.Fatalf("F32 = %v", out.F32)
+	}
+}
+
+func TestNaNRoundTrip(t *testing.T) {
+	r := edgeRegistry(t)
+	in := &floatEdge{Vals: []float64{math.NaN()}}
+	out := edgeRoundTrip(t, r, in).(*floatEdge)
+	if !math.IsNaN(out.Vals[0]) {
+		t.Fatalf("NaN lost: %v", out.Vals[0])
+	}
+}
+
+func TestRegistryLenAndNames(t *testing.T) {
+	r := edgeRegistry(t)
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	name, err := r.NameOf(&point{})
+	if err == nil {
+		t.Fatalf("unregistered type resolved to %q", name)
+	}
+	name, err = r.NameOf(&withEmbedded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, ok := r.TypeByName(name)
+	if !ok || typ != reflect.TypeOf(withEmbedded{}) {
+		t.Fatalf("TypeByName(%q) = %v, %v", name, typ, ok)
+	}
+	if _, ok := r.TypeByName("nope"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}

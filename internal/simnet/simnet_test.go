@@ -1,0 +1,247 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fastCfg() Config {
+	return Config{Bandwidth: 0, Latency: 0, PerMessage: 0, TimeScale: 1}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := New(fastCfg())
+	defer n.Close()
+	if _, err := n.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("a"); err == nil {
+		t.Fatal("expected duplicate node error")
+	}
+}
+
+func TestSendDeliver(t *testing.T) {
+	n := New(fastCfg())
+	defer n.Close()
+	a, _ := n.AddNode("a")
+	b, _ := n.AddNode("b")
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if string(m.Payload) != "hello" || m.From != "a" || m.To != "b" {
+			t.Fatalf("bad message %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for delivery")
+	}
+	if got := a.Stats().MsgsSent.Load(); got != 1 {
+		t.Errorf("MsgsSent = %d", got)
+	}
+	if got := b.Stats().BytesReceived.Load(); got != 5 {
+		t.Errorf("BytesReceived = %d", got)
+	}
+}
+
+func TestSendUnknownDestination(t *testing.T) {
+	n := New(fastCfg())
+	defer n.Close()
+	a, _ := n.AddNode("a")
+	if err := a.Send("nope", []byte("x")); err == nil {
+		t.Fatal("expected unknown destination error")
+	}
+}
+
+func TestFIFOPerSenderDestination(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Latency = 200 * time.Microsecond // async latency path must not reorder
+	n := New(cfg)
+	defer n.Close()
+	a, _ := n.AddNode("a")
+	b, _ := n.AddNode("b")
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case m := <-b.Inbox():
+			if m.Payload[0] != byte(i) {
+				t.Fatalf("message %d arrived out of order (got %d)", i, m.Payload[0])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestBandwidthModel(t *testing.T) {
+	// 1 MB at 100 MB/s should take about 10 ms of NIC occupancy.
+	cfg := Config{Bandwidth: 100e6, TimeScale: 1}
+	n := New(cfg)
+	defer n.Close()
+	a, _ := n.AddNode("a")
+	b, _ := n.AddNode("b")
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	const msgs = 5
+	for i := 0; i < msgs; i++ {
+		if err := a.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		select {
+		case <-b.Inbox():
+		case <-time.After(10 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(float64(len(payload)*msgs) / cfg.Bandwidth * float64(time.Second))
+	if elapsed < want*8/10 {
+		t.Fatalf("transfers too fast: %v < %v (bandwidth model not applied)", elapsed, want)
+	}
+	if elapsed > want*5 {
+		t.Fatalf("transfers too slow: %v >> %v", elapsed, want)
+	}
+}
+
+func TestTimeScaleSpeedsUp(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	measure := func(scale float64) time.Duration {
+		cfg := Config{Bandwidth: 50e6, TimeScale: scale}
+		n := New(cfg)
+		defer n.Close()
+		a, _ := n.AddNode("a")
+		b, _ := n.AddNode("b")
+		start := time.Now()
+		for i := 0; i < 3; i++ {
+			if err := a.Send("b", payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			<-b.Inbox()
+		}
+		return time.Since(start)
+	}
+	full := measure(1.0)
+	tenth := measure(0.1)
+	if tenth >= full {
+		t.Fatalf("TimeScale=0.1 (%v) not faster than 1.0 (%v)", tenth, full)
+	}
+}
+
+func TestConcurrentPairsDoNotContend(t *testing.T) {
+	// A switched fabric: a->b and c->d transfer concurrently; total time for
+	// both should be close to the time for one, not double.
+	cfg := Config{Bandwidth: 20e6, TimeScale: 1}
+	payload := make([]byte, 2<<20) // 100 ms each at 20 MB/s
+
+	n := New(cfg)
+	defer n.Close()
+	a, _ := n.AddNode("a")
+	b, _ := n.AddNode("b")
+	c, _ := n.AddNode("c")
+	d, _ := n.AddNode("d")
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = a.Send("b", payload); <-b.Inbox() }()
+	go func() { defer wg.Done(); _ = c.Send("d", payload); <-d.Inbox() }()
+	wg.Wait()
+	elapsed := time.Since(start)
+	one := time.Duration(float64(len(payload)) / cfg.Bandwidth * float64(time.Second))
+	if elapsed > one*17/10 {
+		t.Fatalf("independent pairs appear serialized: %v vs single-transfer %v", elapsed, one)
+	}
+}
+
+func TestEgressSerializesSameSender(t *testing.T) {
+	// Two messages from the same node must be serialized on its NIC.
+	cfg := Config{Bandwidth: 20e6, TimeScale: 1}
+	payload := make([]byte, 2<<20)
+	n := New(cfg)
+	defer n.Close()
+	a, _ := n.AddNode("a")
+	b, _ := n.AddNode("b")
+	c, _ := n.AddNode("c")
+	start := time.Now()
+	_ = a.Send("b", payload)
+	_ = a.Send("c", payload)
+	<-b.Inbox()
+	<-c.Inbox()
+	elapsed := time.Since(start)
+	one := time.Duration(float64(len(payload)) / cfg.Bandwidth * float64(time.Second))
+	if elapsed < one*18/10 {
+		t.Fatalf("same-sender messages not serialized: %v < 2x %v", elapsed, one)
+	}
+}
+
+func TestCloseIdempotentAndRejectsSends(t *testing.T) {
+	n := New(fastCfg())
+	a, _ := n.AddNode("a")
+	_, _ = n.AddNode("b")
+	n.Close()
+	n.Close()
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("expected send on closed node to fail")
+	}
+	if _, err := n.AddNode("c"); err == nil {
+		t.Fatal("expected AddNode on closed network to fail")
+	}
+}
+
+func TestManyNodesBroadcast(t *testing.T) {
+	n := New(fastCfg())
+	defer n.Close()
+	const nodes = 8
+	all := make([]*Node, nodes)
+	for i := range all {
+		nd, err := n.AddNode(fmt.Sprintf("n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all[i] = nd
+	}
+	if got := len(n.Nodes()); got != nodes {
+		t.Fatalf("Nodes() = %d", got)
+	}
+	// Every node sends to every other node.
+	for _, src := range all {
+		for _, dst := range all {
+			if src == dst {
+				continue
+			}
+			if err := src.Send(dst.Name(), []byte(src.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, dst := range all {
+		for i := 0; i < nodes-1; i++ {
+			select {
+			case <-dst.Inbox():
+			case <-time.After(5 * time.Second):
+				t.Fatalf("node %s timed out", dst.Name())
+			}
+		}
+	}
+}
+
+func TestGigabitPresetSane(t *testing.T) {
+	cfg := GigabitEthernet()
+	if cfg.Bandwidth <= 0 || cfg.Latency <= 0 || cfg.PerMessage <= 0 {
+		t.Fatalf("preset has zero fields: %+v", cfg)
+	}
+	if fe := FastEthernet(); fe.Bandwidth >= cfg.Bandwidth {
+		t.Fatal("FastEthernet should be slower than GigabitEthernet")
+	}
+}

@@ -1,0 +1,365 @@
+// Package stripefs implements the parallel striped file system of the
+// paper's runtime-environment scenario (Figure 5): a DPS application that
+// stores files striped across the cluster nodes and exposes read and write
+// flow graphs as parallel services callable by other DPS applications.
+//
+// The paper's first-generation system served out-of-core 3D image access
+// and streaming media from striped files; this package provides the same
+// access pattern — stripe-parallel writes and reads with the merge
+// reassembling byte ranges — over an in-memory store per node (a real
+// deployment would back each stripe store with a local disk).
+package stripefs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/serial"
+)
+
+// WriteReq stores a file: the payload is striped over the storage threads
+// in StripeSize chunks.
+type WriteReq struct {
+	Name       string
+	StripeSize int
+	Data       []byte
+}
+
+// WriteAck confirms a write.
+type WriteAck struct {
+	Name    string
+	Size    int
+	Stripes int
+}
+
+// ReadReq reads Length bytes starting at Offset from a stored file.
+type ReadReq struct {
+	Name   string
+	Offset int
+	Length int
+}
+
+// ReadResp carries the requested byte range.
+type ReadResp struct {
+	Name string
+	Data []byte
+}
+
+// StatReq asks for file metadata.
+type StatReq struct {
+	Name string
+}
+
+// StatResp reports metadata (Size < 0 when the file does not exist).
+type StatResp struct {
+	Name       string
+	Size       int
+	StripeSize int
+}
+
+// stripePut is one stripe travelling to its storage thread.
+type stripePut struct {
+	Name       string
+	Index      int
+	StripeSize int
+	FileSize   int
+	Data       []byte
+}
+
+// stripeAck confirms one stored stripe.
+type stripeAck struct {
+	Name  string
+	Index int
+}
+
+// stripeGet requests a byte range within one stripe.
+type stripeGet struct {
+	Name   string
+	Index  int
+	Start  int // offset within the stripe
+	Length int
+	Pos    int // position within the reassembled response
+}
+
+// stripeData returns stripe bytes.
+type stripeData struct {
+	Pos  int
+	Data []byte
+}
+
+var (
+	_ = serial.MustRegister[WriteReq]()
+	_ = serial.MustRegister[WriteAck]()
+	_ = serial.MustRegister[ReadReq]()
+	_ = serial.MustRegister[ReadResp]()
+	_ = serial.MustRegister[StatReq]()
+	_ = serial.MustRegister[StatResp]()
+	_ = serial.MustRegister[stripePut]()
+	_ = serial.MustRegister[stripeAck]()
+	_ = serial.MustRegister[stripeGet]()
+	_ = serial.MustRegister[stripeData]()
+)
+
+// storeState is one storage thread's stripe store.
+type storeState struct {
+	stripes map[string]map[int][]byte // name -> stripe index -> bytes
+	meta    map[string]fileMeta
+}
+
+type fileMeta struct {
+	size       int
+	stripeSize int
+}
+
+func (st *storeState) init() {
+	if st.stripes == nil {
+		st.stripes = make(map[string]map[int][]byte)
+		st.meta = make(map[string]fileMeta)
+	}
+}
+
+// FS is a running striped file system application.
+type FS struct {
+	app    *core.App
+	name   string
+	master *core.ThreadCollection
+	stores *core.ThreadCollection
+
+	write *core.Flowgraph
+	read  *core.Flowgraph
+	stat  *core.Flowgraph
+
+	// catalog mirrors file metadata on the master so read splits can plan
+	// stripe requests without a round trip.
+	catalog map[string]fileMeta
+}
+
+// Options configures the file system.
+type Options struct {
+	// Name prefixes the collections and graphs.
+	Name string
+	// Stores is the number of storage threads (default: one per node).
+	Stores int
+}
+
+// New builds the striped file system's graphs on the application.
+func New(app *core.App, opt Options) (*FS, error) {
+	if opt.Name == "" {
+		opt.Name = "stripefs"
+	}
+	if opt.Stores <= 0 {
+		opt.Stores = len(app.NodeNames())
+	}
+	fs := &FS{app: app, name: opt.Name, catalog: make(map[string]fileMeta)}
+	var err error
+	if fs.master, err = core.NewCollection[struct{}](app, opt.Name+"-master"); err != nil {
+		return nil, err
+	}
+	if err = fs.master.MapNodes(app.MasterNode()); err != nil {
+		return nil, err
+	}
+	if fs.stores, err = core.NewCollection[storeState](app, opt.Name+"-stores"); err != nil {
+		return nil, err
+	}
+	if err = fs.stores.MapRoundRobin(opt.Stores); err != nil {
+		return nil, err
+	}
+	if err := fs.buildGraphs(opt.Stores); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (fs *FS) ownerOf(stripe int) int { return stripe % fs.stores.ThreadCount() }
+
+func (fs *FS) buildGraphs(stores int) error {
+	toStripe := core.ByKey[*stripePut](fs.name+"-to-put", func(in *stripePut) int { return fs.ownerOf(in.Index) })
+	toGet := core.ByKey[*stripeGet](fs.name+"-to-get", func(in *stripeGet) int { return fs.ownerOf(in.Index) })
+
+	// --- write graph -----------------------------------------------------
+	writeSplit := core.Split[*WriteReq, *stripePut](fs.name+"-write-split",
+		func(c *core.Ctx, in *WriteReq, post func(*stripePut)) {
+			if in.StripeSize <= 0 {
+				panic(fmt.Sprintf("stripefs: stripe size %d", in.StripeSize))
+			}
+			n := 0
+			for off := 0; ; off += in.StripeSize {
+				end := off + in.StripeSize
+				if end > len(in.Data) {
+					end = len(in.Data)
+				}
+				chunk := append([]byte(nil), in.Data[off:end]...)
+				post(&stripePut{
+					Name: in.Name, Index: n,
+					StripeSize: in.StripeSize, FileSize: len(in.Data),
+					Data: chunk,
+				})
+				n++
+				if end == len(in.Data) {
+					break
+				}
+			}
+		})
+	putLeaf := core.Leaf[*stripePut, *stripeAck](fs.name+"-put",
+		func(c *core.Ctx, in *stripePut) *stripeAck {
+			st := core.StateOf[storeState](c)
+			st.init()
+			if st.stripes[in.Name] == nil {
+				st.stripes[in.Name] = make(map[int][]byte)
+			}
+			st.stripes[in.Name][in.Index] = in.Data
+			st.meta[in.Name] = fileMeta{size: in.FileSize, stripeSize: in.StripeSize}
+			return &stripeAck{Name: in.Name, Index: in.Index}
+		})
+	writeMerge := core.Merge[*stripeAck, *WriteAck](fs.name+"-write-merge",
+		func(c *core.Ctx, first *stripeAck, next func() (*stripeAck, bool)) *WriteAck {
+			ack := &WriteAck{Name: first.Name}
+			for _, ok := first, true; ok; _, ok = next() {
+				ack.Stripes++
+			}
+			return ack
+		})
+	var err error
+	fs.write, err = fs.app.NewFlowgraph(fs.name+"-write", core.Path(
+		core.NewNode(writeSplit, fs.master, core.MainRoute()),
+		core.NewNode(putLeaf, fs.stores, toStripe),
+		core.NewNode(writeMerge, fs.master, core.MainRoute()),
+	))
+	if err != nil {
+		return err
+	}
+
+	// --- read graph --------------------------------------------------------
+	readSplit := core.Split[*ReadReq, *stripeGet](fs.name+"-read-split",
+		func(c *core.Ctx, in *ReadReq, post func(*stripeGet)) {
+			meta, ok := fs.catalog[in.Name]
+			if !ok {
+				panic(fmt.Sprintf("stripefs: unknown file %q", in.Name))
+			}
+			off, length := in.Offset, in.Length
+			if off < 0 || length < 0 || off+length > meta.size {
+				panic(fmt.Sprintf("stripefs: range [%d,%d) outside file %q of %d bytes",
+					off, off+length, in.Name, meta.size))
+			}
+			if length == 0 {
+				// Still need one token for the merge; read zero bytes from
+				// the stripe containing the offset.
+				post(&stripeGet{Name: in.Name, Index: off / meta.stripeSize, Start: off % meta.stripeSize, Length: 0, Pos: 0})
+				return
+			}
+			pos := 0
+			for length > 0 {
+				idx := off / meta.stripeSize
+				start := off % meta.stripeSize
+				take := meta.stripeSize - start
+				if take > length {
+					take = length
+				}
+				post(&stripeGet{Name: in.Name, Index: idx, Start: start, Length: take, Pos: pos})
+				off += take
+				length -= take
+				pos += take
+			}
+		})
+	getLeaf := core.Leaf[*stripeGet, *stripeData](fs.name+"-get",
+		func(c *core.Ctx, in *stripeGet) *stripeData {
+			st := core.StateOf[storeState](c)
+			st.init()
+			stripe, ok := st.stripes[in.Name][in.Index]
+			if !ok {
+				panic(fmt.Sprintf("stripefs: stripe %d of %q missing on its store", in.Index, in.Name))
+			}
+			if in.Start+in.Length > len(stripe) {
+				panic(fmt.Sprintf("stripefs: range [%d,%d) outside stripe of %d bytes",
+					in.Start, in.Start+in.Length, len(stripe)))
+			}
+			return &stripeData{Pos: in.Pos, Data: append([]byte(nil), stripe[in.Start:in.Start+in.Length]...)}
+		})
+	readMerge := core.Merge[*stripeData, *ReadResp](fs.name+"-read-merge",
+		func(c *core.Ctx, first *stripeData, next func() (*stripeData, bool)) *ReadResp {
+			parts := []*stripeData{}
+			total := 0
+			for in, ok := first, true; ok; in, ok = next() {
+				parts = append(parts, in)
+				if in.Pos+len(in.Data) > total {
+					total = in.Pos + len(in.Data)
+				}
+			}
+			out := make([]byte, total)
+			for _, p := range parts {
+				copy(out[p.Pos:], p.Data)
+			}
+			return &ReadResp{Data: out}
+		})
+	fs.read, err = fs.app.NewFlowgraph(fs.name+"-read", core.Path(
+		core.NewNode(readSplit, fs.master, core.MainRoute()),
+		core.NewNode(getLeaf, fs.stores, toGet),
+		core.NewNode(readMerge, fs.master, core.MainRoute()),
+	))
+	if err != nil {
+		return err
+	}
+
+	// --- stat graph ---------------------------------------------------------
+	statLeaf := core.Leaf[*StatReq, *StatResp](fs.name+"-stat",
+		func(c *core.Ctx, in *StatReq) *StatResp {
+			meta, ok := fs.catalog[in.Name]
+			if !ok {
+				return &StatResp{Name: in.Name, Size: -1}
+			}
+			return &StatResp{Name: in.Name, Size: meta.size, StripeSize: meta.stripeSize}
+		})
+	fs.stat, err = fs.app.NewFlowgraph(fs.name+"-stat", core.Path(
+		core.NewNode(statLeaf, fs.master, core.MainRoute()),
+	))
+	return err
+}
+
+// Write stores a file striped across the storage threads.
+func (fs *FS) Write(name string, data []byte, stripeSize int) error {
+	if stripeSize <= 0 {
+		return fmt.Errorf("stripefs: stripe size must be positive")
+	}
+	out, err := fs.write.Call(&WriteReq{Name: name, StripeSize: stripeSize, Data: data})
+	if err != nil {
+		return err
+	}
+	ack := out.(*WriteAck)
+	// The master's catalog is updated after the parallel write completed.
+	fs.catalog[name] = fileMeta{size: len(data), stripeSize: stripeSize}
+	want := (len(data) + stripeSize - 1) / stripeSize
+	if want == 0 {
+		want = 1
+	}
+	if ack.Stripes != want {
+		return fmt.Errorf("stripefs: %d of %d stripes acknowledged", ack.Stripes, want)
+	}
+	return nil
+}
+
+// Read returns length bytes from offset of a stored file, gathered in
+// parallel from the stripe stores.
+func (fs *FS) Read(name string, offset, length int) ([]byte, error) {
+	out, err := fs.read.Call(&ReadReq{Name: name, Offset: offset, Length: length})
+	if err != nil {
+		return nil, err
+	}
+	return out.(*ReadResp).Data, nil
+}
+
+// Stat reports a file's size and stripe size (size -1 if absent).
+func (fs *FS) Stat(name string) (size, stripeSize int, err error) {
+	out, err := fs.stat.Call(&StatReq{Name: name})
+	if err != nil {
+		return 0, 0, err
+	}
+	resp := out.(*StatResp)
+	return resp.Size, resp.StripeSize, nil
+}
+
+// ReadGraph exposes the parallel read service for other applications
+// (Figure 5: user applications calling the striped file services).
+func (fs *FS) ReadGraph() *core.Flowgraph { return fs.read }
+
+// WriteGraph exposes the parallel write service.
+func (fs *FS) WriteGraph() *core.Flowgraph { return fs.write }

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSamplesMedianOdd(t *testing.T) {
+	var s Samples
+	for _, v := range []time.Duration{5, 1, 3} {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 3 {
+		t.Fatalf("median = %d", got)
+	}
+}
+
+func TestSamplesMedianEven(t *testing.T) {
+	var s Samples
+	for _, v := range []time.Duration{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 25 {
+		t.Fatalf("median = %d", got)
+	}
+}
+
+func TestSamplesEmpty(t *testing.T) {
+	var s Samples
+	if s.Median() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Len() != 0 {
+		t.Fatal("empty samples should report zeros")
+	}
+}
+
+func TestSamplesMinMaxMean(t *testing.T) {
+	var s Samples
+	for _, v := range []time.Duration{8, 2, 6} {
+		s.Add(v)
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("min/max = %d/%d", s.Min(), s.Max())
+	}
+	if got := s.Mean(); got != 5333333333/time.Duration(1e9) && got != 5 {
+		// (8+2+6)/3 = 5 (integer division of durations)
+		if got != 5 {
+			t.Fatalf("mean = %d", got)
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i))
+	}
+	if s.Percentile(0) != 1 {
+		t.Fatalf("p0 = %d", s.Percentile(0))
+	}
+	if s.Percentile(100) != 100 {
+		t.Fatalf("p100 = %d", s.Percentile(100))
+	}
+	p90 := s.Percentile(90)
+	if p90 < 85 || p90 > 95 {
+		t.Fatalf("p90 = %d", p90)
+	}
+}
+
+func TestQuickMedianWithinRange(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Samples
+		min, max := time.Duration(vals[0]), time.Duration(vals[0])
+		for _, v := range vals {
+			d := time.Duration(v)
+			s.Add(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		m := s.Median()
+		return m >= min && m <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputMBs(t *testing.T) {
+	if got := ThroughputMBs(100e6, time.Second); got != 100 {
+		t.Fatalf("got %g", got)
+	}
+	if got := ThroughputMBs(1e6, 0); got != 0 {
+		t.Fatalf("zero duration should yield 0, got %g", got)
+	}
+	if got := ThroughputMBs(50e6, 500*time.Millisecond); got != 100 {
+		t.Fatalf("got %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: all data lines equal length.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRowf("%d %s %.1f", 1, "x", 2.5)
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 3 || tb.Rows[0][2] != "2.5" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := StartStopwatch()
+	time.Sleep(10 * time.Millisecond)
+	if el := sw.Elapsed(); el < 5*time.Millisecond {
+		t.Fatalf("elapsed %v too small", el)
+	}
+}

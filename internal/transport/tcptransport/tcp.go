@@ -1,0 +1,283 @@
+// Package tcptransport implements the transport.Transport interface over
+// real TCP sockets (stdlib net), reproducing the communication layer of the
+// paper's runtime: kernels are named independently of host names, connections
+// are opened lazily when the first data object must reach a node, and each
+// established connection carries length-prefixed frames in FIFO order.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Resolver maps a node name to a dialable TCP address. The kernel name
+// server provides one; tests can use a static map.
+type Resolver func(name string) (addr string, err error)
+
+// StaticResolver resolves from a fixed name→address table.
+func StaticResolver(table map[string]string) Resolver {
+	return func(name string) (string, error) {
+		addr, ok := table[name]
+		if !ok {
+			return "", fmt.Errorf("tcptransport: unknown node %q", name)
+		}
+		return addr, nil
+	}
+}
+
+// Node is one TCP-attached cluster endpoint.
+type Node struct {
+	name     string
+	listener net.Listener
+	resolve  Resolver
+
+	mu      sync.Mutex
+	handler transport.Handler
+	conns   map[string]*conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type conn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+}
+
+// Listen starts a node listening on addr (e.g. "127.0.0.1:0"). The returned
+// node's Addr method reports the bound address for registration with a name
+// server.
+func Listen(name, addr string, resolve Resolver) (*Node, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		name:     name,
+		listener: l,
+		resolve:  resolve,
+		conns:    make(map[string]*conn),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the listening address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// Local implements transport.Transport.
+func (n *Node) Local() string { return n.name }
+
+// SetHandler implements transport.Transport.
+func (n *Node) SetHandler(h transport.Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(c)
+		}()
+	}
+}
+
+// serveConn handles one inbound connection: the peer first sends its name,
+// then a stream of frames.
+func (n *Node) serveConn(c net.Conn) {
+	peer, err := readFrame(c)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	peerName := string(peer)
+	// Remember the inbound connection for replies, so two nodes exchanging
+	// traffic need only one socket pair (as with the paper's on-demand TCP
+	// connections).
+	n.mu.Lock()
+	if _, exists := n.conns[peerName]; !exists {
+		n.conns[peerName] = &conn{c: c}
+	}
+	n.mu.Unlock()
+	for {
+		payload, err := readFrame(c)
+		if err != nil {
+			n.dropConn(peerName, c)
+			return
+		}
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			h(peerName, payload)
+		}
+	}
+}
+
+func (n *Node) dropConn(peer string, c net.Conn) {
+	_ = c.Close()
+	n.mu.Lock()
+	if cc, ok := n.conns[peer]; ok && cc.c == c {
+		delete(n.conns, peer)
+	}
+	n.mu.Unlock()
+}
+
+// Send implements transport.Transport, dialing the destination lazily on
+// first use.
+func (n *Node) Send(dst string, payload []byte) error {
+	cc, err := n.connTo(dst)
+	if err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := writeFrame(cc.c, payload); err != nil {
+		n.dropConn(dst, cc.c)
+		return err
+	}
+	return nil
+}
+
+func (n *Node) connTo(dst string) (*conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("tcptransport: node closed")
+	}
+	if cc, ok := n.conns[dst]; ok {
+		n.mu.Unlock()
+		return cc, nil
+	}
+	n.mu.Unlock()
+
+	addr, err := n.resolve(dst)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: dial %s (%s): %w", dst, addr, err)
+	}
+	if err := writeFrame(c, []byte(n.name)); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+
+	n.mu.Lock()
+	if existing, ok := n.conns[dst]; ok {
+		// Lost the race with a concurrent dial or an inbound connection.
+		n.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	cc := &conn{c: c}
+	n.conns[dst] = cc
+	n.mu.Unlock()
+
+	// Read frames arriving on the outbound connection too (the peer may
+	// reply on it rather than dialing back).
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			payload, err := readFrame(c)
+			if err != nil {
+				n.dropConn(dst, c)
+				return
+			}
+			n.mu.Lock()
+			h := n.handler
+			n.mu.Unlock()
+			if h != nil {
+				h(dst, payload)
+			}
+		}
+	}()
+	return cc, nil
+}
+
+// Close implements transport.Transport.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*conn, 0, len(n.conns))
+	for _, cc := range n.conns {
+		conns = append(conns, cc)
+	}
+	n.conns = make(map[string]*conn)
+	n.mu.Unlock()
+	err := n.listener.Close()
+	for _, cc := range conns {
+		_ = cc.c.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+var _ transport.Transport = (*Node)(nil)
+
+const maxFrame = 1 << 30
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:hn]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	br := byteReaderFor(r)
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrame {
+		return nil, fmt.Errorf("tcptransport: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// singleByteReader adapts an io.Reader to io.ByteReader without buffering
+// (we must not read ahead past the varint header).
+type singleByteReader struct{ r io.Reader }
+
+func (s singleByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func byteReaderFor(r io.Reader) io.ByteReader {
+	if br, ok := r.(io.ByteReader); ok {
+		return br
+	}
+	return singleByteReader{r: r}
+}

@@ -1,0 +1,217 @@
+package tcptransport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startPair(t *testing.T) (*Node, *Node) {
+	t.Helper()
+	table := map[string]string{}
+	resolver := StaticResolver(table)
+	a, err := Listen("a", "127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("b", "127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table["a"] = a.Addr()
+	table["b"] = b.Addr()
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a, b
+}
+
+func TestSendReceive(t *testing.T) {
+	a, b := startPair(t)
+	got := make(chan string, 1)
+	b.SetHandler(func(src string, payload []byte) { got <- src + ":" + string(payload) })
+	a.SetHandler(func(src string, payload []byte) {})
+	if err := a.Send("b", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m != "a:over tcp" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestBidirectionalSingleConnection(t *testing.T) {
+	a, b := startPair(t)
+	fromA := make(chan []byte, 10)
+	fromB := make(chan []byte, 10)
+	a.SetHandler(func(src string, payload []byte) { fromB <- payload })
+	b.SetHandler(func(src string, payload []byte) { fromA <- payload })
+
+	if err := a.Send("b", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-fromA:
+		if string(m) != "ping" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting at b")
+	}
+	// Reply should reuse the inbound connection (no dial of a needed: remove
+	// a from the resolver table to prove it).
+	if err := b.Send("a", []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-fromB:
+		if string(m) != "pong" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting at a")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	a, b := startPair(t)
+	const count = 500
+	got := make(chan int, count)
+	b.SetHandler(func(src string, payload []byte) { got <- int(payload[0])<<8 | int(payload[1]) })
+	a.SetHandler(func(src string, payload []byte) {})
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte{byte(i >> 8), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("out of order: got %d want %d", v, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	a, b := startPair(t)
+	payload := bytes.Repeat([]byte{0xAB}, 4<<20)
+	got := make(chan []byte, 1)
+	b.SetHandler(func(src string, p []byte) { got <- p })
+	a.SetHandler(func(src string, payload []byte) {})
+	if err := a.Send("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if !bytes.Equal(p, payload) {
+			t.Fatal("payload corrupted")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	a, _ := startPair(t)
+	if err := a.Send("ghost", []byte("x")); err == nil {
+		t.Fatal("expected resolve error")
+	}
+}
+
+func TestConcurrentSendersOneDest(t *testing.T) {
+	table := map[string]string{}
+	resolver := StaticResolver(table)
+	dst, err := Listen("dst", "127.0.0.1:0", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	table["dst"] = dst.Addr()
+
+	const senders = 6
+	const per = 100
+	var mu sync.Mutex
+	counts := map[string]int{}
+	done := make(chan struct{})
+	total := 0
+	dst.SetHandler(func(src string, payload []byte) {
+		mu.Lock()
+		counts[src]++
+		total++
+		if total == senders*per {
+			close(done)
+		}
+		mu.Unlock()
+	})
+
+	// Register every sender before any goroutine starts: the resolver
+	// closure reads the table concurrently once sends begin.
+	nodes := make([]*Node, senders)
+	for i := 0; i < senders; i++ {
+		name := fmt.Sprintf("s%d", i)
+		n, err := Listen(name, "127.0.0.1:0", resolver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		table[name] = n.Addr()
+		nodes[i] = n
+	}
+	for _, n := range nodes {
+		go func(n *Node) {
+			for j := 0; j < per; j++ {
+				if err := n.Send("dst", []byte("m")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("timeout: %d received", total)
+	}
+	for src, c := range counts {
+		if c != per {
+			t.Errorf("%s: %d messages, want %d", src, c, per)
+		}
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, _ := startPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("expected error after close")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("a"), bytes.Repeat([]byte("xyz"), 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("got %q want %q", got, p)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package transport defines the byte-level communication layer the DPS
+// runtime sits on. The paper's runtime performs communications over TCP
+// sockets, bypassing the network layer for same-address-space transfers;
+// this package generalizes that into a small interface with three
+// implementations:
+//
+//   - Inproc: all nodes in one process, direct handoff (unit tests, local mode);
+//   - Sim (package simtransport): virtual cluster over internal/simnet
+//     (the experiment substrate);
+//   - TCP (package tcptransport): real sockets via net, used by the kernel
+//     runtime (cmd/dps-kernel).
+//
+// A Transport instance represents one node's attachment point. Handlers are
+// invoked sequentially per source (FIFO per sender), mirroring TCP stream
+// ordering assumed by the DPS controller.
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Handler consumes an incoming message from a peer node.
+type Handler func(src string, payload []byte)
+
+// Transport is one node's attachment to the cluster fabric.
+type Transport interface {
+	// Local returns this node's cluster-unique name.
+	Local() string
+	// Send transmits payload to the named peer. It may buffer; delivery is
+	// asynchronous but FIFO per (sender, destination) pair. The payload must
+	// not be modified after the call.
+	Send(dst string, payload []byte) error
+	// SetHandler installs the receive callback. Must be called before any
+	// peer sends to this node.
+	SetHandler(h Handler)
+	// Close detaches the node.
+	Close() error
+}
+
+// Inproc is an in-process fabric connecting any number of nodes with direct
+// (cost-free) delivery. It preserves per-sender FIFO by running one delivery
+// goroutine per node.
+type Inproc struct {
+	mu    sync.RWMutex
+	nodes map[string]*InprocNode
+}
+
+// NewInproc creates an empty in-process fabric.
+func NewInproc() *Inproc {
+	return &Inproc{nodes: make(map[string]*InprocNode)}
+}
+
+// InprocNode is one endpoint of an Inproc fabric.
+type InprocNode struct {
+	fabric *Inproc
+	name   string
+
+	mu      sync.Mutex
+	handler Handler
+	queue   chan inMsg
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+type inMsg struct {
+	src     string
+	payload []byte
+}
+
+// Node attaches a new named endpoint.
+func (f *Inproc) Node(name string) (*InprocNode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[name]; ok {
+		return nil, fmt.Errorf("transport: duplicate inproc node %q", name)
+	}
+	n := &InprocNode{
+		fabric: f,
+		name:   name,
+		queue:  make(chan inMsg, 4096),
+		done:   make(chan struct{}),
+	}
+	f.nodes[name] = n
+	n.wg.Add(1)
+	go n.loop()
+	return n, nil
+}
+
+// Close shuts down every node of the fabric.
+func (f *Inproc) Close() {
+	f.mu.Lock()
+	nodes := make([]*InprocNode, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.mu.Unlock()
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+}
+
+func (n *InprocNode) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case m := <-n.queue:
+			n.mu.Lock()
+			h := n.handler
+			n.mu.Unlock()
+			if h != nil {
+				h(m.src, m.payload)
+			}
+		case <-n.done:
+			for {
+				select {
+				case m := <-n.queue:
+					n.mu.Lock()
+					h := n.handler
+					n.mu.Unlock()
+					if h != nil {
+						h(m.src, m.payload)
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Local implements Transport.
+func (n *InprocNode) Local() string { return n.name }
+
+// SetHandler implements Transport.
+func (n *InprocNode) SetHandler(h Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+// Send implements Transport.
+func (n *InprocNode) Send(dst string, payload []byte) error {
+	n.fabric.mu.RLock()
+	peer, ok := n.fabric.nodes[dst]
+	n.fabric.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown inproc node %q", dst)
+	}
+	select {
+	case peer.queue <- inMsg{src: n.name, payload: payload}:
+		return nil
+	case <-peer.done:
+		return fmt.Errorf("transport: inproc node %q closed", dst)
+	}
+}
+
+// Close implements Transport.
+func (n *InprocNode) Close() error {
+	n.once.Do(func() {
+		close(n.done)
+		n.wg.Wait()
+		n.fabric.mu.Lock()
+		delete(n.fabric.nodes, n.name)
+		n.fabric.mu.Unlock()
+	})
+	return nil
+}
+
+var _ Transport = (*InprocNode)(nil)

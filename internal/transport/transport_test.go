@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func collectInto(t *testing.T, n Transport, out chan<- string) {
+	t.Helper()
+	n.SetHandler(func(src string, payload []byte) {
+		out <- src + ":" + string(payload)
+	})
+}
+
+func TestInprocSendReceive(t *testing.T) {
+	f := NewInproc()
+	defer f.Close()
+	a, err := f.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Node("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1)
+	collectInto(t, b, got)
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m != "a:hi" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestInprocDuplicateName(t *testing.T) {
+	f := NewInproc()
+	defer f.Close()
+	if _, err := f.Node("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Node("a"); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestInprocUnknownDest(t *testing.T) {
+	f := NewInproc()
+	defer f.Close()
+	a, _ := f.Node("a")
+	if err := a.Send("ghost", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInprocFIFO(t *testing.T) {
+	f := NewInproc()
+	defer f.Close()
+	a, _ := f.Node("a")
+	b, _ := f.Node("b")
+	const count = 1000
+	got := make(chan string, count)
+	collectInto(t, b, got)
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case m := <-got:
+			if want := fmt.Sprintf("a:%d", i); m != want {
+				t.Fatalf("out of order: got %q want %q", m, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestInprocConcurrentSenders(t *testing.T) {
+	f := NewInproc()
+	defer f.Close()
+	dst, _ := f.Node("dst")
+	const senders = 8
+	const per = 200
+	var mu sync.Mutex
+	counts := make(map[string]int)
+	done := make(chan struct{})
+	total := 0
+	dst.SetHandler(func(src string, payload []byte) {
+		mu.Lock()
+		counts[src]++
+		total++
+		if total == senders*per {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < senders; i++ {
+		n, err := f.Node(fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(n *InprocNode) {
+			for j := 0; j < per; j++ {
+				_ = n.Send("dst", []byte("x"))
+			}
+		}(n)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timeout: got %d messages", total)
+	}
+	for src, c := range counts {
+		if c != per {
+			t.Errorf("sender %s delivered %d messages, want %d", src, c, per)
+		}
+	}
+}
+
+func TestSimNodeTransport(t *testing.T) {
+	net := simnet.New(simnet.Config{TimeScale: 1})
+	defer net.Close()
+	na, err := net.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := net.AddNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSimNode(na)
+	b := NewSimNode(nb)
+	if a.Local() != "a" || b.Local() != "b" {
+		t.Fatal("bad names")
+	}
+	got := make(chan string, 1)
+	b.SetHandler(func(src string, payload []byte) { got <- src + ":" + string(payload) })
+	// SetHandler on sender too, to start its pump symmetric.
+	a.SetHandler(func(src string, payload []byte) {})
+	if err := a.Send("b", []byte("sim")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m != "a:sim" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestInprocCloseIdempotent(t *testing.T) {
+	f := NewInproc()
+	a, _ := f.Node("a")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Name can be reused after close.
+	if _, err := f.Node("a"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
