@@ -70,7 +70,7 @@ func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, 
 		}
 	}
 	count := entryNode.tc.ThreadCount()
-	ct := rt.tracker(g.name, g.entry)
+	ct := rt.tracker(g.name, g.entry, count)
 	thread := entryNode.route.pick(tok, RouteCtx{ThreadCount: count, Seq: 0, Outstanding: ct.outstanding})
 	if thread < 0 || thread >= count {
 		return nil, fmt.Errorf("dps: graph %q: entry route %q returned thread %d of %d", g.name, entryNode.route.Name(), thread, count)
@@ -80,16 +80,15 @@ func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, 
 		return nil, err
 	}
 	id, ch := app.registerCall()
-	env := &envelope{
-		Graph:      g.name,
-		Node:       g.entry,
-		Thread:     thread,
-		CallID:     id,
-		CallOrigin: origin,
-		LastWorker: -1,
-		CreditNode: -1,
-		Token:      tok,
-	}
+	env := getEnvelope()
+	env.Graph = g.name
+	env.Node = g.entry
+	env.Thread = thread
+	env.CallID = id
+	env.CallOrigin = origin
+	env.LastWorker = -1
+	env.CreditNode = -1
+	env.Token = tok
 	if err := rt.sendSafe(env, target); err != nil {
 		app.completeCall(id, CallResult{Err: err})
 	}

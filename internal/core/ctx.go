@@ -21,6 +21,27 @@ type Ctx struct {
 	sg      *splitGroup // group opened by this split/stream execution
 	mg      *mergeGroup // group consumed by this merge/stream execution
 	postSeq int
+
+	// drainer is true while the goroutine executing this operation holds
+	// its thread instance's queue-drainer role. The first time the
+	// operation blocks it hands the role off (see yieldInstLock) so queued
+	// executions keep flowing, exactly as the seed's goroutine-per-token
+	// scheme allowed.
+	drainer bool
+}
+
+// yieldInstLock releases the thread's FIFO execution lock because the
+// operation is about to block, first handing off the dispatch-drainer role
+// if this goroutine holds it. Every blocking point (flow-controlled posts,
+// merge next, nested graph calls) must use this instead of unlocking
+// directly; the matching reacquire is a plain inst.lock.lock(), which
+// deliberately does not re-take the drainer role.
+func (c *Ctx) yieldInstLock() {
+	if c.drainer {
+		c.drainer = false
+		c.inst.relinquishDrainer(c.rt)
+	}
+	c.inst.lock.unlock()
 }
 
 // Node returns the cluster node name the operation is executing on.
@@ -67,7 +88,7 @@ func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.inst.lock.unlock()
+	c.yieldInstLock()
 	res := <-ch
 	c.inst.lock.lock()
 	return res.Value, res.Err
@@ -146,21 +167,20 @@ func (c *Ctx) postOut(tok Token) {
 
 	isOpenerPost := c.node.op.kind == KindSplit || c.node.op.kind == KindStream
 	if isOpenerPost && succNode.op.kind == KindLeaf {
-		c.rt.tracker(g.name, succ).charge(thread)
+		c.rt.tracker(g.name, succ, succNode.tc.ThreadCount()).charge(thread)
 		lastWorker, creditNode = thread, succ
 	}
 
-	env := &envelope{
-		Graph:      g.name,
-		Node:       succ,
-		Thread:     thread,
-		CallID:     c.env.CallID,
-		CallOrigin: c.env.CallOrigin,
-		LastWorker: lastWorker,
-		CreditNode: creditNode,
-		Frames:     frames,
-		Token:      tok,
-	}
+	env := getEnvelope()
+	env.Graph = g.name
+	env.Node = succ
+	env.Thread = thread
+	env.CallID = c.env.CallID
+	env.CallOrigin = c.env.CallOrigin
+	env.LastWorker = lastWorker
+	env.CreditNode = creditNode
+	env.Frames = frames
+	env.Token = tok
 	target, err := succNode.tc.NodeOf(thread)
 	if err != nil {
 		panic(opError{err})
@@ -174,7 +194,7 @@ func (c *Ctx) pickRoute(succNode *GraphNode, tok Token, seq int, succID int) int
 	if count == 0 {
 		panic(opError{fmt.Errorf("collection %q is not mapped", succNode.tc.Name())})
 	}
-	ct := c.rt.tracker(c.graph.name, succID)
+	ct := c.rt.tracker(c.graph.name, succID, count)
 	rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.outstanding}
 	idx := succNode.route.pick(tok, rc)
 	if idx < 0 || idx >= count {
@@ -199,7 +219,7 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 			sg.mu.Unlock()
 			panic(opError{fmt.Errorf("collection %q is not mapped", closerNode.tc.Name())})
 		}
-		ct := c.rt.tracker(sg.graph.name, sg.closer)
+		ct := c.rt.tracker(sg.graph.name, sg.closer, count)
 		rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.outstanding}
 		mt := closerNode.route.pick(tok, rc)
 		if mt < 0 || mt >= count {
@@ -212,7 +232,7 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 	for sg.posted-sg.acked >= sg.window {
 		if !unlocked {
 			c.rt.stats.windowStalls.Add(1)
-			c.inst.lock.unlock()
+			c.yieldInstLock()
 			unlocked = true
 		}
 		sg.cond.Wait()
@@ -265,7 +285,7 @@ func (c *Ctx) nextIn() (Token, bool) {
 			return nil, false
 		}
 		if !unlocked {
-			c.inst.lock.unlock()
+			c.yieldInstLock()
 			unlocked = true
 		}
 		mg.cond.Wait()

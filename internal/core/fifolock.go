@@ -20,6 +20,15 @@ type ticket struct {
 	ch <-chan struct{}
 }
 
+// grantedTicket is the shared already-closed channel returned by
+// uncontended reservations, so the dispatch hot path reserves without
+// allocating.
+var grantedTicket = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // reserve enqueues a reservation. The returned ticket's wait() blocks until
 // the lock is owned by the caller.
 func (l *fifoLock) reserve() ticket {
@@ -27,9 +36,7 @@ func (l *fifoLock) reserve() ticket {
 	defer l.mu.Unlock()
 	if !l.locked && len(l.waiters) == 0 {
 		l.locked = true
-		granted := make(chan struct{})
-		close(granted)
-		return ticket{ch: granted}
+		return ticket{ch: grantedTicket}
 	}
 	ch := make(chan struct{})
 	l.waiters = append(l.waiters, ch)

@@ -1,0 +1,50 @@
+package core
+
+import "sync"
+
+// Pools for the two per-token allocations of the dispatch hot path: the
+// envelope wrapper and the wire buffer. Envelopes cycle strictly inside one
+// process (posted -> dispatched -> executed -> recycled). Wire buffers cross
+// the transport: the sender encodes into a pooled buffer, the transport
+// delivers it, and the receiving runtime recycles it after decoding (see
+// the ownership contract on transport.Handler). With the in-process fabrics
+// both ends share this pool, so steady-state traffic reuses a small set of
+// buffers sized by the largest token.
+
+var envelopePool = sync.Pool{New: func() any { return new(envelope) }}
+
+// getEnvelope returns a zeroed envelope.
+func getEnvelope() *envelope {
+	return envelopePool.Get().(*envelope)
+}
+
+// putEnvelope recycles an envelope whose execution has completed. Frames
+// are deliberately dropped rather than reused: leaf posts alias the
+// incoming frame slice into outgoing envelopes, so the backing array may
+// outlive this envelope.
+func putEnvelope(e *envelope) {
+	*e = envelope{}
+	envelopePool.Put(e)
+}
+
+// maxPooledWireBuf bounds the buffers kept for reuse so one giant token
+// does not pin its footprint forever (the pool is also GC-clearable).
+const maxPooledWireBuf = 8 << 20
+
+var wireBufPool sync.Pool
+
+// getWireBuf returns an empty buffer with whatever capacity a previous
+// message left behind.
+func getWireBuf() []byte {
+	if v := wireBufPool.Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1024)
+}
+
+// putWireBuf recycles a wire buffer once its bytes are fully consumed.
+func putWireBuf(b []byte) {
+	if c := cap(b); c > 0 && c <= maxPooledWireBuf {
+		wireBufPool.Put(b[:0]) //nolint:staticcheck // slice header boxing is far cheaper than the buffer
+	}
+}

@@ -24,9 +24,16 @@ type Runtime struct {
 	stats statCounters
 
 	mu      sync.Mutex
-	threads map[string]*threadInstance
+	threads map[instKey]*threadInstance
 	splits  map[uint64]*splitGroup
 	credits map[creditKey]*creditTracker
+}
+
+// instKey identifies a thread instance without building a string key on
+// every dispatch.
+type instKey struct {
+	collection string
+	index      int
 }
 
 type creditKey struct {
@@ -36,10 +43,16 @@ type creditKey struct {
 
 // creditTracker counts tokens dispatched to each thread of a collection and
 // not yet acknowledged by the downstream merge — the feedback information
-// the paper uses for load balancing.
+// the paper uses for load balancing. The counter slice is sized once from
+// the collection's cardinality at creation; charge only grows it in the
+// exceptional case of a collection remapped wider afterwards.
 type creditTracker struct {
 	mu  sync.Mutex
 	out []int
+}
+
+func newCreditTracker(threads int) *creditTracker {
+	return &creditTracker{out: make([]int, threads)}
 }
 
 func (ct *creditTracker) charge(i int) {
@@ -125,7 +138,8 @@ func newMergeGroup() *mergeGroup {
 }
 
 // threadInstance is one DPS thread: user state plus a FIFO execution lock
-// serializing the operation bodies that run on it.
+// serializing the operation bodies that run on it, and the work queue its
+// dispatcher loop drains.
 type threadInstance struct {
 	rt    *Runtime
 	tc    *ThreadCollection
@@ -135,6 +149,110 @@ type threadInstance struct {
 
 	mu     sync.Mutex
 	groups map[uint64]*mergeGroup
+
+	// Dispatch queue. Arriving tokens are appended as plain work items and
+	// executed by a single drainer goroutine, instead of spawning one
+	// goroutine per token. The drainer role hands off whenever the running
+	// operation blocks (releasing the FIFO lock), so the paper's
+	// progress-while-stalled semantics are preserved; see drain and
+	// Ctx.yieldInstLock.
+	qmu      sync.Mutex
+	queue    []workItem
+	draining bool
+}
+
+// workItem is one queued execution: a token delivered to a leaf/split, or
+// the first token of a group starting a merge/stream collector. The ticket
+// is reserved at enqueue time, under qmu, so queue order and FIFO-lock
+// grant order always agree.
+type workItem struct {
+	g         *Flowgraph
+	node      *GraphNode
+	env       *envelope
+	bt        bufferedToken
+	mg        *mergeGroup
+	collector bool
+	tk        ticket
+}
+
+// maxInstanceQueue bounds the per-instance dispatch queue. Beyond it the
+// dispatcher degrades to the direct goroutine-per-token scheme rather than
+// blocking the poster (the per-split flow-control window is the real
+// bound on tokens in flight; this is a memory backstop).
+const maxInstanceQueue = 1024
+
+// enqueue reserves the execution ticket and queues the item, starting a
+// drainer goroutine if none currently holds the role.
+func (rt *Runtime) enqueue(inst *threadInstance, it workItem) {
+	inst.qmu.Lock()
+	it.tk = inst.lock.reserve()
+	if len(inst.queue) >= maxInstanceQueue {
+		inst.qmu.Unlock()
+		go rt.runItem(inst, it, false)
+		return
+	}
+	inst.queue = append(inst.queue, it)
+	spawn := !inst.draining
+	if spawn {
+		inst.draining = true
+	}
+	inst.qmu.Unlock()
+	if spawn {
+		go rt.drain(inst)
+	}
+}
+
+// drain is the per-thread-instance worker loop: it pops queued executions
+// and runs them inline. At most one goroutine holds the drainer role at a
+// time; if the running operation blocks mid-execution it relinquishes the
+// role (spawning a successor when work is queued), and on return this loop
+// reclaims the role only if no successor is active.
+func (rt *Runtime) drain(inst *threadInstance) {
+	for {
+		inst.qmu.Lock()
+		if len(inst.queue) == 0 {
+			inst.draining = false
+			inst.qmu.Unlock()
+			return
+		}
+		it := inst.queue[0]
+		inst.queue[0] = workItem{}
+		inst.queue = inst.queue[1:]
+		inst.qmu.Unlock()
+		if !rt.runItem(inst, it, true) {
+			// The operation yielded; the drainer role moved on.
+			inst.qmu.Lock()
+			if inst.draining {
+				inst.qmu.Unlock()
+				return
+			}
+			inst.draining = true
+			inst.qmu.Unlock()
+		}
+	}
+}
+
+// relinquishDrainer hands the drainer role off before the holder blocks:
+// queued work continues on a fresh goroutine, an empty queue just releases
+// the role for the next enqueue.
+func (inst *threadInstance) relinquishDrainer(rt *Runtime) {
+	inst.qmu.Lock()
+	if len(inst.queue) > 0 {
+		inst.qmu.Unlock()
+		go rt.drain(inst)
+		return
+	}
+	inst.draining = false
+	inst.qmu.Unlock()
+}
+
+// runItem executes one queued item, reporting whether the caller still
+// holds the drainer role afterwards.
+func (rt *Runtime) runItem(inst *threadInstance, it workItem, fromDrainer bool) bool {
+	if it.collector {
+		return rt.runCollector(inst, it, fromDrainer)
+	}
+	return rt.runSimple(inst, it, fromDrainer)
 }
 
 func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
@@ -143,7 +261,7 @@ func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
 		tr:      tr,
 		name:    tr.Local(),
 		nodeIdx: idx,
-		threads: make(map[string]*threadInstance),
+		threads: make(map[instKey]*threadInstance),
 		splits:  make(map[uint64]*splitGroup),
 		credits: make(map[creditKey]*creditTracker),
 	}
@@ -166,7 +284,7 @@ func (rt *Runtime) instance(tc *ThreadCollection, index int) (*threadInstance, e
 	if node != rt.name {
 		return nil, fmt.Errorf("dps: thread %s[%d] is mapped to %q, not %q", tc.Name(), index, node, rt.name)
 	}
-	key := fmt.Sprintf("%s#%d", tc.Name(), index)
+	key := instKey{collection: tc.Name(), index: index}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if inst, ok := rt.threads[key]; ok {
@@ -183,19 +301,24 @@ func (rt *Runtime) instance(tc *ThreadCollection, index int) (*threadInstance, e
 	return inst, nil
 }
 
-func (rt *Runtime) tracker(graph string, node int) *creditTracker {
+// tracker returns (creating presized to threads, if needed) the credit
+// tracker of one graph node's collection.
+func (rt *Runtime) tracker(graph string, node int, threads int) *creditTracker {
 	key := creditKey{graph: graph, node: node}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	ct, ok := rt.credits[key]
 	if !ok {
-		ct = &creditTracker{}
+		ct = newCreditTracker(threads)
 		rt.credits[key] = ct
 	}
 	return ct
 }
 
-// handleMessage is the transport receive entry point.
+// handleMessage is the transport receive entry point. Per the transport
+// ownership contract the payload belongs to this handler once invoked;
+// every decoded field is copied out, so the buffer is recycled into the
+// wire pool before returning.
 func (rt *Runtime) handleMessage(src string, payload []byte) {
 	if len(payload) == 0 {
 		rt.app.fail(fmt.Errorf("dps: empty message from %q", src))
@@ -211,11 +334,15 @@ func (rt *Runtime) handleMessage(src string, payload []byte) {
 		}
 		tok, _, err := rt.app.reg.Unmarshal(env.Payload)
 		if err != nil {
+			putEnvelope(env)
 			rt.app.fail(fmt.Errorf("dps: cannot deserialize token from %q: %w", src, err))
 			return
 		}
 		env.Token = tok
+		env.Payload = nil // aliases the wire buffer recycled below
+		putWireBuf(payload)
 		rt.dispatchLocal(env)
+		return
 	case msgGroupEnd:
 		m, err := decodeGroupEnd(body)
 		if err != nil {
@@ -241,10 +368,14 @@ func (rt *Runtime) handleMessage(src string, payload []byte) {
 			rt.app.fail(fmt.Errorf("dps: cannot deserialize result: %w", err))
 			return
 		}
+		putWireBuf(payload)
 		rt.app.completeCall(m.CallID, CallResult{Value: tok})
+		return
 	default:
 		rt.app.fail(fmt.Errorf("dps: unknown message kind %d from %q", kind, src))
+		return
 	}
+	putWireBuf(payload)
 }
 
 // dispatchLocal hands an envelope (token decoded) to its destination thread
@@ -267,20 +398,22 @@ func (rt *Runtime) dispatchLocal(env *envelope) {
 	}
 	switch node.op.kind {
 	case KindLeaf, KindSplit:
-		tk := inst.lock.reserve()
-		go rt.runSimple(inst, g, node, env, tk)
+		rt.enqueue(inst, workItem{g: g, node: node, env: env})
 	case KindMerge, KindStream:
 		rt.deliverToGroup(inst, g, node, env)
 	}
 }
 
-// runSimple executes a leaf or split operation body.
-func (rt *Runtime) runSimple(inst *threadInstance, g *Flowgraph, node *GraphNode, env *envelope, tk ticket) {
-	tk.wait()
+// runSimple executes a leaf or split operation body, reporting whether the
+// calling goroutine still holds the drainer role afterwards.
+func (rt *Runtime) runSimple(inst *threadInstance, it workItem, fromDrainer bool) (still bool) {
+	g, node, env := it.g, it.node, it.env
+	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env, drainer: fromDrainer}
+	defer func() { still = c.drainer }()
+	it.tk.wait()
 	defer inst.lock.unlock()
 	defer rt.recoverOp(g, node)
 
-	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env}
 	if node.op.kind == KindSplit {
 		sg := newSplitGroup(rt.newGroupID(), g, node.id, rt.app.cfg.window())
 		rt.mu.Lock()
@@ -302,6 +435,9 @@ func (rt *Runtime) runSimple(inst *threadInstance, g *Flowgraph, node *GraphNode
 	if node.op.kind == KindLeaf && c.postSeq != 1 {
 		panic(opError{fmt.Errorf("dps: leaf %q posted %d tokens; a leaf posts exactly one", node.op.name, c.postSeq)})
 	}
+	c.env = nil
+	putEnvelope(env)
+	return
 }
 
 // finishOpener closes the group opened by a split or stream execution:
@@ -334,7 +470,7 @@ func (rt *Runtime) finishOpener(c *Ctx) {
 	}
 	if target == rt.name {
 		rt.handleGroupEnd(end)
-	} else if err := rt.tr.Send(target, encodeGroupEnd(end)); err != nil {
+	} else if err := rt.tr.Send(target, appendGroupEnd(getWireBuf(), end)); err != nil {
 		panic(opError{err})
 	}
 	rt.maybeReapSplit(sg)
@@ -417,23 +553,26 @@ func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *Grap
 	if !mg.started {
 		mg.started = true
 		mg.mu.Unlock()
-		tk := inst.lock.reserve()
-		go rt.runCollector(inst, g, node, env, bt, mg, tk)
+		rt.enqueue(inst, workItem{g: g, node: node, env: env, bt: bt, mg: mg, collector: true})
 		return
 	}
 	mg.buf = append(mg.buf, bt)
 	mg.cond.Broadcast()
 	mg.mu.Unlock()
+	// The token and accounting fields now live in bt; the wrapper is free.
+	putEnvelope(env)
 }
 
 // runCollector executes a merge or stream body for one group, fed by the
-// group's buffer.
-func (rt *Runtime) runCollector(inst *threadInstance, g *Flowgraph, node *GraphNode, firstEnv *envelope, first bufferedToken, mg *mergeGroup, tk ticket) {
-	tk.wait()
+// group's buffer. It reports whether the calling goroutine still holds the
+// drainer role afterwards.
+func (rt *Runtime) runCollector(inst *threadInstance, it workItem, fromDrainer bool) (still bool) {
+	g, node, firstEnv, first, mg := it.g, it.node, it.env, it.bt, it.mg
+	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, mg: mg, drainer: fromDrainer}
+	defer func() { still = c.drainer }()
+	it.tk.wait()
 	defer inst.lock.unlock()
 	defer rt.recoverOp(g, node)
-
-	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, mg: mg}
 	if node.op.kind == KindStream {
 		sg := newSplitGroup(rt.newGroupID(), g, node.id, rt.app.cfg.window())
 		rt.mu.Lock()
@@ -471,6 +610,9 @@ func (rt *Runtime) runCollector(inst *threadInstance, g *Flowgraph, node *GraphN
 	inst.mu.Lock()
 	delete(inst.groups, fr.GroupID)
 	inst.mu.Unlock()
+	c.env = nil
+	putEnvelope(firstEnv)
+	return
 }
 
 // ackConsumed notifies the split-side node that one token of a group has
@@ -483,7 +625,7 @@ func (rt *Runtime) ackConsumed(bt bufferedToken) {
 		rt.handleAck(m)
 		return
 	}
-	if err := rt.tr.Send(bt.origin, encodeAck(m)); err != nil {
+	if err := rt.tr.Send(bt.origin, appendAck(getWireBuf(), m)); err != nil {
 		rt.app.fail(err)
 	}
 }
@@ -498,8 +640,9 @@ func (rt *Runtime) handleAck(m *ackMsg) {
 		sg.cond.Broadcast()
 		sg.mu.Unlock()
 		rt.maybeReapSplit(sg)
-		if m.RouteNode >= 0 {
-			rt.tracker(sg.graph.name, m.RouteNode).release(m.Worker)
+		if m.RouteNode >= 0 && m.RouteNode < len(sg.graph.nodes) {
+			threads := sg.graph.nodes[m.RouteNode].tc.ThreadCount()
+			rt.tracker(sg.graph.name, m.RouteNode, threads).release(m.Worker)
 		}
 	}
 }
@@ -558,11 +701,14 @@ func (rt *Runtime) sendResult(env *envelope, tok Token) {
 		rt.app.completeCall(env.CallID, CallResult{Value: tok})
 		return
 	}
-	payload, err := rt.app.reg.Marshal(tok)
+	// Serialize the result straight after the message header into a pooled
+	// buffer (single copy, mirroring the token path).
+	buf := appendResultHeader(getWireBuf(), env.CallID)
+	buf, err := rt.app.reg.Append(buf, tok)
 	if err != nil {
 		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
 	}
-	if err := rt.tr.Send(env.CallOrigin, encodeResult(&resultMsg{CallID: env.CallID, Payload: payload})); err != nil {
+	if err := rt.tr.Send(env.CallOrigin, buf); err != nil {
 		panic(opError{err})
 	}
 }
@@ -592,19 +738,20 @@ func (rt *Runtime) send(env *envelope, targetNode string) {
 		rt.dispatchLocal(env)
 		return
 	}
-	// The token is serialized straight into the wire buffer after the
-	// envelope header (single copy).
-	buf := encodeEnvelopeHeader(env)
+	// The token is serialized straight into a pooled wire buffer after the
+	// envelope header (single copy); the receiving runtime recycles the
+	// buffer once decoded.
+	buf := appendEnvelopeHeader(getWireBuf(), env)
 	buf, err := rt.app.reg.Append(buf, env.Token)
 	if err != nil {
 		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
 	}
-	env.Token = nil
 	rt.stats.tokensRemote.Add(1)
 	rt.stats.bytesSent.Add(int64(len(buf)))
 	if err := rt.tr.Send(targetNode, buf); err != nil {
 		panic(opError{err})
 	}
+	putEnvelope(env)
 }
 
 // opError wraps runtime failures raised inside operation executions so the

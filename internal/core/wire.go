@@ -74,11 +74,10 @@ func readUint64(b []byte) (uint64, []byte, error) {
 	return v, b[n:], nil
 }
 
-// encodeEnvelopeHeader writes the envelope header; the serialized token
-// payload is appended directly afterwards by the caller, avoiding an
+// appendEnvelopeHeader writes the envelope header into b; the serialized
+// token payload is appended directly afterwards by the caller, avoiding an
 // intermediate copy of potentially large data objects.
-func encodeEnvelopeHeader(e *envelope) []byte {
-	b := make([]byte, 0, 96)
+func appendEnvelopeHeader(b []byte, e *envelope) []byte {
 	b = append(b, msgToken)
 	b = appendString(b, e.Graph)
 	b = appendInt(b, e.Node)
@@ -97,65 +96,85 @@ func encodeEnvelopeHeader(e *envelope) []byte {
 	return b
 }
 
+// encodeEnvelopeHeader is appendEnvelopeHeader into a fresh buffer.
+func encodeEnvelopeHeader(e *envelope) []byte {
+	return appendEnvelopeHeader(make([]byte, 0, 96), e)
+}
+
+// decodeEnvelope parses an envelope header into a pooled envelope. The
+// returned envelope's Payload aliases b; the caller owns both and recycles
+// them (putEnvelope after dispatch, the wire buffer once decoded).
 func decodeEnvelope(b []byte) (*envelope, error) {
-	e := &envelope{}
+	e := getEnvelope()
+	if err := decodeEnvelopeInto(e, b); err != nil {
+		putEnvelope(e)
+		return nil, err
+	}
+	return e, nil
+}
+
+func decodeEnvelopeInto(e *envelope, b []byte) error {
 	var err error
 	if e.Graph, b, err = readString(b); err != nil {
-		return nil, err
+		return err
 	}
 	if e.Node, b, err = readInt(b); err != nil {
-		return nil, err
+		return err
 	}
 	if e.Thread, b, err = readInt(b); err != nil {
-		return nil, err
+		return err
 	}
 	if e.CallID, b, err = readUint64(b); err != nil {
-		return nil, err
+		return err
 	}
 	if e.CallOrigin, b, err = readString(b); err != nil {
-		return nil, err
+		return err
 	}
 	if e.LastWorker, b, err = readInt(b); err != nil {
-		return nil, err
+		return err
 	}
 	if e.CreditNode, b, err = readInt(b); err != nil {
-		return nil, err
+		return err
 	}
 	var nframes int
 	if nframes, b, err = readInt(b); err != nil {
-		return nil, err
+		return err
 	}
 	if nframes < 0 || nframes > 1<<16 {
-		return nil, fmt.Errorf("dps: implausible frame count %d", nframes)
+		return fmt.Errorf("dps: implausible frame count %d", nframes)
 	}
 	e.Frames = make([]frame, nframes)
 	for i := range e.Frames {
 		f := &e.Frames[i]
 		if f.GroupID, b, err = readUint64(b); err != nil {
-			return nil, err
+			return err
 		}
 		if f.Index, b, err = readInt(b); err != nil {
-			return nil, err
+			return err
 		}
 		if f.Origin, b, err = readString(b); err != nil {
-			return nil, err
+			return err
 		}
 		if f.MergeThread, b, err = readInt(b); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	e.Payload = b
-	return e, nil
+	return nil
 }
 
-func encodeGroupEnd(m *groupEndMsg) []byte {
-	b := []byte{msgGroupEnd}
+func appendGroupEnd(b []byte, m *groupEndMsg) []byte {
+	b = append(b, msgGroupEnd)
 	b = appendString(b, m.Graph)
 	b = appendInt(b, m.Node)
 	b = appendInt(b, m.Thread)
 	b = appendUint64(b, m.GroupID)
 	b = appendInt(b, m.Total)
 	return b
+}
+
+func encodeGroupEnd(m *groupEndMsg) []byte {
+	return appendGroupEnd(nil, m)
 }
 
 func decodeGroupEnd(b []byte) (*groupEndMsg, error) {
@@ -179,13 +198,17 @@ func decodeGroupEnd(b []byte) (*groupEndMsg, error) {
 	return m, nil
 }
 
-func encodeAck(m *ackMsg) []byte {
-	b := []byte{msgAck}
+func appendAck(b []byte, m *ackMsg) []byte {
+	b = append(b, msgAck)
 	b = appendUint64(b, m.GroupID)
 	b = appendInt(b, m.Worker)
 	b = appendString(b, m.Graph)
 	b = appendInt(b, m.RouteNode)
 	return b
+}
+
+func encodeAck(m *ackMsg) []byte {
+	return appendAck(nil, m)
 }
 
 func decodeAck(b []byte) (*ackMsg, error) {
@@ -206,10 +229,15 @@ func decodeAck(b []byte) (*ackMsg, error) {
 	return m, nil
 }
 
+// appendResultHeader writes the result-message header; the serialized
+// result token is appended directly afterwards by the caller.
+func appendResultHeader(b []byte, callID uint64) []byte {
+	b = append(b, msgResult)
+	return appendUint64(b, callID)
+}
+
 func encodeResult(m *resultMsg) []byte {
-	b := []byte{msgResult}
-	b = appendUint64(b, m.CallID)
-	return append(b, m.Payload...)
+	return append(appendResultHeader(nil, m.CallID), m.Payload...)
 }
 
 func decodeResult(b []byte) (*resultMsg, error) {

@@ -1,0 +1,204 @@
+package serial
+
+import (
+	"testing"
+)
+
+// benchToken mirrors the shape of real DPS tokens on the hot paths: a large
+// primitive buffer (ringbench/matmul blocks) plus scalar routing metadata.
+type benchToken struct {
+	Seq  int
+	Row  int
+	Data []byte
+	Vals []float64
+}
+
+// ctrlToken mirrors the control-plane tokens that dominate message counts
+// (orders, halo descriptors, completion reports): scalar metadata plus a
+// few short slices.
+type ctrlToken struct {
+	Graph   string
+	Seq     int
+	Rows    int
+	Cols    int
+	Iter    int
+	Last    bool
+	Offsets []int
+	Scale   []float64
+}
+
+func newBenchRegistry(b *testing.B) *Registry {
+	b.Helper()
+	r := NewRegistry()
+	if err := Register[benchToken](r); err != nil {
+		b.Fatal(err)
+	}
+	if err := Register[ctrlToken](r); err != nil {
+		b.Fatal(err)
+	}
+	if err := Register[complexToken](r); err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func ctrlValue() *ctrlToken {
+	return &ctrlToken{
+		Graph:   "life-iterate",
+		Seq:     12345,
+		Rows:    1000,
+		Cols:    1000,
+		Iter:    77,
+		Last:    false,
+		Offsets: []int{0, 250, 500, 750, 1000},
+		Scale:   []float64{1.0, 0.5, 0.25},
+	}
+}
+
+func benchValue() *benchToken {
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	return &benchToken{Seq: 42, Row: 7, Data: data, Vals: vals}
+}
+
+func benchStructured() *complexToken {
+	return &complexToken{
+		ID:       -7,
+		Name:     "hello world",
+		Children: []nested{{Name: "a", Vals: []float64{1, 2.5, -3}}, {Name: "b"}},
+		ABuffer:  []int{1 << 40, -5, 0, 77, -9000},
+		Tags:     map[string]int{"x": 1, "y": -2},
+		Opt:      &nested{Name: "opt", Vals: []float64{3.14}},
+		Ratio:    0.25,
+		Flags:    [3]bool{true, false, true},
+	}
+}
+
+// BenchmarkSerialRoundTrip measures the compiled codec on a control-plane
+// token — Marshal plus Unmarshal, the per-message serialization cost paid
+// for every order/report token the runtime moves.
+func BenchmarkSerialRoundTrip(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := ctrlValue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialRoundTripReflect is the same workload through the seed's
+// reflection codec (retained as the test oracle) — the baseline the
+// compiled codec is measured against.
+func BenchmarkSerialRoundTripReflect(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := ctrlValue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.marshalReference(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.unmarshalReference(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialRoundTripBlock measures the compiled codec on a 64 KB
+// block token — the bulk-data cost of the ring/matmul/LU hot paths.
+func BenchmarkSerialRoundTripBlock(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := benchValue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialRoundTripBlockReflect is the reflection baseline for the
+// block token.
+func BenchmarkSerialRoundTripBlockReflect(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := benchValue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.marshalReference(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.unmarshalReference(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialRoundTripStructured exercises nesting, maps, pointers and
+// small slices instead of one big buffer.
+func BenchmarkSerialRoundTripStructured(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := benchStructured()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialRoundTripStructuredReflect is the reflection baseline for
+// the structured token.
+func BenchmarkSerialRoundTripStructuredReflect(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := benchStructured()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.marshalReference(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.unmarshalReference(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialEncodedSize verifies the size pass is allocation-free.
+func BenchmarkSerialEncodedSize(b *testing.B) {
+	r := newBenchRegistry(b)
+	v := benchValue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.EncodedSize(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 // class with an abstract factory so objects can be re-instantiated during
 // deserialization. This package is the Go analogue: token types are
 // registered once (Register / RegisterName) and values are encoded with a
-// reflection-driven binary codec. The wire form of a token is
+// binary codec. The wire form of a token is
 //
 //	varint(typeID) payload
 //
@@ -14,8 +14,23 @@
 // for floats, length-prefixed bytes for strings and slices, key-sorted
 // entries for maps, presence bytes for pointers.
 //
+// # Compile-at-registration design
+//
+// Registration compiles each type into a per-type codec program (see
+// codec.go): a tree of closures with precomputed field offsets that encode
+// and decode through unsafe pointers, so the per-call hot path performs no
+// reflective field walk. Primitive slices ([]byte, []float64, []int, ...)
+// take bulk fast paths — a single presence byte and length prefix followed
+// by a tight loop over the raw backing array. Each codec also carries an
+// exact size pass, letting EncodedSize and callers preallocate wire buffers
+// without marshalling twice; Append therefore performs at most one buffer
+// growth per token. Maps fall back to the reference reflection codec, which
+// is retained (encodeValue / decodeValue) both for that purpose and as the
+// oracle the fuzz tests compare against byte-for-byte.
+//
 // Only exported fields are serialized, mirroring the paper's rule that data
-// objects expose their payload as public members.
+// objects expose their payload as public members. The wire format is
+// identical to the original reflection-driven codec.
 package serial
 
 import (
@@ -25,6 +40,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"unsafe"
 )
 
 // Registry maps token type names to reflect types and numeric IDs. A single
@@ -41,6 +57,7 @@ type Registry struct {
 type regEntry struct {
 	name string
 	typ  reflect.Type
+	c    *typeCodec
 }
 
 // NewRegistry returns an empty registry.
@@ -67,6 +84,7 @@ func (r *Registry) RegisterName(name string, typ reflect.Type) error {
 	if err := checkEncodable(typ, map[reflect.Type]bool{}); err != nil {
 		return fmt.Errorf("serial: register %q: %w", name, err)
 	}
+	c := codecFor(typ)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if id, ok := r.byName[name]; ok {
@@ -79,7 +97,7 @@ func (r *Registry) RegisterName(name string, typ reflect.Type) error {
 		return fmt.Errorf("serial: type %s already registered", typ)
 	}
 	id := len(r.entries)
-	r.entries = append(r.entries, regEntry{name: name, typ: typ})
+	r.entries = append(r.entries, regEntry{name: name, typ: typ, c: c})
 	r.byName[name] = id
 	r.byType[typ] = id
 	return nil
@@ -161,29 +179,154 @@ func (r *Registry) Len() int {
 // Marshal encodes v (a pointer to a registered struct, or the struct value
 // itself) as typeID + payload.
 func (r *Registry) Marshal(v any) ([]byte, error) {
-	return r.Append(nil, v)
+	id, c, p, err := r.codecOf(v)
+	if err != nil {
+		return nil, err
+	}
+	// Exact-size preallocation: one allocation, no growth copies.
+	buf := make([]byte, 0, uvarintLen(uint64(id))+c.size(p))
+	buf = binary.AppendUvarint(buf, uint64(id))
+	return c.enc(buf, p), nil
 }
 
 // Append is like Marshal but appends to buf, returning the extended slice.
 func (r *Registry) Append(buf []byte, v any) ([]byte, error) {
-	id, err := r.IDOf(v)
+	id, c, p, err := r.codecOf(v)
 	if err != nil {
 		return buf, err
 	}
+	// Grow once to the exact final size before encoding.
+	need := uvarintLen(uint64(id)) + c.size(p)
+	if cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = binary.AppendUvarint(buf, uint64(id))
+	return c.enc(buf, p), nil
+}
+
+// efaceWords mirrors the runtime layout of an interface value holding a
+// pointer-shaped type: the data word is the pointer itself.
+type efaceWords struct {
+	typ  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+// lookup resolves a struct type to its ID and compiled codec.
+func (r *Registry) lookup(st reflect.Type) (int, *typeCodec, error) {
+	r.mu.RLock()
+	id, ok := r.byType[st]
+	var c *typeCodec
+	if ok {
+		c = r.entries[id].c
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("serial: type %s not registered", st)
+	}
+	return id, c, nil
+}
+
+// codecOf resolves v to its registered type ID, compiled codec and the
+// address of the struct value. The common token shape — a single-level
+// pointer to a registered struct — is resolved without reflection or
+// allocation; struct values boxed in the interface are copied once into
+// addressable memory.
+func (r *Registry) codecOf(v any) (int, *typeCodec, unsafe.Pointer, error) {
+	typ := reflect.TypeOf(v)
+	if typ == nil {
+		return 0, nil, nil, fmt.Errorf("serial: cannot identify nil value")
+	}
+	if typ.Kind() == reflect.Pointer && typ.Elem().Kind() == reflect.Struct {
+		id, c, err := r.lookup(typ.Elem())
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		// A pointer type is stored directly in the interface data word.
+		p := (*efaceWords)(unsafe.Pointer(&v)).data
+		if p == nil {
+			return 0, nil, nil, fmt.Errorf("serial: cannot marshal nil pointer")
+		}
+		return id, c, p, nil
+	}
+	// Slow path: struct value or multi-level pointer.
 	rv := reflect.ValueOf(v)
+	st := rv.Type()
+	if st.Kind() == reflect.Pointer {
+		st = st.Elem()
+	}
+	id, c, err := r.lookup(st)
+	if err != nil {
+		return 0, nil, nil, err
+	}
 	for rv.Kind() == reflect.Pointer {
 		if rv.IsNil() {
-			return buf, fmt.Errorf("serial: cannot marshal nil pointer")
+			return 0, nil, nil, fmt.Errorf("serial: cannot marshal nil pointer")
 		}
 		rv = rv.Elem()
 	}
-	buf = binary.AppendUvarint(buf, uint64(id))
-	return encodeValue(buf, rv)
+	pv := reflect.New(rv.Type())
+	pv.Elem().Set(rv)
+	return id, c, pv.UnsafePointer(), nil
 }
 
 // Unmarshal decodes a value previously produced by Marshal and returns a
 // pointer to a freshly allocated struct of the registered type.
 func (r *Registry) Unmarshal(data []byte) (any, int, error) {
+	id, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("serial: truncated type id")
+	}
+	r.mu.RLock()
+	if id >= uint64(len(r.entries)) {
+		r.mu.RUnlock()
+		return nil, 0, fmt.Errorf("serial: unknown type id %d", id)
+	}
+	e := r.entries[id]
+	r.mu.RUnlock()
+	pv := reflect.New(e.typ)
+	used, err := e.c.dec(data[n:], pv.UnsafePointer())
+	if err != nil {
+		return nil, 0, err
+	}
+	return pv.Interface(), n + used, nil
+}
+
+// EncodedSize returns the number of bytes Marshal would produce for v. It
+// exists so the runtime can account for wire sizes without concatenating
+// buffers twice. The compiled size pass computes it without building the
+// marshal buffer, so it never allocates for pointer tokens.
+func (r *Registry) EncodedSize(v any) (int, error) {
+	id, c, p, err := r.codecOf(v)
+	if err != nil {
+		return 0, err
+	}
+	return uvarintLen(uint64(id)) + c.size(p), nil
+}
+
+// marshalReference is the original reflection-driven encoder, kept as the
+// oracle for fuzz and equivalence tests: compiled codecs must produce
+// byte-identical output.
+func (r *Registry) marshalReference(v any) ([]byte, error) {
+	id, err := r.IDOf(v)
+	if err != nil {
+		return nil, err
+	}
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("serial: cannot marshal nil pointer")
+		}
+		rv = rv.Elem()
+	}
+	buf := binary.AppendUvarint(nil, uint64(id))
+	return encodeValue(buf, rv)
+}
+
+// unmarshalReference is the original reflection-driven decoder, kept as the
+// oracle for fuzz and equivalence tests.
+func (r *Registry) unmarshalReference(data []byte) (any, int, error) {
 	id, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("serial: truncated type id")
@@ -201,17 +344,6 @@ func (r *Registry) Unmarshal(data []byte) (any, int, error) {
 		return nil, 0, err
 	}
 	return pv.Interface(), n + used, nil
-}
-
-// EncodedSize returns the number of bytes Marshal would produce for v. It
-// exists so the runtime can account for wire sizes without concatenating
-// buffers twice.
-func (r *Registry) EncodedSize(v any) (int, error) {
-	b, err := r.Marshal(v)
-	if err != nil {
-		return 0, err
-	}
-	return len(b), nil
 }
 
 // checkEncodable validates at registration time that every reachable field
@@ -512,6 +644,11 @@ func decodeValue(data []byte, v reflect.Value) (int, error) {
 			return 0, errTruncated("map length")
 		}
 		used += n
+		// Every entry costs at least two bytes on the wire; a larger claim
+		// is corrupt and would otherwise provoke a giant preallocation.
+		if l > uint64(len(data)) {
+			return 0, fmt.Errorf("serial: map length %d exceeds buffer", l)
+		}
 		m := reflect.MakeMapWithSize(v.Type(), int(l))
 		for i := uint64(0); i < l; i++ {
 			k := reflect.New(v.Type().Key()).Elem()

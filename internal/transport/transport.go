@@ -20,7 +20,12 @@ import (
 	"sync"
 )
 
-// Handler consumes an incoming message from a peer node.
+// Handler consumes an incoming message from a peer node. Ownership of the
+// payload transfers to the handler: the transport must not retain, reuse or
+// redeliver the buffer after the call, so the handler is free to recycle it
+// (the DPS runtime returns fully decoded buffers to a wire-buffer pool).
+// All three implementations satisfy this: each delivered message carries a
+// buffer no other component references afterwards.
 type Handler func(src string, payload []byte)
 
 // Transport is one node's attachment to the cluster fabric.
@@ -28,8 +33,10 @@ type Transport interface {
 	// Local returns this node's cluster-unique name.
 	Local() string
 	// Send transmits payload to the named peer. It may buffer; delivery is
-	// asynchronous but FIFO per (sender, destination) pair. The payload must
-	// not be modified after the call.
+	// asynchronous but FIFO per (sender, destination) pair. Ownership of
+	// the payload transfers to the transport: the sender must not modify
+	// or reuse it after the call (on in-process fabrics the same bytes are
+	// handed to the receiving Handler).
 	Send(dst string, payload []byte) error
 	// SetHandler installs the receive callback. Must be called before any
 	// peer sends to this node.
