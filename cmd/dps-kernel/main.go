@@ -57,6 +57,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	ns := flag.String("ns", "127.0.0.1:7000", "name server address")
 	demo := flag.Bool("demo", false, "run the uppercase demo across all registered kernels, then exit")
+	workers := flag.Int("workers", 0, "demo app: scheduler worker lanes per node (0 = per-instance drainers)")
+	window := flag.Int("window", 0, "demo app: per-split flow-control window (0 = default)")
 	flag.Parse()
 
 	if *serveNS {
@@ -80,7 +82,7 @@ func main() {
 	fmt.Printf("kernel %q listening on %s (name server %s)\n", k.Name(), k.Addr(), *ns)
 
 	if *demo {
-		if err := runDemo(k, *ns); err != nil {
+		if err := runDemo(k, *ns, core.Config{Workers: *workers, Window: *window}); err != nil {
 			fatal(err)
 		}
 		_ = k.Close()
@@ -93,7 +95,7 @@ func main() {
 // runDemo builds the tutorial split-compute-merge graph over every kernel
 // currently registered with the name server and converts a sentence to
 // uppercase in parallel.
-func runDemo(local *kernel.Kernel, ns string) error {
+func runDemo(local *kernel.Kernel, ns string, cfg core.Config) error {
 	names, err := kernel.ListNames(ns)
 	if err != nil {
 		return err
@@ -109,7 +111,7 @@ func runDemo(local *kernel.Kernel, ns string) error {
 	// of the application; this single-binary demo attaches the local
 	// kernel and runs four worker threads on it (the listing above shows
 	// which peers a multi-process deployment would map to).
-	app := core.NewApp(core.Config{})
+	app := core.NewApp(cfg)
 	defer app.Close()
 	if _, err := app.AttachTransport(local.Transport("demo")); err != nil {
 		return err

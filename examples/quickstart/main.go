@@ -40,8 +40,11 @@ func main() {
 
 	// A local "cluster" of three nodes in this process. Swap NewLocalApp
 	// for NewSimApp to pay modelled network costs, or attach kernel
-	// transports (cmd/dps-kernel) for real TCP.
-	app, err := core.NewLocalApp(core.Config{}, "nodeA", "nodeB", "nodeC")
+	// transports (cmd/dps-kernel) for real TCP. The Config selects the
+	// engine tuning: a per-split flow-control window of 16 tokens and two
+	// scheduler worker lanes per node (see internal/core/flowctl and
+	// internal/core/sched).
+	app, err := core.NewLocalApp(core.Config{Window: 16, Workers: 2}, "nodeA", "nodeB", "nodeC")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core/flowctl"
 	"repro/internal/serial"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -14,7 +15,21 @@ import (
 type Config struct {
 	// Window bounds the number of tokens in circulation per split–merge
 	// pair (the paper's flow-control feedback). Zero selects DefaultWindow.
+	// It parameterizes the default flowctl.Window policy and is ignored
+	// when FlowPolicy is set explicitly.
 	Window int
+	// FlowPolicy selects the flow-control discipline applied to each split
+	// group; nil selects flowctl.Window{N: Window}.
+	FlowPolicy flowctl.Policy
+	// Workers is the number of scheduler worker lanes per node. Values
+	// above one shard the node's thread instances over that many drainer
+	// goroutines (bounded intra-node concurrency); zero or one keeps the
+	// default on-demand drainer per instance.
+	Workers int
+	// Queue bounds each thread instance's dispatch queue; zero selects
+	// sched.DefaultQueueCap. Beyond the bound dispatch degrades to one
+	// goroutine per token instead of blocking the poster.
+	Queue int
 	// ForceSerialize marshals and unmarshals tokens even for same-node
 	// transfers, exercising the full networking path inside one process —
 	// the paper's several-kernels-per-host debugging mode.
@@ -24,13 +39,20 @@ type Config struct {
 }
 
 // DefaultWindow is the default per-split flow-control window.
-const DefaultWindow = 64
+const DefaultWindow = flowctl.DefaultWindow
 
 func (c Config) window() int {
 	if c.Window > 0 {
 		return c.Window
 	}
 	return DefaultWindow
+}
+
+func (c Config) flowPolicy() flowctl.Policy {
+	if c.FlowPolicy != nil {
+		return c.FlowPolicy
+	}
+	return flowctl.Window{N: c.window()}
 }
 
 func (c Config) registry() *serial.Registry {
@@ -131,7 +153,7 @@ func (app *App) AttachTransport(tr transport.Transport) (*Runtime, error) {
 	rt := newRuntime(app, tr, len(app.nodeOrder))
 	app.runtimes[name] = rt
 	app.nodeOrder = append(app.nodeOrder, name)
-	tr.SetHandler(rt.handleMessage)
+	tr.SetHandler(rt.lnk.handle)
 	return rt, nil
 }
 
@@ -196,7 +218,7 @@ func (app *App) Close() {
 	cleanup := app.cleanup
 	app.mu.Unlock()
 	for _, rt := range rts {
-		_ = rt.tr.Close()
+		_ = rt.lnk.tr.Close()
 	}
 	for _, f := range cleanup {
 		f()

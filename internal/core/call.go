@@ -70,8 +70,8 @@ func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, 
 		}
 	}
 	count := entryNode.tc.ThreadCount()
-	ct := rt.tracker(g.name, g.entry, count)
-	thread := entryNode.route.pick(tok, RouteCtx{ThreadCount: count, Seq: 0, Outstanding: ct.outstanding})
+	ct := rt.credit(g.name, g.entry, count)
+	thread := entryNode.route.pick(tok, RouteCtx{ThreadCount: count, Seq: 0, Outstanding: ct.Outstanding})
 	if thread < 0 || thread >= count {
 		return nil, fmt.Errorf("dps: graph %q: entry route %q returned thread %d of %d", g.name, entryNode.route.Name(), thread, count)
 	}

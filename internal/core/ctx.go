@@ -34,14 +34,14 @@ type Ctx struct {
 // operation is about to block, first handing off the dispatch-drainer role
 // if this goroutine holds it. Every blocking point (flow-controlled posts,
 // merge next, nested graph calls) must use this instead of unlocking
-// directly; the matching reacquire is a plain inst.lock.lock(), which
+// directly; the matching reacquire is a plain inst.exec.Lock(), which
 // deliberately does not re-take the drainer role.
 func (c *Ctx) yieldInstLock() {
 	if c.drainer {
 		c.drainer = false
-		c.inst.relinquishDrainer(c.rt)
+		c.inst.exec.Relinquish()
 	}
-	c.inst.lock.unlock()
+	c.inst.exec.Unlock()
 }
 
 // Node returns the cluster node name the operation is executing on.
@@ -90,7 +90,7 @@ func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
 	}
 	c.yieldInstLock()
 	res := <-ch
-	c.inst.lock.lock()
+	c.inst.exec.Lock()
 	return res.Value, res.Err
 }
 
@@ -104,7 +104,7 @@ func (c *Ctx) failIfAborted() {
 
 // postOut posts an output token according to the executing operation's
 // kind: leaves forward the accounting frames unchanged, splits and streams
-// push a frame of their group (blocking on the flow-control window), and
+// push a frame of their group (blocking on the flow-control gate), and
 // merges pop the completed group's frame.
 func (c *Ctx) postOut(tok Token) {
 	if tok == nil {
@@ -146,7 +146,7 @@ func (c *Ctx) postOut(tok Token) {
 	}
 
 	if c.node.id == g.exit {
-		c.rt.sendResult(c.env, tok)
+		c.rt.lnk.sendResult(c.env, tok)
 		return
 	}
 
@@ -167,7 +167,7 @@ func (c *Ctx) postOut(tok Token) {
 
 	isOpenerPost := c.node.op.kind == KindSplit || c.node.op.kind == KindStream
 	if isOpenerPost && succNode.op.kind == KindLeaf {
-		c.rt.tracker(g.name, succ, succNode.tc.ThreadCount()).charge(thread)
+		c.rt.credit(g.name, succ, succNode.tc.ThreadCount()).Charge(thread)
 		lastWorker, creditNode = thread, succ
 	}
 
@@ -185,7 +185,7 @@ func (c *Ctx) postOut(tok Token) {
 	if err != nil {
 		panic(opError{err})
 	}
-	c.rt.send(env, target)
+	c.rt.lnk.sendToken(env, target)
 }
 
 // pickRoute evaluates a node's routing function with bounds checking.
@@ -194,8 +194,8 @@ func (c *Ctx) pickRoute(succNode *GraphNode, tok Token, seq int, succID int) int
 	if count == 0 {
 		panic(opError{fmt.Errorf("collection %q is not mapped", succNode.tc.Name())})
 	}
-	ct := c.rt.tracker(c.graph.name, succID, count)
-	rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.outstanding}
+	ct := c.rt.credit(c.graph.name, succID, count)
+	rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.Outstanding}
 	idx := succNode.route.pick(tok, rc)
 	if idx < 0 || idx >= count {
 		panic(opError{fmt.Errorf("route %q returned thread %d for collection %q of %d threads", succNode.route.Name(), idx, succNode.tc.Name(), count)})
@@ -204,8 +204,9 @@ func (c *Ctx) pickRoute(succNode *GraphNode, tok Token, seq int, succID int) int
 }
 
 // pushGroupFrame allocates the next index in the execution's open group,
-// fixing the paired merge instance on the first post and enforcing the
-// flow-control window.
+// fixing the paired merge instance on the first post and acquiring a slot
+// on the group's flow-control gate (blocking while the policy's window is
+// exhausted).
 func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 	sg := c.sg
 	if sg == nil {
@@ -219,8 +220,8 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 			sg.mu.Unlock()
 			panic(opError{fmt.Errorf("collection %q is not mapped", closerNode.tc.Name())})
 		}
-		ct := c.rt.tracker(sg.graph.name, sg.closer, count)
-		rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.outstanding}
+		ct := c.rt.credit(sg.graph.name, sg.closer, count)
+		rc := RouteCtx{ThreadCount: count, Seq: seq, Outstanding: ct.Outstanding}
 		mt := closerNode.route.pick(tok, rc)
 		if mt < 0 || mt >= count {
 			sg.mu.Unlock()
@@ -228,31 +229,30 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 		}
 		sg.mergeThread = mt
 	}
-	unlocked := false
-	for sg.posted-sg.acked >= sg.window {
-		if !unlocked {
+	mt := sg.mergeThread
+	sg.mu.Unlock()
+
+	if !sg.gate.TryAcquire() {
+		stalled, err := sg.gate.Acquire(func() {
+			// First wait on an exhausted window: count the stall and
+			// release the thread so other operations keep making progress.
 			c.rt.stats.windowStalls.Add(1)
 			c.yieldInstLock()
-			unlocked = true
+		}, c.rt.app.Err)
+		if stalled {
+			// Reacquire so the execution continues (or unwinds) holding
+			// its lock, balancing the deferred unlock.
+			c.inst.exec.Lock()
 		}
-		sg.cond.Wait()
-		if err := c.rt.app.Err(); err != nil {
-			sg.mu.Unlock()
-			if unlocked {
-				// Reacquire so the execution's deferred unlock stays
-				// balanced while the panic unwinds.
-				c.inst.lock.lock()
-			}
+		if err != nil {
 			panic(opError{err})
 		}
 	}
+
+	sg.mu.Lock()
 	idx := sg.posted
 	sg.posted++
-	mt := sg.mergeThread
 	sg.mu.Unlock()
-	if unlocked {
-		c.inst.lock.lock()
-	}
 	return frame{GroupID: sg.id, Index: idx, Origin: c.rt.name, MergeThread: mt}
 }
 
@@ -272,7 +272,7 @@ func (c *Ctx) nextIn() (Token, bool) {
 			mg.consumed++
 			mg.mu.Unlock()
 			if unlocked {
-				c.inst.lock.lock()
+				c.inst.exec.Lock()
 			}
 			c.rt.ackConsumed(bt)
 			return bt.tok, true
@@ -280,7 +280,7 @@ func (c *Ctx) nextIn() (Token, bool) {
 		if mg.total >= 0 && mg.consumed >= mg.total {
 			mg.mu.Unlock()
 			if unlocked {
-				c.inst.lock.lock()
+				c.inst.exec.Lock()
 			}
 			return nil, false
 		}
@@ -293,7 +293,7 @@ func (c *Ctx) nextIn() (Token, bool) {
 			mg.mu.Unlock()
 			if unlocked {
 				// Keep the thread lock balanced for the deferred unlock.
-				c.inst.lock.lock()
+				c.inst.exec.Lock()
 			}
 			panic(opError{err})
 		}

@@ -1,0 +1,251 @@
+package flowctl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowTryAcquireExhaustion(t *testing.T) {
+	g := Window{N: 3}.NewGate()
+	for i := 0; i < 3; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("slot %d refused below the window", i)
+		}
+	}
+	if g.TryAcquire() {
+		t.Fatal("slot granted beyond the window")
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestWindowAcquireBlocksUntilRelease(t *testing.T) {
+	g := Window{N: 1}.NewGate()
+	if !g.TryAcquire() {
+		t.Fatal("first slot refused")
+	}
+	stallSeen := make(chan struct{})
+	acquired := make(chan bool)
+	go func() {
+		stalled, err := g.Acquire(func() { close(stallSeen) }, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- stalled
+	}()
+	select {
+	case <-stallSeen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onStall was not invoked on an exhausted window")
+	}
+	select {
+	case <-acquired:
+		t.Fatal("Acquire returned before a slot was released")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release() // the ack-driven release unblocks the poster
+	select {
+	case stalled := <-acquired:
+		if !stalled {
+			t.Fatal("blocked Acquire did not report stalling")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire still blocked after Release")
+	}
+}
+
+func TestWindowOnStallInvokedOnce(t *testing.T) {
+	g := Window{N: 1}.NewGate()
+	g.TryAcquire()
+	stalls := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := g.Acquire(func() { stalls++ }, nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Several wake-ups without room must not re-invoke onStall.
+	for i := 0; i < 3; i++ {
+		time.Sleep(5 * time.Millisecond)
+		g.Wake()
+	}
+	g.Release()
+	<-done
+	if stalls != 1 {
+		t.Fatalf("onStall invoked %d times, want 1", stalls)
+	}
+}
+
+func TestWindowAcquireAbortsOnFailure(t *testing.T) {
+	g := Window{N: 1}.NewGate()
+	g.TryAcquire()
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	var failure error
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(nil, func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return failure
+		})
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	failure = boom
+	mu.Unlock()
+	g.Wake()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborted Acquire did not return")
+	}
+	// The failed acquisition must not have consumed the slot freed later.
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("gate not quiescent after release")
+	}
+}
+
+func TestWindowQuiescent(t *testing.T) {
+	g := Window{N: 2}.NewGate()
+	if !g.Quiescent() {
+		t.Fatal("fresh gate not quiescent")
+	}
+	g.TryAcquire()
+	g.TryAcquire()
+	if g.Quiescent() {
+		t.Fatal("gate with tokens in flight reported quiescent")
+	}
+	g.Release()
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("fully acknowledged gate not quiescent")
+	}
+	g.Release() // extra release clamps at zero
+	if !g.Quiescent() {
+		t.Fatal("clamped gate not quiescent")
+	}
+}
+
+func TestUnboundedNeverBlocks(t *testing.T) {
+	g := Unbounded{}.NewGate()
+	for i := 0; i < 10_000; i++ {
+		if !g.TryAcquire() {
+			t.Fatal("unbounded gate refused a slot")
+		}
+	}
+	if g.Quiescent() {
+		t.Fatal("unbounded gate must still count tokens in flight")
+	}
+	stalled, err := g.Acquire(func() { t.Error("unbounded gate stalled") }, nil)
+	if stalled || err != nil {
+		t.Fatalf("unbounded Acquire: stalled=%v err=%v", stalled, err)
+	}
+	for i := 0; i < 10_001; i++ {
+		g.Release()
+	}
+	if !g.Quiescent() {
+		t.Fatal("unbounded gate not quiescent after all releases")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if got := (Window{}).Name(); got != "window(64)" {
+		t.Fatalf("default window name %q", got)
+	}
+	if got := (Window{N: 8}).Name(); got != "window(8)" {
+		t.Fatalf("window name %q", got)
+	}
+	if got := (Unbounded{}).Name(); got != "unbounded" {
+		t.Fatalf("unbounded name %q", got)
+	}
+}
+
+func TestCredits(t *testing.T) {
+	ct := NewCredits(2)
+	ct.Charge(3) // beyond the presized width: grows
+	ct.Charge(3)
+	ct.Charge(0)
+	if ct.Outstanding(3) != 2 || ct.Outstanding(0) != 1 || ct.Outstanding(9) != 0 {
+		t.Fatalf("outstanding: %d %d %d", ct.Outstanding(3), ct.Outstanding(0), ct.Outstanding(9))
+	}
+	ct.Release(3)
+	if ct.Outstanding(3) != 1 {
+		t.Fatal("release failed")
+	}
+	ct.Release(9)  // out of range: no-op
+	ct.Release(-1) // negative: no-op
+	ct.Release(0)
+	ct.Release(0) // underflow clamped at zero
+	if ct.Outstanding(0) != 0 {
+		t.Fatal("underflow not clamped")
+	}
+}
+
+func TestCreditsExhaustionDrivesChoice(t *testing.T) {
+	// The load-balancing pattern: always pick the least-charged thread.
+	ct := NewCredits(3)
+	pick := func() int {
+		best, bestOut := 0, int(^uint(0)>>1)
+		for i := 0; i < 3; i++ {
+			if out := ct.Outstanding(i); out < bestOut {
+				best, bestOut = i, out
+			}
+		}
+		return best
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 30; i++ {
+		w := pick()
+		ct.Charge(w)
+		counts[w]++
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Fatalf("thread %d charged %d times, want 10 (distribution %v)", i, c, counts)
+		}
+	}
+	// Acks release credits and re-expose the thread.
+	for i := 0; i < 10; i++ {
+		ct.Release(1)
+	}
+	if w := pick(); w != 1 {
+		t.Fatalf("fully acknowledged thread not preferred, picked %d", w)
+	}
+}
+
+func TestWindowAcquireFailedBeforeWait(t *testing.T) {
+	// A poster reaching an exhausted window after the application already
+	// failed must return the failure immediately instead of parking (the
+	// abort broadcast has already happened, no Release will come).
+	g := Window{N: 1}.NewGate()
+	g.TryAcquire()
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		stalled, err := g.Acquire(func() { t.Error("onStall invoked for a pre-failed acquire") },
+			func() error { return boom })
+		if stalled {
+			t.Error("pre-failed acquire reported a stall")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire parked despite a pre-existing failure")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core/flowctl"
+)
+
+// This file is the engine's groups layer: the lifecycle of split–merge (and
+// stream) groups. The split side tracks each open group in a groupTable —
+// its flow-control gate, posted count and paired merge instance — until the
+// opener finished and every token was acknowledged; the merge side buffers
+// arriving tokens per group on the destination thread instance until the
+// collector execution consumes them and the group-end total arrives.
+
+// groupTable is the split-side registry of open groups on one node.
+type groupTable struct {
+	nodeIdx int
+	seq     atomic.Uint64
+
+	mu     sync.Mutex
+	splits map[uint64]*splitGroup
+}
+
+func (gt *groupTable) init(nodeIdx int) {
+	gt.nodeIdx = nodeIdx
+	gt.splits = make(map[uint64]*splitGroup)
+}
+
+// open registers a new group opened by the graph node opener, flow
+// controlled by a fresh gate of the given policy.
+func (gt *groupTable) open(g *Flowgraph, opener int, policy flowctl.Policy) *splitGroup {
+	id := uint64(gt.nodeIdx)<<48 | (gt.seq.Add(1) & (1<<48 - 1))
+	sg := &splitGroup{
+		id:          id,
+		graph:       g,
+		opener:      opener,
+		closer:      g.closerOf[opener],
+		gate:        policy.NewGate(),
+		mergeThread: -1,
+	}
+	gt.mu.Lock()
+	gt.splits[id] = sg
+	gt.mu.Unlock()
+	return sg
+}
+
+func (gt *groupTable) lookup(id uint64) *splitGroup {
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	return gt.splits[id]
+}
+
+func (gt *groupTable) remove(id uint64) {
+	gt.mu.Lock()
+	delete(gt.splits, id)
+	gt.mu.Unlock()
+}
+
+func (gt *groupTable) all() []*splitGroup {
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	out := make([]*splitGroup, 0, len(gt.splits))
+	for _, sg := range gt.splits {
+		out = append(out, sg)
+	}
+	return out
+}
+
+// splitGroup is the split-side state of one open group: the flow-control
+// gate and the identity of the paired merge instance.
+type splitGroup struct {
+	id     uint64
+	graph  *Flowgraph
+	opener int // graph node that opened the group
+	closer int // paired merge/stream node
+	gate   flowctl.Gate
+
+	mu          sync.Mutex
+	posted      int
+	done        bool // opener's execute returned
+	mergeThread int  // -1 until the first token fixes the instance
+}
+
+// mergeGroup is the merge-side state of one group on a thread instance.
+type mergeGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf      []bufferedToken
+	started  bool
+	consumed int
+	total    int // -1 while unknown
+}
+
+type bufferedToken struct {
+	tok        Token
+	lastWorker int
+	creditNode int
+	origin     string
+	groupID    uint64
+}
+
+func newMergeGroup() *mergeGroup {
+	mg := &mergeGroup{total: -1}
+	mg.cond = sync.NewCond(&mg.mu)
+	return mg
+}
+
+// openGroup creates and registers the split-side state for a split/stream
+// execution starting on this node.
+func (rt *Runtime) openGroup(g *Flowgraph, opener int) *splitGroup {
+	sg := rt.groups.open(g, opener, rt.policy)
+	rt.stats.groupsOpened.Add(1)
+	return sg
+}
+
+// finishOpener closes the group opened by a split or stream execution:
+// announces the total to the paired merge instance and enforces the
+// at-least-one-token rule.
+func (rt *Runtime) finishOpener(c *Ctx) {
+	sg := c.sg
+	if sg == nil {
+		return
+	}
+	sg.mu.Lock()
+	posted := sg.posted
+	mergeThread := sg.mergeThread
+	sg.done = true
+	sg.mu.Unlock()
+	if posted == 0 {
+		panic(opError{fmt.Errorf("dps: %s %q posted no tokens for its group", c.node.op.kind, c.node.op.name)})
+	}
+	closerNode := sg.graph.nodes[sg.closer]
+	end := &groupEndMsg{
+		Graph:   sg.graph.name,
+		Node:    sg.closer,
+		Thread:  mergeThread,
+		GroupID: sg.id,
+		Total:   posted,
+	}
+	target, err := closerNode.tc.NodeOf(mergeThread)
+	if err != nil {
+		panic(opError{err})
+	}
+	rt.lnk.sendGroupEnd(target, end)
+	rt.maybeReapSplit(sg)
+}
+
+// maybeReapSplit discards a group's split-side state once the opener
+// finished and every posted token was acknowledged.
+func (rt *Runtime) maybeReapSplit(sg *splitGroup) {
+	sg.mu.Lock()
+	done := sg.done
+	sg.mu.Unlock()
+	if done && sg.gate.Quiescent() {
+		rt.groups.remove(sg.id)
+	}
+}
+
+// deliverToGroup buffers a token for (or starts) the merge/stream execution
+// of its group on the destination thread.
+func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *GraphNode, env *envelope) {
+	fr, ok := env.topFrame()
+	if !ok {
+		rt.app.fail(fmt.Errorf("dps: token reached %s %q with an empty frame stack", node.op.kind, node.op.name))
+		return
+	}
+	inst.mu.Lock()
+	mg, ok := inst.groups[fr.GroupID]
+	if !ok {
+		mg = newMergeGroup()
+		inst.groups[fr.GroupID] = mg
+	}
+	inst.mu.Unlock()
+
+	bt := bufferedToken{
+		tok:        env.Token,
+		lastWorker: env.LastWorker,
+		creditNode: env.CreditNode,
+		origin:     fr.Origin,
+		groupID:    fr.GroupID,
+	}
+	mg.mu.Lock()
+	if !mg.started {
+		mg.started = true
+		mg.mu.Unlock()
+		inst.exec.Enqueue(workItem{inst: inst, g: g, node: node, env: env, bt: bt, mg: mg, collector: true})
+		return
+	}
+	mg.buf = append(mg.buf, bt)
+	mg.cond.Broadcast()
+	mg.mu.Unlock()
+	// The token and accounting fields now live in bt; the wrapper is free.
+	putEnvelope(env)
+}
+
+// ackConsumed notifies the split-side node that one token of a group has
+// been consumed by the merge, releasing flow-control window space and
+// load-balancing credits.
+func (rt *Runtime) ackConsumed(bt bufferedToken) {
+	rt.stats.acksSent.Add(1)
+	m := ackMsg{GroupID: bt.groupID, Worker: bt.lastWorker, RouteNode: bt.creditNode}
+	if err := rt.lnk.sendAck(bt.origin, m); err != nil {
+		rt.app.fail(err)
+	}
+}
+
+// handleAck applies one consumption acknowledgement: one gate slot returns,
+// the group may be reaped, and the charged leaf thread's credit is
+// released.
+func (rt *Runtime) handleAck(m ackMsg) {
+	sg := rt.groups.lookup(m.GroupID)
+	if sg == nil {
+		return
+	}
+	sg.gate.Release()
+	rt.maybeReapSplit(sg)
+	if m.RouteNode >= 0 && m.RouteNode < len(sg.graph.nodes) {
+		threads := sg.graph.nodes[m.RouteNode].tc.ThreadCount()
+		rt.credit(sg.graph.name, m.RouteNode, threads).Release(m.Worker)
+	}
+}
+
+// handleGroupEnd records a group's announced total on the merge-side state,
+// waking the collector execution blocked in next.
+func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
+	g, ok := rt.app.Graph(m.Graph)
+	if !ok {
+		rt.app.fail(fmt.Errorf("dps: group-end for unknown graph %q", m.Graph))
+		return
+	}
+	node := g.nodes[m.Node]
+	inst, err := rt.instance(node.tc, m.Thread)
+	if err != nil {
+		rt.app.fail(err)
+		return
+	}
+	inst.mu.Lock()
+	mg, ok := inst.groups[m.GroupID]
+	if !ok {
+		mg = newMergeGroup()
+		inst.groups[m.GroupID] = mg
+	}
+	inst.mu.Unlock()
+	mg.mu.Lock()
+	mg.total = m.Total
+	mg.cond.Broadcast()
+	mg.mu.Unlock()
+}

@@ -2,96 +2,9 @@ package core
 
 import (
 	"reflect"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"testing/quick"
-	"time"
 )
-
-// --- fifoLock ------------------------------------------------------------
-
-func TestFifoLockMutualExclusion(t *testing.T) {
-	var l fifoLock
-	var inCrit atomic.Int32
-	var max atomic.Int32
-	var wg sync.WaitGroup
-	for i := 0; i < 16; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := 0; j < 200; j++ {
-				l.lock()
-				if v := inCrit.Add(1); v > max.Load() {
-					max.Store(v)
-				}
-				inCrit.Add(-1)
-				l.unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if max.Load() > 1 {
-		t.Fatalf("mutual exclusion violated: %d goroutines in critical section", max.Load())
-	}
-}
-
-func TestFifoLockOrder(t *testing.T) {
-	var l fifoLock
-	l.lock()
-	const n = 20
-	order := make([]int, 0, n)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	tickets := make([]ticket, n)
-	// Reserve in a known order while the lock is held.
-	for i := 0; i < n; i++ {
-		tickets[i] = l.reserve()
-	}
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			tickets[i].wait()
-			mu.Lock()
-			order = append(order, i)
-			mu.Unlock()
-			l.unlock()
-		}(i)
-	}
-	l.unlock()
-	wg.Wait()
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("reservation order violated: %v", order)
-		}
-	}
-}
-
-func TestFifoLockUnlockUnheldPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	var l fifoLock
-	l.unlock()
-}
-
-func TestFifoLockImmediateGrant(t *testing.T) {
-	var l fifoLock
-	done := make(chan struct{})
-	go func() {
-		l.lock()
-		l.unlock()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(time.Second):
-		t.Fatal("uncontended lock did not grant")
-	}
-}
 
 // --- wire format ----------------------------------------------------------
 
@@ -174,7 +87,7 @@ func TestGroupEndRoundTrip(t *testing.T) {
 }
 
 func TestAckRoundTrip(t *testing.T) {
-	in := &ackMsg{GroupID: 901, Worker: -1, Graph: "g2", RouteNode: 3}
+	in := ackMsg{GroupID: 901, Worker: -1, Graph: "g2", RouteNode: 3}
 	buf := encodeAck(in)
 	out, err := decodeAck(buf[1:])
 	if err != nil {
@@ -208,27 +121,6 @@ func TestDecodeTruncatedMessages(t *testing.T) {
 			// because the frame count promises more data.
 			t.Fatalf("decoding %d/%d bytes unexpectedly succeeded", cut, len(full))
 		}
-	}
-}
-
-func TestCreditTracker(t *testing.T) {
-	ct := &creditTracker{}
-	ct.charge(3)
-	ct.charge(3)
-	ct.charge(0)
-	if ct.outstanding(3) != 2 || ct.outstanding(0) != 1 || ct.outstanding(9) != 0 {
-		t.Fatalf("outstanding: %v", ct.out)
-	}
-	ct.release(3)
-	if ct.outstanding(3) != 1 {
-		t.Fatal("release failed")
-	}
-	ct.release(9)  // out of range: no-op
-	ct.release(-1) // negative: no-op
-	ct.release(0)
-	ct.release(0) // underflow clamped at zero
-	if ct.outstanding(0) != 0 {
-		t.Fatal("underflow not clamped")
 	}
 }
 

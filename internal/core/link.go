@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/serial"
+	"repro/internal/transport"
+)
+
+// This file is the engine's link layer: envelope framing, token
+// serialization and buffer pooling over a transport.Transport. It owns the
+// decision between same-address-space pointer handoff and serialized
+// network transfer (paper §4) and recycles wire buffers per the transport
+// ownership contract. Decoded inbound traffic is handed upward through the
+// narrow linkSink interface; the codecs themselves live in wire.go and the
+// pools in pool.go.
+
+// linkSink is the upward interface of the link layer: the engine receives
+// decoded messages and failures through it.
+type linkSink interface {
+	deliverToken(env *envelope)
+	deliverGroupEnd(m *groupEndMsg)
+	deliverAck(m ackMsg)
+	deliverResult(callID uint64, tok Token)
+	linkFail(err error)
+}
+
+// link frames and serializes outbound messages and decodes inbound ones.
+type link struct {
+	tr    transport.Transport
+	reg   *serial.Registry
+	name  string
+	force bool // ForceSerialize: marshal even same-node transfers
+	sink  linkSink
+	stats *statCounters
+}
+
+func (l *link) init(tr transport.Transport, reg *serial.Registry, force bool, sink linkSink, stats *statCounters) {
+	l.tr = tr
+	l.reg = reg
+	l.name = tr.Local()
+	l.force = force
+	l.sink = sink
+	l.stats = stats
+}
+
+// handle is the transport receive entry point. Per the transport ownership
+// contract the payload belongs to this handler once invoked; every decoded
+// field is copied out, so the buffer is recycled into the wire pool before
+// returning.
+func (l *link) handle(src string, payload []byte) {
+	if len(payload) == 0 {
+		l.sink.linkFail(fmt.Errorf("dps: empty message from %q", src))
+		return
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case msgToken:
+		env, err := decodeEnvelope(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad token message from %q: %w", src, err))
+			return
+		}
+		tok, _, err := l.reg.Unmarshal(env.Payload)
+		if err != nil {
+			putEnvelope(env)
+			l.sink.linkFail(fmt.Errorf("dps: cannot deserialize token from %q: %w", src, err))
+			return
+		}
+		env.Token = tok
+		env.Payload = nil // aliases the wire buffer recycled below
+		putWireBuf(payload)
+		l.sink.deliverToken(env)
+		return
+	case msgGroupEnd:
+		m, err := decodeGroupEnd(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad group-end from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverGroupEnd(m)
+	case msgAck:
+		m, err := decodeAck(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad ack from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverAck(m)
+	case msgResult:
+		m, err := decodeResult(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad result from %q: %w", src, err))
+			return
+		}
+		tok, _, err := l.reg.Unmarshal(m.Payload)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: cannot deserialize result: %w", err))
+			return
+		}
+		putWireBuf(payload)
+		l.sink.deliverResult(m.CallID, tok)
+		return
+	default:
+		l.sink.linkFail(fmt.Errorf("dps: unknown message kind %d from %q", kind, src))
+		return
+	}
+	putWireBuf(payload)
+}
+
+// sendToken routes an envelope toward the node hosting its destination
+// thread: pointer handoff for same-node transfers (unless ForceSerialize),
+// single-copy serialization into a pooled wire buffer otherwise. Failures
+// propagate as opError panics, matching operation execution contexts.
+func (l *link) sendToken(env *envelope, targetNode string) {
+	l.stats.tokensPosted.Add(1)
+	if targetNode == l.name && !l.force {
+		// Same address space: transfer the pointer directly, bypassing the
+		// communication layer (paper §4).
+		l.stats.tokensLocal.Add(1)
+		l.sink.deliverToken(env)
+		return
+	}
+	if targetNode == l.name {
+		// ForceSerialize: full marshalling, then local delivery.
+		tok, err := l.roundTrip(env.Token)
+		if err != nil {
+			panic(opError{err})
+		}
+		env.Token = tok
+		l.sink.deliverToken(env)
+		return
+	}
+	// The token is serialized straight into a pooled wire buffer after the
+	// envelope header (single copy); the receiving runtime recycles the
+	// buffer once decoded.
+	buf := appendEnvelopeHeader(getWireBuf(), env)
+	buf, err := l.reg.Append(buf, env.Token)
+	if err != nil {
+		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
+	}
+	l.stats.tokensRemote.Add(1)
+	l.stats.bytesSent.Add(int64(len(buf)))
+	if err := l.tr.Send(targetNode, buf); err != nil {
+		panic(opError{err})
+	}
+	putEnvelope(env)
+}
+
+// sendGroupEnd announces a completed group's total to the paired merge's
+// node. Failures propagate as opError panics (the opener's execution
+// context is unwinding its group).
+func (l *link) sendGroupEnd(target string, m *groupEndMsg) {
+	if target == l.name {
+		l.sink.deliverGroupEnd(m)
+		return
+	}
+	if err := l.tr.Send(target, appendGroupEnd(getWireBuf(), m)); err != nil {
+		panic(opError{err})
+	}
+}
+
+// sendAck returns a consumption acknowledgement to the split-side node.
+func (l *link) sendAck(target string, m ackMsg) error {
+	if target == l.name {
+		l.sink.deliverAck(m)
+		return nil
+	}
+	return l.tr.Send(target, appendAck(getWireBuf(), m))
+}
+
+// sendResult delivers a graph's final output to the calling node.
+func (l *link) sendResult(env *envelope, tok Token) {
+	if env.CallOrigin == l.name {
+		if l.force {
+			out, err := l.roundTrip(tok)
+			if err != nil {
+				panic(opError{err})
+			}
+			tok = out
+		}
+		l.stats.callsCompleted.Add(1)
+		l.sink.deliverResult(env.CallID, tok)
+		return
+	}
+	// Serialize the result straight after the message header into a pooled
+	// buffer (single copy, mirroring the token path).
+	buf := appendResultHeader(getWireBuf(), env.CallID)
+	buf, err := l.reg.Append(buf, tok)
+	if err != nil {
+		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
+	}
+	if err := l.tr.Send(env.CallOrigin, buf); err != nil {
+		panic(opError{err})
+	}
+}
+
+// roundTrip marshals and unmarshals a token, exercising the full
+// serialization path for same-node transfers (the ForceSerialize debugging
+// mode).
+func (l *link) roundTrip(tok Token) (Token, error) {
+	payload, err := l.reg.Marshal(tok)
+	if err != nil {
+		return nil, fmt.Errorf("dps: cannot serialize %T: %w", tok, err)
+	}
+	out, _, err := l.reg.Unmarshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("dps: cannot deserialize %T: %w", tok, err)
+	}
+	return out, nil
+}

@@ -3,30 +3,40 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/core/flowctl"
+	"repro/internal/core/sched"
 	"repro/internal/transport"
 )
 
 // Runtime is the per-node controller of the paper's §3: it sequences the
 // program execution on one cluster node according to the flow graphs and
-// thread collections, creates thread instances lazily, dispatches incoming
-// tokens, and maintains split-side group state (flow-control windows and
-// load-balancing credits).
+// thread collections, creates thread instances lazily, and composes the
+// four engine layers:
+//
+//   - sched:   per-thread-instance work queues, FIFO execution tickets and
+//     drainer handoff (internal/core/sched), optionally sharded over N
+//     worker lanes;
+//   - flowctl: per-split-group flow-control gates and the load-balancing
+//     credit trackers (internal/core/flowctl);
+//   - groups:  split/merge/stream group lifecycle (groups.go);
+//   - link:    envelope framing, buffer pooling and send/receive over
+//     transport.Transport (link.go, wire.go, pool.go).
 type Runtime struct {
 	app     *App
-	tr      transport.Transport
+	lnk     link
 	name    string
 	nodeIdx int
 
-	groupSeq atomic.Uint64
+	sched  sched.Scheduler[workItem]
+	groups groupTable
+	policy flowctl.Policy
 
 	stats statCounters
 
 	mu      sync.Mutex
 	threads map[instKey]*threadInstance
-	splits  map[uint64]*splitGroup
-	credits map[creditKey]*creditTracker
+	credits map[creditKey]*flowctl.Credits
 }
 
 // instKey identifies a thread instance without building a string key on
@@ -41,238 +51,51 @@ type creditKey struct {
 	node  int
 }
 
-// creditTracker counts tokens dispatched to each thread of a collection and
-// not yet acknowledged by the downstream merge — the feedback information
-// the paper uses for load balancing. The counter slice is sized once from
-// the collection's cardinality at creation; charge only grows it in the
-// exceptional case of a collection remapped wider afterwards.
-type creditTracker struct {
-	mu  sync.Mutex
-	out []int
-}
-
-func newCreditTracker(threads int) *creditTracker {
-	return &creditTracker{out: make([]int, threads)}
-}
-
-func (ct *creditTracker) charge(i int) {
-	ct.mu.Lock()
-	for len(ct.out) <= i {
-		ct.out = append(ct.out, 0)
-	}
-	ct.out[i]++
-	ct.mu.Unlock()
-}
-
-func (ct *creditTracker) release(i int) {
-	ct.mu.Lock()
-	if i >= 0 && i < len(ct.out) && ct.out[i] > 0 {
-		ct.out[i]--
-	}
-	ct.mu.Unlock()
-}
-
-func (ct *creditTracker) outstanding(i int) int {
-	ct.mu.Lock()
-	defer ct.mu.Unlock()
-	if i < 0 || i >= len(ct.out) {
-		return 0
-	}
-	return ct.out[i]
-}
-
-// splitGroup is the split-side state of one open group: the flow-control
-// window and the identity of the paired merge instance.
-type splitGroup struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-
-	id          uint64
-	graph       *Flowgraph
-	opener      int // graph node that opened the group
-	closer      int // paired merge/stream node
-	window      int
-	posted      int
-	acked       int
-	done        bool // opener's execute returned
-	mergeThread int  // -1 until the first token fixes the instance
-}
-
-func newSplitGroup(id uint64, g *Flowgraph, opener int, window int) *splitGroup {
-	sg := &splitGroup{
-		id:          id,
-		graph:       g,
-		opener:      opener,
-		closer:      g.closerOf[opener],
-		window:      window,
-		mergeThread: -1,
-	}
-	sg.cond = sync.NewCond(&sg.mu)
-	return sg
-}
-
-// mergeGroup is the merge-side state of one group on a thread instance.
-type mergeGroup struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-
-	buf      []bufferedToken
-	started  bool
-	received int
-	consumed int
-	total    int // -1 while unknown
-}
-
-type bufferedToken struct {
-	tok        Token
-	lastWorker int
-	creditNode int
-	origin     string
-	groupID    uint64
-}
-
-func newMergeGroup() *mergeGroup {
-	mg := &mergeGroup{total: -1}
-	mg.cond = sync.NewCond(&mg.mu)
-	return mg
-}
-
-// threadInstance is one DPS thread: user state plus a FIFO execution lock
-// serializing the operation bodies that run on it, and the work queue its
-// dispatcher loop drains.
+// threadInstance is one DPS thread: user state, the merge-side groups open
+// on it, and its scheduling state (dispatch queue + FIFO execution lock)
+// owned by the scheduler layer.
 type threadInstance struct {
 	rt    *Runtime
 	tc    *ThreadCollection
 	index int
 	state any
-	lock  fifoLock
+	exec  sched.Instance[workItem]
 
 	mu     sync.Mutex
 	groups map[uint64]*mergeGroup
-
-	// Dispatch queue. Arriving tokens are appended as plain work items and
-	// executed by a single drainer goroutine, instead of spawning one
-	// goroutine per token. The drainer role hands off whenever the running
-	// operation blocks (releasing the FIFO lock), so the paper's
-	// progress-while-stalled semantics are preserved; see drain and
-	// Ctx.yieldInstLock.
-	qmu      sync.Mutex
-	queue    []workItem
-	draining bool
 }
 
 // workItem is one queued execution: a token delivered to a leaf/split, or
-// the first token of a group starting a merge/stream collector. The ticket
-// is reserved at enqueue time, under qmu, so queue order and FIFO-lock
-// grant order always agree.
+// the first token of a group starting a merge/stream collector. The FIFO
+// ticket is reserved by the scheduler at enqueue time, so queue order and
+// lock grant order always agree.
 type workItem struct {
+	inst      *threadInstance
 	g         *Flowgraph
 	node      *GraphNode
 	env       *envelope
 	bt        bufferedToken
 	mg        *mergeGroup
 	collector bool
-	tk        ticket
-}
-
-// maxInstanceQueue bounds the per-instance dispatch queue. Beyond it the
-// dispatcher degrades to the direct goroutine-per-token scheme rather than
-// blocking the poster (the per-split flow-control window is the real
-// bound on tokens in flight; this is a memory backstop).
-const maxInstanceQueue = 1024
-
-// enqueue reserves the execution ticket and queues the item, starting a
-// drainer goroutine if none currently holds the role.
-func (rt *Runtime) enqueue(inst *threadInstance, it workItem) {
-	inst.qmu.Lock()
-	it.tk = inst.lock.reserve()
-	if len(inst.queue) >= maxInstanceQueue {
-		inst.qmu.Unlock()
-		go rt.runItem(inst, it, false)
-		return
-	}
-	inst.queue = append(inst.queue, it)
-	spawn := !inst.draining
-	if spawn {
-		inst.draining = true
-	}
-	inst.qmu.Unlock()
-	if spawn {
-		go rt.drain(inst)
-	}
-}
-
-// drain is the per-thread-instance worker loop: it pops queued executions
-// and runs them inline. At most one goroutine holds the drainer role at a
-// time; if the running operation blocks mid-execution it relinquishes the
-// role (spawning a successor when work is queued), and on return this loop
-// reclaims the role only if no successor is active.
-func (rt *Runtime) drain(inst *threadInstance) {
-	for {
-		inst.qmu.Lock()
-		if len(inst.queue) == 0 {
-			inst.draining = false
-			inst.qmu.Unlock()
-			return
-		}
-		it := inst.queue[0]
-		inst.queue[0] = workItem{}
-		inst.queue = inst.queue[1:]
-		inst.qmu.Unlock()
-		if !rt.runItem(inst, it, true) {
-			// The operation yielded; the drainer role moved on.
-			inst.qmu.Lock()
-			if inst.draining {
-				inst.qmu.Unlock()
-				return
-			}
-			inst.draining = true
-			inst.qmu.Unlock()
-		}
-	}
-}
-
-// relinquishDrainer hands the drainer role off before the holder blocks:
-// queued work continues on a fresh goroutine, an empty queue just releases
-// the role for the next enqueue.
-func (inst *threadInstance) relinquishDrainer(rt *Runtime) {
-	inst.qmu.Lock()
-	if len(inst.queue) > 0 {
-		inst.qmu.Unlock()
-		go rt.drain(inst)
-		return
-	}
-	inst.draining = false
-	inst.qmu.Unlock()
-}
-
-// runItem executes one queued item, reporting whether the caller still
-// holds the drainer role afterwards.
-func (rt *Runtime) runItem(inst *threadInstance, it workItem, fromDrainer bool) bool {
-	if it.collector {
-		return rt.runCollector(inst, it, fromDrainer)
-	}
-	return rt.runSimple(inst, it, fromDrainer)
 }
 
 func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		app:     app,
-		tr:      tr,
 		name:    tr.Local(),
 		nodeIdx: idx,
+		policy:  app.cfg.flowPolicy(),
 		threads: make(map[instKey]*threadInstance),
-		splits:  make(map[uint64]*splitGroup),
-		credits: make(map[creditKey]*creditTracker),
+		credits: make(map[creditKey]*flowctl.Credits),
 	}
+	rt.groups.init(idx)
+	rt.lnk.init(tr, app.reg, app.cfg.ForceSerialize, rt, &rt.stats)
+	rt.sched.Init(sched.Config{Workers: app.cfg.Workers, QueueCap: app.cfg.Queue}, rt.runItem)
+	return rt
 }
 
 // Name returns the cluster node name this runtime controls.
 func (rt *Runtime) Name() string { return rt.name }
-
-func (rt *Runtime) newGroupID() uint64 {
-	return uint64(rt.nodeIdx)<<48 | (rt.groupSeq.Add(1) & (1<<48 - 1))
-}
 
 // instance returns (creating lazily) the local thread instance of tc with
 // the given index, verifying the mapping places it on this node.
@@ -297,90 +120,40 @@ func (rt *Runtime) instance(tc *ThreadCollection, index int) (*threadInstance, e
 		state:  tc.newState(),
 		groups: make(map[uint64]*mergeGroup),
 	}
+	rt.sched.InitInstance(&inst.exec, shardKey(tc.Name(), index))
 	rt.threads[key] = inst
 	return inst, nil
 }
 
-// tracker returns (creating presized to threads, if needed) the credit
+// shardKey spreads thread instances over scheduler shards: same-index
+// threads of different collections land on different lanes.
+func shardKey(collection string, index int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(collection); i++ {
+		h = (h ^ uint32(collection[i])) * 16777619
+	}
+	return int(h&0x7fffffff) + index
+}
+
+// credit returns (creating presized to threads, if needed) the credit
 // tracker of one graph node's collection.
-func (rt *Runtime) tracker(graph string, node int, threads int) *creditTracker {
+func (rt *Runtime) credit(graph string, node int, threads int) *flowctl.Credits {
 	key := creditKey{graph: graph, node: node}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	ct, ok := rt.credits[key]
 	if !ok {
-		ct = newCreditTracker(threads)
+		ct = flowctl.NewCredits(threads)
 		rt.credits[key] = ct
 	}
 	return ct
 }
 
-// handleMessage is the transport receive entry point. Per the transport
-// ownership contract the payload belongs to this handler once invoked;
-// every decoded field is copied out, so the buffer is recycled into the
-// wire pool before returning.
-func (rt *Runtime) handleMessage(src string, payload []byte) {
-	if len(payload) == 0 {
-		rt.app.fail(fmt.Errorf("dps: empty message from %q", src))
-		return
-	}
-	kind, body := payload[0], payload[1:]
-	switch kind {
-	case msgToken:
-		env, err := decodeEnvelope(body)
-		if err != nil {
-			rt.app.fail(fmt.Errorf("dps: bad token message from %q: %w", src, err))
-			return
-		}
-		tok, _, err := rt.app.reg.Unmarshal(env.Payload)
-		if err != nil {
-			putEnvelope(env)
-			rt.app.fail(fmt.Errorf("dps: cannot deserialize token from %q: %w", src, err))
-			return
-		}
-		env.Token = tok
-		env.Payload = nil // aliases the wire buffer recycled below
-		putWireBuf(payload)
-		rt.dispatchLocal(env)
-		return
-	case msgGroupEnd:
-		m, err := decodeGroupEnd(body)
-		if err != nil {
-			rt.app.fail(fmt.Errorf("dps: bad group-end from %q: %w", src, err))
-			return
-		}
-		rt.handleGroupEnd(m)
-	case msgAck:
-		m, err := decodeAck(body)
-		if err != nil {
-			rt.app.fail(fmt.Errorf("dps: bad ack from %q: %w", src, err))
-			return
-		}
-		rt.handleAck(m)
-	case msgResult:
-		m, err := decodeResult(body)
-		if err != nil {
-			rt.app.fail(fmt.Errorf("dps: bad result from %q: %w", src, err))
-			return
-		}
-		tok, _, err := rt.app.reg.Unmarshal(m.Payload)
-		if err != nil {
-			rt.app.fail(fmt.Errorf("dps: cannot deserialize result: %w", err))
-			return
-		}
-		putWireBuf(payload)
-		rt.app.completeCall(m.CallID, CallResult{Value: tok})
-		return
-	default:
-		rt.app.fail(fmt.Errorf("dps: unknown message kind %d from %q", kind, src))
-		return
-	}
-	putWireBuf(payload)
-}
+// --- linkSink: decoded inbound traffic from the link layer ---------------
 
-// dispatchLocal hands an envelope (token decoded) to its destination thread
+// deliverToken hands an envelope (token decoded) to its destination thread
 // on this node.
-func (rt *Runtime) dispatchLocal(env *envelope) {
+func (rt *Runtime) deliverToken(env *envelope) {
 	g, ok := rt.app.Graph(env.Graph)
 	if !ok {
 		rt.app.fail(fmt.Errorf("dps: unknown graph %q", env.Graph))
@@ -398,29 +171,45 @@ func (rt *Runtime) dispatchLocal(env *envelope) {
 	}
 	switch node.op.kind {
 	case KindLeaf, KindSplit:
-		rt.enqueue(inst, workItem{g: g, node: node, env: env})
+		inst.exec.Enqueue(workItem{inst: inst, g: g, node: node, env: env})
 	case KindMerge, KindStream:
 		rt.deliverToGroup(inst, g, node, env)
 	}
 }
 
+func (rt *Runtime) deliverGroupEnd(m *groupEndMsg) { rt.handleGroupEnd(m) }
+
+func (rt *Runtime) deliverAck(m ackMsg) { rt.handleAck(m) }
+
+func (rt *Runtime) deliverResult(callID uint64, tok Token) {
+	rt.app.completeCall(callID, CallResult{Value: tok})
+}
+
+func (rt *Runtime) linkFail(err error) { rt.app.fail(err) }
+
+// --- execution -----------------------------------------------------------
+
+// runItem executes one queued item, reporting whether the caller still
+// holds the drainer role afterwards. It is the scheduler layer's RunFunc.
+func (rt *Runtime) runItem(it workItem, tk sched.Ticket, fromDrainer bool) bool {
+	if it.collector {
+		return rt.runCollector(it, tk, fromDrainer)
+	}
+	return rt.runSimple(it, tk, fromDrainer)
+}
+
 // runSimple executes a leaf or split operation body, reporting whether the
 // calling goroutine still holds the drainer role afterwards.
-func (rt *Runtime) runSimple(inst *threadInstance, it workItem, fromDrainer bool) (still bool) {
-	g, node, env := it.g, it.node, it.env
+func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (still bool) {
+	inst, g, node, env := it.inst, it.g, it.node, it.env
 	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env, drainer: fromDrainer}
 	defer func() { still = c.drainer }()
-	it.tk.wait()
-	defer inst.lock.unlock()
+	tk.Wait()
+	defer inst.exec.Unlock()
 	defer rt.recoverOp(g, node)
 
 	if node.op.kind == KindSplit {
-		sg := newSplitGroup(rt.newGroupID(), g, node.id, rt.app.cfg.window())
-		rt.mu.Lock()
-		rt.splits[sg.id] = sg
-		rt.mu.Unlock()
-		rt.stats.groupsOpened.Add(1)
-		c.sg = sg
+		c.sg = rt.openGroup(g, node.id)
 	}
 	x := &exec{
 		ctx: c,
@@ -440,146 +229,18 @@ func (rt *Runtime) runSimple(inst *threadInstance, it workItem, fromDrainer bool
 	return
 }
 
-// finishOpener closes the group opened by a split or stream execution:
-// announces the total to the paired merge instance and enforces the
-// at-least-one-token rule.
-func (rt *Runtime) finishOpener(c *Ctx) {
-	sg := c.sg
-	if sg == nil {
-		return
-	}
-	sg.mu.Lock()
-	posted := sg.posted
-	mergeThread := sg.mergeThread
-	sg.done = true
-	sg.mu.Unlock()
-	if posted == 0 {
-		panic(opError{fmt.Errorf("dps: %s %q posted no tokens for its group", c.node.op.kind, c.node.op.name)})
-	}
-	closerNode := sg.graph.nodes[sg.closer]
-	end := &groupEndMsg{
-		Graph:   sg.graph.name,
-		Node:    sg.closer,
-		Thread:  mergeThread,
-		GroupID: sg.id,
-		Total:   posted,
-	}
-	target, err := closerNode.tc.NodeOf(mergeThread)
-	if err != nil {
-		panic(opError{err})
-	}
-	if target == rt.name {
-		rt.handleGroupEnd(end)
-	} else if err := rt.tr.Send(target, appendGroupEnd(getWireBuf(), end)); err != nil {
-		panic(opError{err})
-	}
-	rt.maybeReapSplit(sg)
-}
-
-// sendSafe is send for non-operation goroutines (graph calls): it converts
-// the panic-based error propagation into an error return.
-func (rt *Runtime) sendSafe(env *envelope, targetNode string) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if oe, ok := r.(opError); ok {
-				err = oe.err
-				return
-			}
-			panic(r)
-		}
-	}()
-	rt.send(env, targetNode)
-	return nil
-}
-
-// abortLocal wakes every blocked wait on this node so operations observe
-// the application failure and unwind.
-func (rt *Runtime) abortLocal() {
-	rt.mu.Lock()
-	splits := make([]*splitGroup, 0, len(rt.splits))
-	for _, sg := range rt.splits {
-		splits = append(splits, sg)
-	}
-	insts := make([]*threadInstance, 0, len(rt.threads))
-	for _, inst := range rt.threads {
-		insts = append(insts, inst)
-	}
-	rt.mu.Unlock()
-	for _, sg := range splits {
-		sg.mu.Lock()
-		sg.cond.Broadcast()
-		sg.mu.Unlock()
-	}
-	for _, inst := range insts {
-		inst.mu.Lock()
-		groups := make([]*mergeGroup, 0, len(inst.groups))
-		for _, mg := range inst.groups {
-			groups = append(groups, mg)
-		}
-		inst.mu.Unlock()
-		for _, mg := range groups {
-			mg.mu.Lock()
-			mg.cond.Broadcast()
-			mg.mu.Unlock()
-		}
-	}
-}
-
-// deliverToGroup buffers a token for (or starts) the merge/stream execution
-// of its group on the destination thread.
-func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *GraphNode, env *envelope) {
-	fr, ok := env.topFrame()
-	if !ok {
-		rt.app.fail(fmt.Errorf("dps: token reached %s %q with an empty frame stack", node.op.kind, node.op.name))
-		return
-	}
-	inst.mu.Lock()
-	mg, ok := inst.groups[fr.GroupID]
-	if !ok {
-		mg = newMergeGroup()
-		inst.groups[fr.GroupID] = mg
-	}
-	inst.mu.Unlock()
-
-	bt := bufferedToken{
-		tok:        env.Token,
-		lastWorker: env.LastWorker,
-		creditNode: env.CreditNode,
-		origin:     fr.Origin,
-		groupID:    fr.GroupID,
-	}
-	mg.mu.Lock()
-	mg.received++
-	if !mg.started {
-		mg.started = true
-		mg.mu.Unlock()
-		rt.enqueue(inst, workItem{g: g, node: node, env: env, bt: bt, mg: mg, collector: true})
-		return
-	}
-	mg.buf = append(mg.buf, bt)
-	mg.cond.Broadcast()
-	mg.mu.Unlock()
-	// The token and accounting fields now live in bt; the wrapper is free.
-	putEnvelope(env)
-}
-
 // runCollector executes a merge or stream body for one group, fed by the
 // group's buffer. It reports whether the calling goroutine still holds the
 // drainer role afterwards.
-func (rt *Runtime) runCollector(inst *threadInstance, it workItem, fromDrainer bool) (still bool) {
-	g, node, firstEnv, first, mg := it.g, it.node, it.env, it.bt, it.mg
+func (rt *Runtime) runCollector(it workItem, tk sched.Ticket, fromDrainer bool) (still bool) {
+	inst, g, node, firstEnv, first, mg := it.inst, it.g, it.node, it.env, it.bt, it.mg
 	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, mg: mg, drainer: fromDrainer}
 	defer func() { still = c.drainer }()
-	it.tk.wait()
-	defer inst.lock.unlock()
+	tk.Wait()
+	defer inst.exec.Unlock()
 	defer rt.recoverOp(g, node)
 	if node.op.kind == KindStream {
-		sg := newSplitGroup(rt.newGroupID(), g, node.id, rt.app.cfg.window())
-		rt.mu.Lock()
-		rt.splits[sg.id] = sg
-		rt.mu.Unlock()
-		rt.stats.groupsOpened.Add(1)
-		c.sg = sg
+		c.sg = rt.openGroup(g, node.id)
 	}
 	// The first token counts as consumed when the execution starts.
 	rt.ackConsumed(first)
@@ -615,143 +276,47 @@ func (rt *Runtime) runCollector(inst *threadInstance, it workItem, fromDrainer b
 	return
 }
 
-// ackConsumed notifies the split-side node that one token of a group has
-// been consumed by the merge, releasing flow-control window space and
-// load-balancing credits.
-func (rt *Runtime) ackConsumed(bt bufferedToken) {
-	rt.stats.acksSent.Add(1)
-	m := &ackMsg{GroupID: bt.groupID, Worker: bt.lastWorker, RouteNode: bt.creditNode}
-	if bt.origin == rt.name {
-		rt.handleAck(m)
-		return
-	}
-	if err := rt.tr.Send(bt.origin, appendAck(getWireBuf(), m)); err != nil {
-		rt.app.fail(err)
-	}
+// sendSafe is sendToken for non-operation goroutines (graph calls): it
+// converts the panic-based error propagation into an error return.
+func (rt *Runtime) sendSafe(env *envelope, targetNode string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if oe, ok := r.(opError); ok {
+				err = oe.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	rt.lnk.sendToken(env, targetNode)
+	return nil
 }
 
-func (rt *Runtime) handleAck(m *ackMsg) {
+// abortLocal wakes every blocked wait on this node so operations observe
+// the application failure and unwind.
+func (rt *Runtime) abortLocal() {
+	for _, sg := range rt.groups.all() {
+		sg.gate.Wake()
+	}
 	rt.mu.Lock()
-	sg := rt.splits[m.GroupID]
+	insts := make([]*threadInstance, 0, len(rt.threads))
+	for _, inst := range rt.threads {
+		insts = append(insts, inst)
+	}
 	rt.mu.Unlock()
-	if sg != nil {
-		sg.mu.Lock()
-		sg.acked++
-		sg.cond.Broadcast()
-		sg.mu.Unlock()
-		rt.maybeReapSplit(sg)
-		if m.RouteNode >= 0 && m.RouteNode < len(sg.graph.nodes) {
-			threads := sg.graph.nodes[m.RouteNode].tc.ThreadCount()
-			rt.tracker(sg.graph.name, m.RouteNode, threads).release(m.Worker)
+	for _, inst := range insts {
+		inst.mu.Lock()
+		groups := make([]*mergeGroup, 0, len(inst.groups))
+		for _, mg := range inst.groups {
+			groups = append(groups, mg)
+		}
+		inst.mu.Unlock()
+		for _, mg := range groups {
+			mg.mu.Lock()
+			mg.cond.Broadcast()
+			mg.mu.Unlock()
 		}
 	}
-}
-
-func (rt *Runtime) maybeReapSplit(sg *splitGroup) {
-	sg.mu.Lock()
-	reap := sg.done && sg.acked >= sg.posted
-	sg.mu.Unlock()
-	if reap {
-		rt.mu.Lock()
-		delete(rt.splits, sg.id)
-		rt.mu.Unlock()
-	}
-}
-
-func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
-	g, ok := rt.app.Graph(m.Graph)
-	if !ok {
-		rt.app.fail(fmt.Errorf("dps: group-end for unknown graph %q", m.Graph))
-		return
-	}
-	node := g.nodes[m.Node]
-	inst, err := rt.instance(node.tc, m.Thread)
-	if err != nil {
-		rt.app.fail(err)
-		return
-	}
-	inst.mu.Lock()
-	mg, ok := inst.groups[m.GroupID]
-	if !ok {
-		mg = newMergeGroup()
-		inst.groups[m.GroupID] = mg
-	}
-	inst.mu.Unlock()
-	mg.mu.Lock()
-	mg.total = m.Total
-	mg.cond.Broadcast()
-	mg.mu.Unlock()
-}
-
-// sendResult delivers a graph's final output to the caller.
-func (rt *Runtime) sendResult(env *envelope, tok Token) {
-	if env.CallOrigin == rt.name {
-		if rt.app.cfg.ForceSerialize {
-			payload, err := rt.app.reg.Marshal(tok)
-			if err != nil {
-				panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
-			}
-			out, _, err := rt.app.reg.Unmarshal(payload)
-			if err != nil {
-				panic(opError{fmt.Errorf("dps: cannot deserialize result: %w", err)})
-			}
-			tok = out
-		}
-		rt.stats.callsCompleted.Add(1)
-		rt.app.completeCall(env.CallID, CallResult{Value: tok})
-		return
-	}
-	// Serialize the result straight after the message header into a pooled
-	// buffer (single copy, mirroring the token path).
-	buf := appendResultHeader(getWireBuf(), env.CallID)
-	buf, err := rt.app.reg.Append(buf, tok)
-	if err != nil {
-		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
-	}
-	if err := rt.tr.Send(env.CallOrigin, buf); err != nil {
-		panic(opError{err})
-	}
-}
-
-// send routes an envelope toward the node hosting its destination thread.
-func (rt *Runtime) send(env *envelope, targetNode string) {
-	rt.stats.tokensPosted.Add(1)
-	if targetNode == rt.name && !rt.app.cfg.ForceSerialize {
-		// Same address space: transfer the pointer directly, bypassing the
-		// communication layer (paper §4).
-		rt.stats.tokensLocal.Add(1)
-		rt.dispatchLocal(env)
-		return
-	}
-	if targetNode == rt.name {
-		// ForceSerialize: full marshalling, then local delivery.
-		payload, err := rt.app.reg.Marshal(env.Token)
-		if err != nil {
-			panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
-		}
-		tok, _, err := rt.app.reg.Unmarshal(payload)
-		if err != nil {
-			panic(opError{fmt.Errorf("dps: cannot deserialize %T: %w", env.Token, err)})
-		}
-		env.Payload = payload
-		env.Token = tok
-		rt.dispatchLocal(env)
-		return
-	}
-	// The token is serialized straight into a pooled wire buffer after the
-	// envelope header (single copy); the receiving runtime recycles the
-	// buffer once decoded.
-	buf := appendEnvelopeHeader(getWireBuf(), env)
-	buf, err := rt.app.reg.Append(buf, env.Token)
-	if err != nil {
-		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
-	}
-	rt.stats.tokensRemote.Add(1)
-	rt.stats.bytesSent.Add(int64(len(buf)))
-	if err := rt.tr.Send(targetNode, buf); err != nil {
-		panic(opError{err})
-	}
-	putEnvelope(env)
 }
 
 // opError wraps runtime failures raised inside operation executions so the

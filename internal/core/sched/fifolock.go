@@ -1,22 +1,22 @@
-package core
+package sched
 
 import "sync"
 
-// fifoLock is a mutual-exclusion lock granting ownership in reservation
+// FIFOLock is a mutual-exclusion lock granting ownership in reservation
 // order. DPS serializes the operation bodies executing on one thread; the
 // dispatcher reserves a ticket synchronously when a token arrives so that
-// executions start in arrival order, even though each runs in its own
+// executions start in arrival order, even though each may run in its own
 // goroutine. Operations release the lock while blocked (merge Next, flow
 // controlled Post, graph calls), which reproduces the paper's behaviour of
 // a thread whose split is stalled still making progress on its merge.
-type fifoLock struct {
+type FIFOLock struct {
 	mu      sync.Mutex
 	locked  bool
 	waiters []chan struct{}
 }
 
-// ticket is a reservation for the lock.
-type ticket struct {
+// Ticket is a reservation for the lock.
+type Ticket struct {
 	ch <-chan struct{}
 }
 
@@ -29,31 +29,43 @@ var grantedTicket = func() chan struct{} {
 	return ch
 }()
 
-// reserve enqueues a reservation. The returned ticket's wait() blocks until
+// Reserve enqueues a reservation. The returned ticket's Wait blocks until
 // the lock is owned by the caller.
-func (l *fifoLock) reserve() ticket {
+func (l *FIFOLock) Reserve() Ticket {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.locked && len(l.waiters) == 0 {
 		l.locked = true
-		return ticket{ch: grantedTicket}
+		return Ticket{ch: grantedTicket}
 	}
 	ch := make(chan struct{})
 	l.waiters = append(l.waiters, ch)
-	return ticket{ch: ch}
+	return Ticket{ch: ch}
 }
 
-func (t ticket) wait() { <-t.ch }
+// Wait blocks until the reservation is granted.
+func (t Ticket) Wait() { <-t.ch }
 
-// lock reserves and waits.
-func (l *fifoLock) lock() { l.reserve().wait() }
+// granted reports whether the reservation is already grantable without
+// blocking (the lock reached this ticket's turn).
+func (t Ticket) granted() bool {
+	select {
+	case <-t.ch:
+		return true
+	default:
+		return false
+	}
+}
 
-// unlock passes ownership to the oldest waiter, if any.
-func (l *fifoLock) unlock() {
+// Lock reserves and waits.
+func (l *FIFOLock) Lock() { l.Reserve().Wait() }
+
+// Unlock passes ownership to the oldest waiter, if any.
+func (l *FIFOLock) Unlock() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.locked {
-		panic("core: unlock of unlocked fifoLock")
+		panic("sched: unlock of unlocked FIFOLock")
 	}
 	if len(l.waiters) > 0 {
 		ch := l.waiters[0]

@@ -1,0 +1,345 @@
+// Package sched is the intra-node scheduling layer of the DPS engine: it
+// owns the per-thread-instance dispatch queues, the FIFO execution tickets
+// that keep operation executions in token-arrival order, and the drainer
+// goroutines that pop queued executions and run them.
+//
+// Two execution modes are provided:
+//
+//   - direct (Workers <= 1): each instance with pending work has its own
+//     on-demand drainer goroutine, the original scheme;
+//   - sharded (Workers = N > 1): instances are statically assigned to N
+//     shards and runnable instances queue on their shard, so at most N
+//     unblocked drainer goroutines run concurrently (goroutines parked
+//     inside blocked operations have already handed their role off).
+//
+// In both modes the paper's progress-while-stalled semantics hold: an
+// operation that is about to block relinquishes the drainer role first
+// (Instance.Relinquish), so queued executions keep flowing while it waits.
+// Per-instance FIFO ordering is guaranteed by the tickets, which are
+// reserved under the queue lock at enqueue time: queue order and lock grant
+// order always agree.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultQueueCap bounds the per-instance dispatch queue when Config.QueueCap
+// is zero. Beyond it the scheduler degrades to the direct goroutine-per-token
+// scheme rather than blocking the poster (the per-split flow-control window
+// is the real bound on tokens in flight; this is a memory backstop).
+const DefaultQueueCap = 1024
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Workers selects the execution mode: <= 1 spawns an on-demand drainer
+	// goroutine per runnable instance; > 1 multiplexes runnable instances
+	// onto that many shard workers.
+	Workers int
+	// QueueCap bounds each instance's dispatch queue; zero selects
+	// DefaultQueueCap.
+	QueueCap int
+}
+
+// RunFunc executes one queued item. tk is the item's FIFO execution ticket
+// (the runner waits on it before entering the operation body); fromDrainer
+// reports whether the calling goroutine holds the item's instance drainer
+// role, and the return value reports whether it still does afterwards (an
+// operation that blocked mid-execution hands the role off and returns
+// false).
+type RunFunc[T any] func(it T, tk Ticket, fromDrainer bool) bool
+
+// Stats are cumulative counters of one scheduler.
+type Stats struct {
+	// QueueHighWater is the deepest per-instance dispatch queue observed.
+	QueueHighWater int64
+	// Handoffs counts drainer-role handoffs (an operation blocked and
+	// relinquished the role before waiting).
+	Handoffs int64
+}
+
+// Scheduler dispatches work items onto per-instance FIFO queues and drains
+// them according to the configured execution mode.
+type Scheduler[T any] struct {
+	run      RunFunc[T]
+	queueCap int
+	shards   []shard[T] // empty in direct mode
+
+	queueHighWater atomic.Int64
+	handoffs       atomic.Int64
+}
+
+// shard is one intra-node execution lane of the sharded mode: a queue of
+// runnable instances plus the worker role, held by at most one unblocked
+// goroutine at a time.
+type shard[T any] struct {
+	mu     sync.Mutex
+	runq   []*Instance[T]
+	active bool
+}
+
+// entry is one queued execution with its pre-reserved ticket.
+type entry[T any] struct {
+	it T
+	tk Ticket
+}
+
+// Instance is the scheduling state of one thread instance: its dispatch
+// queue and the FIFO lock serializing the operation bodies that run on it.
+type Instance[T any] struct {
+	sched *Scheduler[T]
+	sh    *shard[T] // nil in direct mode
+
+	lock FIFOLock
+
+	mu       sync.Mutex
+	queue    []entry[T]
+	draining bool // a goroutine owns the right to pop this queue
+	queued   bool // sharded mode: instance sits on its shard's run queue
+}
+
+// New creates a scheduler executing items with run.
+func New[T any](cfg Config, run RunFunc[T]) *Scheduler[T] {
+	s := new(Scheduler[T])
+	s.Init(cfg, run)
+	return s
+}
+
+// Init initializes an embedded (zero-valued) scheduler in place.
+func (s *Scheduler[T]) Init(cfg Config, run RunFunc[T]) {
+	s.run = run
+	s.queueCap = cfg.QueueCap
+	if s.queueCap <= 0 {
+		s.queueCap = DefaultQueueCap
+	}
+	if cfg.Workers > 1 {
+		s.shards = make([]shard[T], cfg.Workers)
+	}
+}
+
+// Workers returns the number of shard workers (1 for the direct mode).
+func (s *Scheduler[T]) Workers() int {
+	if len(s.shards) == 0 {
+		return 1
+	}
+	return len(s.shards)
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler[T]) Stats() Stats {
+	return Stats{
+		QueueHighWater: s.queueHighWater.Load(),
+		Handoffs:       s.handoffs.Load(),
+	}
+}
+
+// NewInstance creates an instance; key selects its shard in sharded mode
+// (instances with equal keys modulo Workers share a lane).
+func (s *Scheduler[T]) NewInstance(key int) *Instance[T] {
+	inst := new(Instance[T])
+	s.InitInstance(inst, key)
+	return inst
+}
+
+// InitInstance initializes an embedded (zero-valued) instance in place,
+// avoiding a separate allocation for containers that hold one per thread.
+func (s *Scheduler[T]) InitInstance(inst *Instance[T], key int) {
+	inst.sched = s
+	if n := len(s.shards); n > 0 {
+		if key < 0 {
+			key = -key
+		}
+		inst.sh = &s.shards[key%n]
+	}
+}
+
+// Lock acquires the instance's FIFO execution lock with a fresh reservation,
+// behind every already-queued ticket. It is the reacquire half of a blocking
+// point; the drainer role is deliberately not re-taken.
+func (inst *Instance[T]) Lock() { inst.lock.Lock() }
+
+// Unlock releases the instance's FIFO execution lock.
+func (inst *Instance[T]) Unlock() { inst.lock.Unlock() }
+
+// Enqueue reserves the execution ticket and queues the item, making the
+// instance runnable if no goroutine currently holds its drainer role. When
+// the queue is at capacity the item instead runs on its own goroutine (the
+// ticket still serializes it in order).
+func (inst *Instance[T]) Enqueue(it T) {
+	s := inst.sched
+	inst.mu.Lock()
+	tk := inst.lock.Reserve()
+	if len(inst.queue) >= s.queueCap {
+		inst.mu.Unlock()
+		go s.run(it, tk, false)
+		return
+	}
+	inst.queue = append(inst.queue, entry[T]{it: it, tk: tk})
+	s.noteDepth(int64(len(inst.queue)))
+	if inst.sh == nil {
+		spawn := !inst.draining
+		if spawn {
+			inst.draining = true
+		}
+		inst.mu.Unlock()
+		if spawn {
+			go s.drainLoop(inst)
+		}
+		return
+	}
+	signal := !inst.draining && !inst.queued
+	if signal {
+		inst.queued = true
+	}
+	inst.mu.Unlock()
+	if signal {
+		s.pushRunnable(inst)
+	}
+}
+
+// Relinquish hands the drainer role off before the holder blocks: queued
+// work continues on another goroutine, an empty queue just releases the role
+// for the next enqueue. Callers must invoke it before releasing the
+// instance's execution lock at a blocking point, and only while they hold
+// the drainer role.
+func (inst *Instance[T]) Relinquish() {
+	s := inst.sched
+	s.handoffs.Add(1)
+	if inst.sh == nil {
+		inst.mu.Lock()
+		if len(inst.queue) > 0 {
+			inst.mu.Unlock()
+			go s.drainLoop(inst)
+			return
+		}
+		inst.draining = false
+		inst.mu.Unlock()
+		return
+	}
+	// Sharded: give up the instance-drainer role, requeue the instance if
+	// it still has work, then pass the shard-worker role to a successor
+	// goroutine (the caller is about to block inside an operation).
+	inst.mu.Lock()
+	inst.draining = false
+	requeue := len(inst.queue) > 0 && !inst.queued
+	if requeue {
+		inst.queued = true
+	}
+	inst.mu.Unlock()
+	sh := inst.sh
+	sh.mu.Lock()
+	if requeue {
+		sh.runq = append(sh.runq, inst)
+	}
+	if len(sh.runq) == 0 {
+		sh.active = false
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	go s.shardLoop(sh)
+}
+
+// pushRunnable queues an instance on its shard and makes sure a worker
+// goroutine is draining the shard.
+func (s *Scheduler[T]) pushRunnable(inst *Instance[T]) {
+	sh := inst.sh
+	sh.mu.Lock()
+	sh.runq = append(sh.runq, inst)
+	spawn := !sh.active
+	if spawn {
+		sh.active = true
+	}
+	sh.mu.Unlock()
+	if spawn {
+		go s.shardLoop(sh)
+	}
+}
+
+// shardLoop is a shard-worker goroutine: it pops runnable instances and
+// drains them inline until the shard is idle or the worker role was handed
+// off mid-operation (drainLoop returning false).
+func (s *Scheduler[T]) shardLoop(sh *shard[T]) {
+	for {
+		sh.mu.Lock()
+		if len(sh.runq) == 0 {
+			sh.active = false
+			sh.mu.Unlock()
+			return
+		}
+		inst := sh.runq[0]
+		sh.runq[0] = nil
+		sh.runq = sh.runq[1:]
+		sh.mu.Unlock()
+		inst.mu.Lock()
+		inst.queued = false
+		if inst.draining || len(inst.queue) == 0 {
+			inst.mu.Unlock()
+			continue
+		}
+		inst.draining = true
+		inst.mu.Unlock()
+		if !s.drainLoop(inst) {
+			// An operation blocked; Relinquish spawned a successor worker
+			// (or parked the shard), so this goroutine retires.
+			return
+		}
+	}
+}
+
+// drainLoop pops queued executions of one instance and runs them inline,
+// starting with the drainer role held. It returns true once the queue is
+// empty, or false if the calling goroutine lost the role to a successor (an
+// operation blocked mid-execution and handed it off).
+func (s *Scheduler[T]) drainLoop(inst *Instance[T]) bool {
+	for {
+		inst.mu.Lock()
+		if len(inst.queue) == 0 {
+			inst.draining = false
+			inst.mu.Unlock()
+			return true
+		}
+		e := inst.queue[0]
+		inst.queue[0] = entry[T]{}
+		inst.queue = inst.queue[1:]
+		inst.mu.Unlock()
+		if inst.sh != nil && !e.tk.granted() {
+			// Sharded mode: the instance's execution lock is held by an
+			// earlier operation still running (e.g. one that blocked,
+			// reacquired and is now computing). Parking this worker in
+			// tk.Wait would starve every other instance of the lane, so the
+			// item runs on its own goroutine (the ticket keeps it in FIFO
+			// order) and the lane moves on.
+			go s.run(e.it, e.tk, false)
+			continue
+		}
+		if s.run(e.it, e.tk, true) {
+			continue
+		}
+		if inst.sh != nil {
+			// Sharded mode: the relinquish already requeued the instance if
+			// needed; the popped-queue invariant belongs to the successor.
+			return false
+		}
+		// Direct mode: reclaim the role unless a successor drainer is
+		// active, exactly as the original monolithic loop did.
+		inst.mu.Lock()
+		if inst.draining {
+			inst.mu.Unlock()
+			return false
+		}
+		inst.draining = true
+		inst.mu.Unlock()
+	}
+}
+
+// noteDepth records a queue-depth observation in the high-water mark.
+func (s *Scheduler[T]) noteDepth(depth int64) {
+	for {
+		cur := s.queueHighWater.Load()
+		if depth <= cur || s.queueHighWater.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- FIFOLock ------------------------------------------------------------
+
+func TestFIFOLockMutualExclusion(t *testing.T) {
+	var l FIFOLock
+	var inCrit atomic.Int32
+	var max atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Lock()
+				if v := inCrit.Add(1); v > max.Load() {
+					max.Store(v)
+				}
+				inCrit.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if max.Load() > 1 {
+		t.Fatalf("mutual exclusion violated: %d goroutines in critical section", max.Load())
+	}
+}
+
+func TestFIFOLockOrder(t *testing.T) {
+	var l FIFOLock
+	l.Lock()
+	const n = 20
+	order := make([]int, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	tickets := make([]Ticket, n)
+	// Reserve in a known order while the lock is held.
+	for i := 0; i < n; i++ {
+		tickets[i] = l.Reserve()
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tickets[i].Wait()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Unlock()
+		}(i)
+	}
+	l.Unlock()
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("reservation order violated: %v", order)
+		}
+	}
+}
+
+func TestFIFOLockUnlockUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var l FIFOLock
+	l.Unlock()
+}
+
+func TestFIFOLockImmediateGrant(t *testing.T) {
+	var l FIFOLock
+	done := make(chan struct{})
+	go func() {
+		l.Lock()
+		l.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("uncontended lock did not grant")
+	}
+}
+
+// --- Scheduler -----------------------------------------------------------
+
+// testOrderPreserved pushes n items through one instance with an
+// engine-style runner (wait ticket, record, unlock) and checks execution
+// order matches enqueue order.
+func testOrderPreserved(t *testing.T, workers int) {
+	t.Helper()
+	const n = 1000
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	var inst *Instance[int]
+	s := New(Config{Workers: workers}, func(it int, tk Ticket, fromDrainer bool) bool {
+		tk.Wait()
+		mu.Lock()
+		got = append(got, it)
+		mu.Unlock()
+		inst.Unlock()
+		wg.Done()
+		return fromDrainer
+	})
+	inst = s.NewInstance(7)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		inst.Enqueue(i)
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order violated at %d (workers=%d): got %v", i, workers, got[i])
+		}
+	}
+}
+
+func TestOrderDirect(t *testing.T)  { testOrderPreserved(t, 1) }
+func TestOrderSharded(t *testing.T) { testOrderPreserved(t, 4) }
+
+// TestShardedConcurrency checks that distinct instances on distinct shards
+// actually run concurrently: two blocking items must overlap in time.
+func TestShardedConcurrency(t *testing.T) {
+	var running atomic.Int32
+	var peak atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var a, b *Instance[int]
+	s := New(Config{Workers: 2}, func(it int, tk Ticket, fromDrainer bool) bool {
+		tk.Wait()
+		if v := running.Add(1); v > peak.Load() {
+			peak.Store(v)
+		}
+		<-release
+		running.Add(-1)
+		if it == 1 {
+			a.Unlock()
+		} else {
+			b.Unlock()
+		}
+		wg.Done()
+		return fromDrainer
+	})
+	a = s.NewInstance(0)
+	b = s.NewInstance(1)
+	wg.Add(2)
+	a.Enqueue(1)
+	b.Enqueue(2)
+	// Give both shard workers time to enter their items.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if peak.Load() != 2 {
+		t.Fatalf("expected 2 concurrent executions across shards, peak %d", peak.Load())
+	}
+}
+
+// TestRelinquishKeepsShardLive checks the drainer handoff: an item that
+// blocks mid-execution (after relinquishing, like a stalled split) must not
+// stall other instances of its shard.
+func TestRelinquishKeepsShardLive(t *testing.T) {
+	release := make(chan struct{})
+	otherRan := make(chan struct{})
+	blockerDone := make(chan struct{})
+	var blocker, other *Instance[string]
+	// Two worker lanes, but both instances keyed onto lane 0 so the test
+	// exercises the in-lane handoff.
+	s := New(Config{Workers: 2}, func(it string, tk Ticket, fromDrainer bool) bool {
+		tk.Wait()
+		if it == "blocker" {
+			// A blocking operation: hand the role off, release the
+			// execution lock, wait, reacquire, finish.
+			if fromDrainer {
+				blocker.Relinquish()
+				fromDrainer = false
+			}
+			blocker.Unlock()
+			<-release
+			blocker.Lock()
+			blocker.Unlock()
+			close(blockerDone)
+			return fromDrainer
+		}
+		other.Unlock()
+		close(otherRan)
+		return fromDrainer
+	})
+	// Both instances land on the single shard.
+	blocker = s.NewInstance(0)
+	other = s.NewInstance(0)
+	blocker.Enqueue("blocker")
+	go func() {
+		// Give the blocker time to start and relinquish, then enqueue the
+		// second instance's work on the same shard.
+		time.Sleep(20 * time.Millisecond)
+		other.Enqueue("other")
+	}()
+	select {
+	case <-otherRan:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard stalled behind a blocked operation")
+	}
+	close(release)
+	select {
+	case <-blockerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked operation never resumed")
+	}
+	if s.Stats().Handoffs == 0 {
+		t.Fatal("expected a recorded drainer handoff")
+	}
+}
+
+// TestQueueHighWater checks the depth counter rises with queued work.
+func TestQueueHighWater(t *testing.T) {
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	var inst *Instance[int]
+	s := New(Config{Workers: 1}, func(it int, tk Ticket, fromDrainer bool) bool {
+		tk.Wait()
+		<-gate
+		inst.Unlock()
+		wg.Done()
+		return fromDrainer
+	})
+	inst = s.NewInstance(0)
+	const n = 10
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		inst.Enqueue(i)
+	}
+	close(gate)
+	wg.Wait()
+	if hw := s.Stats().QueueHighWater; hw < 2 {
+		t.Fatalf("queue high-water %d, want >= 2", hw)
+	}
+}
+
+// TestOverflowRunsEverything checks the queue-cap overflow path still runs
+// every item exactly once in FIFO order.
+func TestOverflowRunsEverything(t *testing.T) {
+	const n = 64
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	var inst *Instance[int]
+	s := New(Config{Workers: 1, QueueCap: 4}, func(it int, tk Ticket, fromDrainer bool) bool {
+		tk.Wait()
+		mu.Lock()
+		got = append(got, it)
+		mu.Unlock()
+		inst.Unlock()
+		wg.Done()
+		return fromDrainer
+	})
+	inst = s.NewInstance(0)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		inst.Enqueue(i)
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("ran %d of %d items", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("overflow path broke FIFO order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+// TestWorkersReported checks mode selection.
+func TestWorkersReported(t *testing.T) {
+	if w := New[int](Config{}, nil).Workers(); w != 1 {
+		t.Fatalf("direct mode workers = %d", w)
+	}
+	if w := New[int](Config{Workers: 8}, nil).Workers(); w != 8 {
+		t.Fatalf("sharded mode workers = %d", w)
+	}
+}
+
+// TestShardLaneLiveDespiteHeldLock checks that a shard worker does not park
+// on a FIFO ticket while an instance's execution lock is held by an earlier
+// (resumed) operation: other instances of the lane must keep being served,
+// and the waiting item must still run in order once the lock frees.
+func TestShardLaneLiveDespiteHeldLock(t *testing.T) {
+	aRan := make(chan struct{})
+	bRan := make(chan struct{})
+	var a, b *Instance[string]
+	s := New(Config{Workers: 2}, func(it string, tk Ticket, fromDrainer bool) bool {
+		tk.Wait()
+		switch it {
+		case "a":
+			a.Unlock()
+			close(aRan)
+		case "b":
+			b.Unlock()
+			close(bRan)
+		}
+		return fromDrainer
+	})
+	// Both instances on lane 0.
+	a = s.NewInstance(0)
+	b = s.NewInstance(0)
+	// An earlier operation holds A's execution lock (as after a blocking
+	// point's reacquire) while A has queued work.
+	a.Lock()
+	a.Enqueue("a")
+	b.Enqueue("b")
+	select {
+	case <-bRan:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lane starved: instance B not served while A's lock was held")
+	}
+	select {
+	case <-aRan:
+		t.Fatal("A's item ran although its execution lock was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Unlock() // the earlier operation finishes
+	select {
+	case <-aRan:
+	case <-time.After(5 * time.Second):
+		t.Fatal("A's item did not run after the lock freed")
+	}
+}

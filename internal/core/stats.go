@@ -19,14 +19,20 @@ type Stats struct {
 	GroupsOpened int64
 	// AcksSent counts consumption acknowledgements issued by merges.
 	AcksSent int64
-	// WindowStalls counts posts that blocked on the flow-control window.
+	// WindowStalls counts posts that blocked on the flow-control gate.
 	WindowStalls int64
 	// CallsCompleted counts graph-call results delivered on the node.
 	CallsCompleted int64
+	// QueueHighWater is the deepest per-instance dispatch queue observed by
+	// the scheduler layer. Aggregation takes the maximum, not the sum.
+	QueueHighWater int64
+	// DrainerHandoffs counts scheduler drainer-role handoffs (an operation
+	// blocked mid-execution and passed its queue to another goroutine).
+	DrainerHandoffs int64
 }
 
-// add accumulates o into s.
-func (s *Stats) add(o *Stats) {
+// Add accumulates o into s (QueueHighWater takes the maximum).
+func (s *Stats) Add(o *Stats) {
 	s.TokensPosted += o.TokensPosted
 	s.TokensLocal += o.TokensLocal
 	s.TokensRemote += o.TokensRemote
@@ -35,9 +41,15 @@ func (s *Stats) add(o *Stats) {
 	s.AcksSent += o.AcksSent
 	s.WindowStalls += o.WindowStalls
 	s.CallsCompleted += o.CallsCompleted
+	if o.QueueHighWater > s.QueueHighWater {
+		s.QueueHighWater = o.QueueHighWater
+	}
+	s.DrainerHandoffs += o.DrainerHandoffs
 }
 
 // statCounters is the atomic backing store embedded in each Runtime.
+// Scheduler-layer counters (queue depth, handoffs) live in the scheduler
+// itself and are merged into snapshots.
 type statCounters struct {
 	tokensPosted   atomic.Int64
 	tokensLocal    atomic.Int64
@@ -63,7 +75,13 @@ func (c *statCounters) snapshot() *Stats {
 }
 
 // Stats returns a snapshot of this node runtime's counters.
-func (rt *Runtime) Stats() *Stats { return rt.stats.snapshot() }
+func (rt *Runtime) Stats() *Stats {
+	s := rt.stats.snapshot()
+	ss := rt.sched.Stats()
+	s.QueueHighWater = ss.QueueHighWater
+	s.DrainerHandoffs = ss.Handoffs
+	return s
+}
 
 // Stats aggregates the counters of every node runtime.
 func (app *App) Stats() *Stats {
@@ -75,7 +93,7 @@ func (app *App) Stats() *Stats {
 	app.mu.Unlock()
 	total := &Stats{}
 	for _, rt := range rts {
-		total.add(rt.Stats())
+		total.Add(rt.Stats())
 	}
 	return total
 }

@@ -198,7 +198,7 @@ func decodeGroupEnd(b []byte) (*groupEndMsg, error) {
 	return m, nil
 }
 
-func appendAck(b []byte, m *ackMsg) []byte {
+func appendAck(b []byte, m ackMsg) []byte {
 	b = append(b, msgAck)
 	b = appendUint64(b, m.GroupID)
 	b = appendInt(b, m.Worker)
@@ -207,24 +207,24 @@ func appendAck(b []byte, m *ackMsg) []byte {
 	return b
 }
 
-func encodeAck(m *ackMsg) []byte {
+func encodeAck(m ackMsg) []byte {
 	return appendAck(nil, m)
 }
 
-func decodeAck(b []byte) (*ackMsg, error) {
-	m := &ackMsg{}
+func decodeAck(b []byte) (ackMsg, error) {
+	var m ackMsg
 	var err error
 	if m.GroupID, b, err = readUint64(b); err != nil {
-		return nil, err
+		return ackMsg{}, err
 	}
 	if m.Worker, b, err = readInt(b); err != nil {
-		return nil, err
+		return ackMsg{}, err
 	}
 	if m.Graph, b, err = readString(b); err != nil {
-		return nil, err
+		return ackMsg{}, err
 	}
 	if m.RouteNode, _, err = readInt(b); err != nil {
-		return nil, err
+		return ackMsg{}, err
 	}
 	return m, nil
 }

@@ -16,6 +16,7 @@ package parlife
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/life"
@@ -192,12 +193,13 @@ func (st *workerState) ensureIter(iter int) {
 
 // Sim is a running distributed Game of Life.
 type Sim struct {
-	app     *core.App
-	name    string
-	width   int
-	height  int
-	workers int
-	bounds  []int
+	app      *core.App
+	name     string
+	width    int
+	height   int
+	workers  int
+	bounds   []int
+	cellCost time.Duration
 
 	master  *core.ThreadCollection
 	band    *core.ThreadCollection
@@ -220,6 +222,16 @@ type Options struct {
 	// WorkerNodes maps worker thread i to a node; defaults to round-robin
 	// over the application's nodes.
 	WorkerNodes []string
+	// CellCost charges a modelled computation time per cell update on top
+	// of the real compute, by sleeping cells*CellCost in the compute
+	// operations. The experiment harness uses it to reproduce the paper's
+	// communication/computation balance (their 733 MHz Pentium III spent
+	// ~125ns per cell) on hosts whose real core count is smaller than the
+	// simulated cluster: sleeps overlap across worker threads exactly as
+	// the modelled transfers in internal/simnet do, so the distributed
+	// speedup shape is visible regardless of host parallelism. Zero charges
+	// nothing (pure real compute).
+	CellCost time.Duration
 }
 
 // New builds the life application's collections and all five flow graphs
@@ -235,12 +247,13 @@ func New(app *core.App, width, height int, opt Options) (*Sim, error) {
 		return nil, fmt.Errorf("parlife: height %d < workers %d", height, opt.Workers)
 	}
 	s := &Sim{
-		app:     app,
-		name:    opt.Name,
-		width:   width,
-		height:  height,
-		workers: opt.Workers,
-		bounds:  life.BandBounds(height, opt.Workers),
+		app:      app,
+		name:     opt.Name,
+		width:    width,
+		height:   height,
+		workers:  opt.Workers,
+		bounds:   life.BandBounds(height, opt.Workers),
+		cellCost: opt.CellCost,
 	}
 	var err error
 	if s.master, err = core.NewCollection[struct{}](app, opt.Name+"-master"); err != nil {
@@ -281,6 +294,14 @@ func (s *Sim) ownerOf(worldRow int) int {
 func (s *Sim) up(i int) int   { return (i - 1 + s.workers) % s.workers }
 func (s *Sim) down(i int) int { return (i + 1) % s.workers }
 
+// chargeCompute sleeps the modelled computation time of rows band rows
+// (see Options.CellCost).
+func (s *Sim) chargeCompute(rows int) {
+	if s.cellCost > 0 && rows > 0 {
+		time.Sleep(time.Duration(rows*s.width) * s.cellCost)
+	}
+}
+
 // readBorderLeaf extracts the requested border row from the source band.
 func (s *Sim) readBorderLeaf() *core.OpDef {
 	return core.Leaf[*BorderRead, *BorderData](s.name+"-read-border",
@@ -313,6 +334,11 @@ func (s *Sim) storeBorderLeaf(computeEdges bool, opName string) *core.OpDef {
 			}
 			if computeEdges && st.gotUp && st.gotDn {
 				st.band.StepEdges(st.shadow)
+				edgeRows := 2
+				if len(st.band.Rows) < 2 {
+					edgeRows = len(st.band.Rows)
+				}
+				s.chargeCompute(edgeRows)
 				if st.centerDone {
 					st.computedIter = in.Iter
 				}
@@ -351,6 +377,7 @@ func (s *Sim) buildGraphs() error {
 			st := core.StateOf[workerState](c)
 			st.ensureIter(in.Iter)
 			st.band.StepAll(st.shadow)
+			s.chargeCompute(len(st.band.Rows))
 			st.computedIter = in.Iter
 			return &Notify{Iter: in.Iter, Worker: in.Worker}
 		})
@@ -391,7 +418,7 @@ func (s *Sim) buildGraphs() error {
 		func(c *core.Ctx, in *CenterOrder) *Notify {
 			st := core.StateOf[workerState](c)
 			st.ensureIter(in.Iter)
-			st.band.StepInterior(st.shadow)
+			s.chargeCompute(st.band.StepInterior(st.shadow))
 			st.centerDone = true
 			if st.gotUp && st.gotDn {
 				st.computedIter = in.Iter

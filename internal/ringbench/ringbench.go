@@ -50,6 +50,9 @@ type Result struct {
 	TotalBytes int64
 	Elapsed    time.Duration
 	Throughput float64 // MB/s of payload leaving the first node
+	// Stats snapshots the application's engine counters at the end of the
+	// run (tokens, bytes, stalls, queue depths).
+	Stats *core.Stats
 }
 
 // RunDPS measures the DPS ring: a split on node 0 posts the blocks, leaf
@@ -57,6 +60,12 @@ type Result struct {
 // collects them. Pipelining keeps every hop busy, as in the paper's test
 // where "individual machines forward the data as soon as they receive it".
 func RunDPS(cfg simnet.Config, ringNodes, totalBytes, blockSize, window int) (Result, error) {
+	return RunDPSConfig(cfg, ringNodes, totalBytes, blockSize, core.Config{Window: window})
+}
+
+// RunDPSConfig is RunDPS with full control over the engine configuration
+// (flow-control policy, scheduler workers, queue bound).
+func RunDPSConfig(cfg simnet.Config, ringNodes, totalBytes, blockSize int, appCfg core.Config) (Result, error) {
 	if ringNodes < 2 {
 		return Result{}, fmt.Errorf("ringbench: need at least 2 nodes")
 	}
@@ -66,7 +75,7 @@ func RunDPS(cfg simnet.Config, ringNodes, totalBytes, blockSize, window int) (Re
 	for i := range names {
 		names[i] = fmt.Sprintf("ring%d", i)
 	}
-	app, err := core.NewSimApp(core.Config{Window: window}, net, names...)
+	app, err := core.NewSimApp(appCfg, net, names...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -132,6 +141,7 @@ func RunDPS(cfg simnet.Config, ringNodes, totalBytes, blockSize, window int) (Re
 		TotalBytes: total,
 		Elapsed:    elapsed,
 		Throughput: trace.ThroughputMBs(total, elapsed),
+		Stats:      app.Stats(),
 	}, nil
 }
 

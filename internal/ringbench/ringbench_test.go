@@ -4,6 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/core/flowctl"
 	"repro/internal/simnet"
 )
 
@@ -101,5 +103,51 @@ func TestRejectsTinyRing(t *testing.T) {
 	}
 	if _, err := RunRaw(testCfg(), 1, 1024, 256); err == nil {
 		t.Fatal("expected error for 1-node ring")
+	}
+}
+
+// TestUnboundedPolicyEquivalence runs the DPS ring under the default
+// Window policy and under flowctl.Unbounded: both must deliver every block
+// with identical token accounting; only the stall behaviour may differ
+// (Unbounded never stalls).
+func TestUnboundedPolicyEquivalence(t *testing.T) {
+	const total, block = 1 << 20, 32 << 10
+	windowed, err := RunDPSConfig(testCfg(), 4, total, block, core.Config{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := RunDPSConfig(testCfg(), 4, total, block, core.Config{FlowPolicy: flowctl.Unbounded{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowed.TotalBytes != unbounded.TotalBytes {
+		t.Fatalf("byte totals diverge: %d vs %d", windowed.TotalBytes, unbounded.TotalBytes)
+	}
+	for name, pair := range map[string][2]int64{
+		"TokensPosted": {windowed.Stats.TokensPosted, unbounded.Stats.TokensPosted},
+		"GroupsOpened": {windowed.Stats.GroupsOpened, unbounded.Stats.GroupsOpened},
+		"AcksSent":     {windowed.Stats.AcksSent, unbounded.Stats.AcksSent},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s diverges between policies: %d vs %d", name, pair[0], pair[1])
+		}
+	}
+	// A 4-slot window over 32 blocks must stall; Unbounded never does.
+	if windowed.Stats.WindowStalls == 0 {
+		t.Error("window policy recorded no stalls on a tiny window")
+	}
+	if unbounded.Stats.WindowStalls != 0 {
+		t.Errorf("unbounded policy recorded %d stalls", unbounded.Stats.WindowStalls)
+	}
+}
+
+// TestShardedWorkersRing runs the DPS ring with a sharded scheduler.
+func TestShardedWorkersRing(t *testing.T) {
+	res, err := RunDPSConfig(testCfg(), 4, 1<<20, 64<<10, core.Config{Window: 32, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 1<<20 {
+		t.Fatalf("moved %d bytes", res.TotalBytes)
 	}
 }
