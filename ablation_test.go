@@ -11,14 +11,14 @@ package repro
 // Run with: go test -bench=Ablation -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/matrix"
 	"repro/internal/parlin"
-	"repro/internal/serial"
 	"repro/internal/simnet"
 )
 
@@ -32,54 +32,58 @@ type ablSum struct {
 }
 
 var (
-	_ = serial.MustRegister[ablTok]()
-	_ = serial.MustRegister[ablSum]()
+	_ = dps.Register[ablTok]()
+	_ = dps.Register[ablSum]()
 )
 
-// fanGraph builds a split -> work -> merge graph with the given routing and
-// returns the graph; payload bytes per token and a per-token worker delay
-// model the workload.
-func fanGraph(b *testing.B, app *core.App, name string, route *core.Route, workers int,
-	delay func(thread int) time.Duration) *core.Flowgraph {
+// callT invokes the graph with a deadline: ablation experiments must fail
+// rather than hang when a configuration wedges the pipeline.
+func callT(b *testing.B, g dps.Graph[*ablTok, *ablSum], in *ablTok, d time.Duration) *ablSum {
 	b.Helper()
-	master := core.MustCollection[struct{}](app, name+"-master")
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	out, err := g.Call(ctx, in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// fanGraph builds a split -> work -> merge graph with the given routing;
+// payload bytes per token and a per-token worker delay model the workload.
+func fanGraph(b *testing.B, app *dps.App, name string, route *dps.Route, workers int,
+	delay func(thread int) time.Duration) dps.Graph[*ablTok, *ablSum] {
+	b.Helper()
+	master := dps.MustCollection[struct{}](app, name+"-master")
 	if err := master.Map(app.MasterNode()); err != nil {
 		b.Fatal(err)
 	}
-	work := core.MustCollection[struct{}](app, name+"-workers")
+	work := dps.MustCollection[struct{}](app, name+"-workers")
 	if err := work.MapRoundRobin(workers); err != nil {
 		b.Fatal(err)
 	}
-	split := core.Split[*ablTok, *ablTok](name+"-split",
-		func(c *core.Ctx, in *ablTok, post func(*ablTok)) {
+	split := dps.Split(name+"-split", master, dps.MainRoute(),
+		func(c *dps.Ctx, in *ablTok, post func(*ablTok)) {
 			for i := 0; i < in.N; i++ {
 				post(&ablTok{N: i, Data: in.Data})
 			}
 		})
-	leaf := core.Leaf[*ablTok, *ablTok](name+"-work",
-		func(c *core.Ctx, in *ablTok) *ablTok {
+	leaf := dps.Leaf(name+"-work", work, route,
+		func(c *dps.Ctx, in *ablTok) *ablTok {
 			if d := delay(c.ThreadIndex()); d > 0 {
 				time.Sleep(d)
 			}
 			return in
 		})
-	merge := core.Merge[*ablTok, *ablSum](name+"-merge",
-		func(c *core.Ctx, first *ablTok, next func() (*ablTok, bool)) *ablSum {
+	merge := dps.Merge(name+"-merge", master, dps.MainRoute(),
+		func(c *dps.Ctx, first *ablTok, next func() (*ablTok, bool)) *ablSum {
 			n := 0
 			for _, ok := first, true; ok; _, ok = next() {
 				n++
 			}
 			return &ablSum{N: n}
 		})
-	g, err := app.NewFlowgraph(name, core.Path(
-		core.NewNode(split, master, core.MainRoute()),
-		core.NewNode(leaf, work, route),
-		core.NewNode(merge, master, core.MainRoute()),
-	))
-	if err != nil {
-		b.Fatal(err)
-	}
-	return g
+	return dps.MustBuild(app, name, dps.Then(dps.Then(dps.Chain(split), leaf), merge))
 }
 
 // BenchmarkAblationWindow sweeps the flow-control window: tiny windows
@@ -89,19 +93,17 @@ func BenchmarkAblationWindow(b *testing.B) {
 		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
 			net := simnet.New(simnet.Config{Bandwidth: 200e6, Latency: 20 * time.Microsecond, PerMessage: 5 * time.Microsecond})
 			defer net.Close()
-			app, err := core.NewSimApp(core.Config{Window: window}, net, "a0", "a1")
+			app, err := dps.NewSim(net, dps.WithNodes("a0", "a1"), dps.WithWindow(window))
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer app.Close()
-			g := fanGraph(b, app, "win", core.RoundRobin(), 1, func(int) time.Duration { return 0 })
+			g := fanGraph(b, app, "win", dps.RoundRobin(), 1, func(int) time.Duration { return 0 })
 			payload := make([]byte, 16<<10)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := g.CallTimeout(app.MasterNode(), &ablTok{N: 128, Data: payload}, 60*time.Second); err != nil {
-					b.Fatal(err)
-				}
+				callT(b, g, &ablTok{N: 128, Data: payload}, 60*time.Second)
 			}
 		})
 	}
@@ -116,20 +118,18 @@ func BenchmarkAblationLocalBypass(b *testing.B) {
 			name = "force-serialize"
 		}
 		b.Run(name, func(b *testing.B) {
-			app, err := core.NewLocalApp(core.Config{ForceSerialize: force}, "a0")
+			app, err := dps.NewLocal(dps.WithNodes("a0"), dps.WithForceSerialize(force))
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer app.Close()
-			g := fanGraph(b, app, "byp", core.RoundRobin(), 1, func(int) time.Duration { return 0 })
+			g := fanGraph(b, app, "byp", dps.RoundRobin(), 1, func(int) time.Duration { return 0 })
 			payload := make([]byte, 16<<10)
 			b.ReportAllocs()
 			b.SetBytes(int64(128 * len(payload)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := g.CallTimeout(app.MasterNode(), &ablTok{N: 128, Data: payload}, 60*time.Second); err != nil {
-					b.Fatal(err)
-				}
+				callT(b, g, &ablTok{N: 128, Data: payload}, 60*time.Second)
 			}
 		})
 	}
@@ -145,13 +145,13 @@ func BenchmarkAblationLoadBalance(b *testing.B) {
 		}
 		return 200 * time.Microsecond
 	}
-	routes := map[string]func() *core.Route{
-		"round-robin":   core.RoundRobin,
-		"load-balanced": core.LoadBalanced,
+	routes := map[string]func() *dps.Route{
+		"round-robin":   dps.RoundRobin,
+		"load-balanced": dps.LoadBalanced,
 	}
 	for name, mk := range routes {
 		b.Run(name, func(b *testing.B) {
-			app, err := core.NewLocalApp(core.Config{Window: 8}, "a0", "a1", "a2", "a3")
+			app, err := dps.NewLocal(dps.WithNodes("a0", "a1", "a2", "a3"), dps.WithWindow(8))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -159,9 +159,7 @@ func BenchmarkAblationLoadBalance(b *testing.B) {
 			g := fanGraph(b, app, "lb", mk(), 3, slowWorker)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := g.CallTimeout(app.MasterNode(), &ablTok{N: 60}, 120*time.Second); err != nil {
-					b.Fatal(err)
-				}
+				callT(b, g, &ablTok{N: 60}, 120*time.Second)
 			}
 		})
 	}
@@ -179,12 +177,12 @@ func BenchmarkAblationStreamVsMergeSplit(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			net := simnet.New(simnet.Config{Bandwidth: 1e9, Latency: 5 * time.Microsecond, PerMessage: 3 * time.Microsecond})
 			defer net.Close()
-			app, err := core.NewSimApp(core.Config{Window: 256}, net, "a0", "a1", "a2", "a3")
+			app, err := dps.NewSim(net, dps.WithNodes("a0", "a1", "a2", "a3"), dps.WithWindow(256))
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer app.Close()
-			lu, err := parlin.NewLU(app, 256, 32, parlin.LUOptions{Name: "lu", Workers: 4, Pipelined: pipelined})
+			lu, err := parlin.NewLU(app.Core(), 256, 32, parlin.LUOptions{Name: "lu", Workers: 4, Pipelined: pipelined})
 			if err != nil {
 				b.Fatal(err)
 			}

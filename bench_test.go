@@ -12,8 +12,8 @@ package repro
 import (
 	"testing"
 
+	"repro/dps"
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/life"
 	"repro/internal/matrix"
 	"repro/internal/parlife"
@@ -80,12 +80,12 @@ func BenchmarkFigure6RingRaw64K(b *testing.B) {
 func BenchmarkTable1MatmulPipelined(b *testing.B) {
 	net := simnet.New(simnet.GigabitEthernet())
 	defer net.Close()
-	app, err := core.NewSimApp(core.Config{Window: 256}, net, "m0", "m1", "m2")
+	app, err := dps.NewSim(net, dps.WithNodes("m0", "m1", "m2"), dps.WithWindow(256))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer app.Close()
-	mm, err := parlin.NewMatmul(app, parlin.MatmulOptions{Name: "mm", Workers: 2})
+	mm, err := parlin.NewMatmul(app.Core(), parlin.MatmulOptions{Name: "mm", Workers: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -108,12 +108,12 @@ func BenchmarkTable1MatmulPipelined(b *testing.B) {
 func BenchmarkFigure9LifeIteration(b *testing.B) {
 	net := simnet.New(simnet.GigabitEthernet())
 	defer net.Close()
-	app, err := core.NewSimApp(core.Config{}, net, "l0", "l1", "l2", "l3")
+	app, err := dps.NewSim(net, dps.WithNodes("l0", "l1", "l2", "l3"))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer app.Close()
-	sim, err := parlife.New(app, 1000, 1000, parlife.Options{Name: "life", Workers: 4})
+	sim, err := parlife.New(app.Core(), 1000, 1000, parlife.Options{Name: "life", Workers: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -137,12 +137,12 @@ func BenchmarkFigure9LifeIteration(b *testing.B) {
 func BenchmarkTable2ServiceCall(b *testing.B) {
 	net := simnet.New(simnet.GigabitEthernet())
 	defer net.Close()
-	app, err := core.NewSimApp(core.Config{}, net, "s0", "s1", "s2", "s3")
+	app, err := dps.NewSim(net, dps.WithNodes("s0", "s1", "s2", "s3"))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer app.Close()
-	sim, err := parlife.New(app, 1404, 1404, parlife.Options{Name: "life", Workers: 4})
+	sim, err := parlife.New(app.Core(), 1404, 1404, parlife.Options{Name: "life", Workers: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -172,12 +172,12 @@ func BenchmarkFigure15LUNonPipelined(b *testing.B) {
 func benchLU(b *testing.B, pipelined bool) {
 	net := simnet.New(simnet.GigabitEthernet())
 	defer net.Close()
-	app, err := core.NewSimApp(core.Config{Window: 256}, net, "u0", "u1", "u2", "u3")
+	app, err := dps.NewSim(net, dps.WithNodes("u0", "u1", "u2", "u3"), dps.WithWindow(256))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer app.Close()
-	lu, err := parlin.NewLU(app, 512, 32, parlin.LUOptions{Name: "lu", Workers: 4, Pipelined: pipelined})
+	lu, err := parlin.NewLU(app.Core(), 512, 32, parlin.LUOptions{Name: "lu", Workers: 4, Pipelined: pipelined})
 	if err != nil {
 		b.Fatal(err)
 	}

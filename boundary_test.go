@@ -1,0 +1,64 @@
+package repro
+
+// The public API boundary: internal/core is the engine, repro/dps is its
+// only sanctioned consumer outside internal/. Everything else — examples,
+// commands, and this root package — must program against repro/dps. This
+// test parses every Go file outside internal/ and fails on a direct
+// engine import, so the boundary cannot erode silently; CI runs it on
+// every push.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const enginePrefix = "repro/internal/core"
+
+func TestImportBoundary(t *testing.T) {
+	var checked int
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			// internal/ may use the engine freely; dps/ is the façade and
+			// the single sanctioned consumer; skip VCS and tool dirs.
+			if path == "internal" || path == "dps" || strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		checked++
+		for _, imp := range f.Imports {
+			val, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if val == enginePrefix || strings.HasPrefix(val, enginePrefix+"/") {
+				t.Errorf("%s imports %s: packages outside internal/ must use repro/dps", path, val)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("boundary check walked no Go files; the test is broken")
+	}
+	t.Logf("checked %d Go files outside internal/ and dps/", checked)
+}

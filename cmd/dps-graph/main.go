@@ -14,10 +14,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/parlife"
 	"repro/internal/parlin"
-	"repro/internal/serial"
 )
 
 type strToken struct {
@@ -30,8 +29,8 @@ type chrToken struct {
 }
 
 var (
-	_ = serial.MustRegister[strToken]()
-	_ = serial.MustRegister[chrToken]()
+	_ = dps.Register[strToken]()
+	_ = dps.Register[chrToken]()
 )
 
 func main() {
@@ -49,7 +48,7 @@ func main() {
 }
 
 func buildDOT(which string, luN, luR int) (string, error) {
-	app, err := core.NewLocalApp(core.Config{}, "n0", "n1", "n2", "n3")
+	app, err := dps.NewLocal(dps.WithNodes("n0", "n1", "n2", "n3"))
 	if err != nil {
 		return "", err
 	}
@@ -57,40 +56,14 @@ func buildDOT(which string, luN, luR int) (string, error) {
 
 	switch which {
 	case "upper":
-		main := core.MustCollection[struct{}](app, "main")
-		if err := main.Map("n0"); err != nil {
-			return "", err
-		}
-		compute := core.MustCollection[struct{}](app, "compute")
-		if err := compute.Map("n1 n2 n3"); err != nil {
-			return "", err
-		}
-		split := core.Split[*strToken, *chrToken]("SplitString",
-			func(c *core.Ctx, in *strToken, post func(*chrToken)) {
-				for i := 0; i < len(in.Str); i++ {
-					post(&chrToken{Chr: in.Str[i], Pos: i})
-				}
-			})
-		upper := core.Leaf[*chrToken, *chrToken]("ToUpperCase",
-			func(c *core.Ctx, in *chrToken) *chrToken { return in })
-		merge := core.Merge[*chrToken, *strToken]("MergeString",
-			func(c *core.Ctx, first *chrToken, next func() (*chrToken, bool)) *strToken {
-				for _, ok := first, true; ok; _, ok = next() {
-				}
-				return &strToken{}
-			})
-		g, err := app.NewFlowgraph("upper", core.Path(
-			core.NewNode(split, main, core.MainRoute()),
-			core.NewNode(upper, compute, core.ByKey[*chrToken]("RoundRobinRoute", func(in *chrToken) int { return in.Pos })),
-			core.NewNode(merge, main, core.MainRoute()),
-		))
+		g, err := buildUpper(app)
 		if err != nil {
 			return "", err
 		}
 		return g.DOT(), nil
 
 	case "life-simple", "life-improved", "life-read":
-		sim, err := parlife.New(app, 64, 64, parlife.Options{Name: "life", Workers: 4})
+		sim, err := parlife.New(app.Core(), 64, 64, parlife.Options{Name: "life", Workers: 4})
 		if err != nil {
 			return "", err
 		}
@@ -106,14 +79,14 @@ func buildDOT(which string, luN, luR int) (string, error) {
 		}
 
 	case "matmul":
-		mm, err := parlin.NewMatmul(app, parlin.MatmulOptions{Name: "matmul", Workers: 3})
+		mm, err := parlin.NewMatmul(app.Core(), parlin.MatmulOptions{Name: "matmul", Workers: 3})
 		if err != nil {
 			return "", err
 		}
 		return mm.Graph().DOT(), nil
 
 	case "lu":
-		lu, err := parlin.NewLU(app, luN, luR, parlin.LUOptions{Name: "lu", Pipelined: true})
+		lu, err := parlin.NewLU(app.Core(), luN, luR, parlin.LUOptions{Name: "lu", Pipelined: true})
 		if err != nil {
 			return "", err
 		}
@@ -122,4 +95,32 @@ func buildDOT(which string, luN, luR int) (string, error) {
 	default:
 		return "", fmt.Errorf("unknown graph %q (choose upper, life-simple, life-improved, life-read, matmul, lu)", which)
 	}
+}
+
+// buildUpper assembles the tutorial uppercase chain on the given app.
+func buildUpper(app *dps.App) (dps.Graph[*strToken, *strToken], error) {
+	main := dps.MustCollection[struct{}](app, "main")
+	if err := main.Map("n0"); err != nil {
+		return dps.Graph[*strToken, *strToken]{}, err
+	}
+	compute := dps.MustCollection[struct{}](app, "compute")
+	if err := compute.Map("n1 n2 n3"); err != nil {
+		return dps.Graph[*strToken, *strToken]{}, err
+	}
+	split := dps.Split("SplitString", main, dps.MainRoute(),
+		func(c *dps.Ctx, in *strToken, post func(*chrToken)) {
+			for i := 0; i < len(in.Str); i++ {
+				post(&chrToken{Chr: in.Str[i], Pos: i})
+			}
+		})
+	upper := dps.Leaf("ToUpperCase", compute,
+		dps.ByKey[*chrToken]("RoundRobinRoute", func(in *chrToken) int { return in.Pos }),
+		func(c *dps.Ctx, in *chrToken) *chrToken { return in })
+	merge := dps.Merge("MergeString", main, dps.MainRoute(),
+		func(c *dps.Ctx, first *chrToken, next func() (*chrToken, bool)) *strToken {
+			for _, ok := first, true; ok; _, ok = next() {
+			}
+			return &strToken{}
+		})
+	return dps.Build(app, "upper", dps.Then(dps.Then(dps.Chain(split), upper), merge))
 }

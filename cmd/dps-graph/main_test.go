@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/dps"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestUpperGolden pins the DOT rendering of the tutorial graph. Regenerate
+// with: go test ./cmd/dps-graph -update
+func TestUpperGolden(t *testing.T) {
+	got, err := buildDOT("upper", 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "upper.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("DOT output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// Hostile-name tokens for the escaping test.
+type escTok struct {
+	N int
+}
+
+var _ = dps.Register[escTok]()
+
+// TestDOTEscapesHostileNames: operation, collection and route names
+// containing quotes, backslashes and newlines must emit valid Graphviz —
+// every label stays inside its quoted string.
+func TestDOTEscapesHostileNames(t *testing.T) {
+	app, err := dps.NewLocal(dps.WithNodes("n0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	tc := dps.MustCollection[struct{}](app, `col"quoted`)
+	if err := tc.Map("n0"); err != nil {
+		t.Fatal(err)
+	}
+	leaf := dps.Leaf("op\"s \\ tricky\nname", tc,
+		dps.RouteFn(`route"r\`, func(tok dps.Token, rc dps.RouteCtx) int { return 0 }),
+		func(c *dps.Ctx, in *escTok) *escTok { return in })
+	g := dps.MustBuild(app, `graph"name\`, dps.Chain(leaf))
+
+	dot := g.DOT()
+	for _, want := range []string{
+		`digraph "graph\"name\\" {`,
+		`label="op\"s \\ tricky\nname\n(`, // quote, backslash and newline escaped inside the label
+		`col\"quoted`,
+		`route\"r\\`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Structural sanity: with all escapes applied, every line must close
+	// each double-quoted string it opens (backslash escapes the next rune).
+	for _, line := range strings.Split(dot, "\n") {
+		inString := false
+		for i := 0; i < len(line); i++ {
+			switch line[i] {
+			case '\\':
+				if inString {
+					i++ // the escaped rune is part of the string
+				}
+			case '"':
+				inString = !inString
+			}
+		}
+		if inString {
+			t.Errorf("unterminated quoted string in DOT line %q", line)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +27,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/kernel"
-	"repro/internal/serial"
 )
 
 // Tokens of the demo application.
@@ -46,9 +46,9 @@ type demoRes struct {
 }
 
 var (
-	_ = serial.MustRegister[demoReq]()
-	_ = serial.MustRegister[demoWord]()
-	_ = serial.MustRegister[demoRes]()
+	_ = dps.Register[demoReq]()
+	_ = dps.Register[demoWord]()
+	_ = dps.Register[demoRes]()
 )
 
 func main() {
@@ -82,7 +82,7 @@ func main() {
 	fmt.Printf("kernel %q listening on %s (name server %s)\n", k.Name(), k.Addr(), *ns)
 
 	if *demo {
-		if err := runDemo(k, *ns, core.Config{Workers: *workers, Window: *window}); err != nil {
+		if err := runDemo(k, *ns, *workers, *window); err != nil {
 			fatal(err)
 		}
 		_ = k.Close()
@@ -95,7 +95,7 @@ func main() {
 // runDemo builds the tutorial split-compute-merge graph over every kernel
 // currently registered with the name server and converts a sentence to
 // uppercase in parallel.
-func runDemo(local *kernel.Kernel, ns string, cfg core.Config) error {
+func runDemo(local *kernel.Kernel, ns string, workerLanes, window int) error {
 	names, err := kernel.ListNames(ns)
 	if err != nil {
 		return err
@@ -111,33 +111,34 @@ func runDemo(local *kernel.Kernel, ns string, cfg core.Config) error {
 	// of the application; this single-binary demo attaches the local
 	// kernel and runs four worker threads on it (the listing above shows
 	// which peers a multi-process deployment would map to).
-	app := core.NewApp(cfg)
-	defer app.Close()
-	if _, err := app.AttachTransport(local.Transport("demo")); err != nil {
+	app, err := dps.Connect(local.Transport("demo"),
+		dps.WithWorkers(workerLanes), dps.WithWindow(window))
+	if err != nil {
 		return err
 	}
+	defer app.Close()
 
-	main := core.MustCollection[struct{}](app, "main")
+	main := dps.MustCollection[struct{}](app, "main")
 	if err := main.Map(local.Name()); err != nil {
 		return err
 	}
-	workers := core.MustCollection[struct{}](app, "workers")
+	workers := dps.MustCollection[struct{}](app, "workers")
 	if err := workers.Map(local.Name() + "*4"); err != nil {
 		return err
 	}
 
-	split := core.Split[*demoReq, *demoWord]("split-words",
-		func(c *core.Ctx, in *demoReq, post func(*demoWord)) {
+	split := dps.Split("split-words", main, dps.MainRoute(),
+		func(c *dps.Ctx, in *demoReq, post func(*demoWord)) {
 			for i, w := range strings.Fields(in.Text) {
 				post(&demoWord{Word: w, Pos: i})
 			}
 		})
-	upper := core.Leaf[*demoWord, *demoWord]("upper",
-		func(c *core.Ctx, in *demoWord) *demoWord {
+	upper := dps.Leaf("upper", workers, dps.RoundRobin(),
+		func(c *dps.Ctx, in *demoWord) *demoWord {
 			return &demoWord{Word: strings.ToUpper(in.Word), Pos: in.Pos}
 		})
-	merge := core.Merge[*demoWord, *demoRes]("join-words",
-		func(c *core.Ctx, first *demoWord, next func() (*demoWord, bool)) *demoRes {
+	merge := dps.Merge("join-words", main, dps.MainRoute(),
+		func(c *dps.Ctx, first *demoWord, next func() (*demoWord, bool)) *demoRes {
 			words := map[int]string{}
 			max := 0
 			for in, ok := first, true; ok; in, ok = next() {
@@ -152,19 +153,16 @@ func runDemo(local *kernel.Kernel, ns string, cfg core.Config) error {
 			}
 			return &demoRes{Text: strings.Join(out, " ")}
 		})
-	g, err := app.NewFlowgraph("demo-upper", core.Path(
-		core.NewNode(split, main, core.MainRoute()),
-		core.NewNode(upper, workers, core.RoundRobin()),
-		core.NewNode(merge, main, core.MainRoute()),
-	))
+	g, err := dps.Build(app, "demo-upper",
+		dps.Then(dps.Then(dps.Chain(split), upper), merge))
 	if err != nil {
 		return err
 	}
-	out, err := g.Call(&demoReq{Text: "dynamic parallel schedules over tcp kernels"})
+	out, err := g.Call(context.Background(), &demoReq{Text: "dynamic parallel schedules over tcp kernels"})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("demo result: %s\n", out.(*demoRes).Text)
+	fmt.Printf("demo result: %s\n", out.Text)
 	return nil
 }
 

@@ -1,0 +1,154 @@
+package dps
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Pipe is a typed linear chain of stages under construction: tokens of
+// type In enter the first stage and tokens of type Out leave the last one.
+// Start a chain with Chain, extend it with Then, and validate/register it
+// with Build. Intermediate token types are checked where stages meet, at
+// compile time.
+type Pipe[In, Out Token] struct {
+	nodes []*core.GraphNode
+}
+
+// Chain starts a typed chain with its first stage.
+func Chain[In, Out Token](first Stage[In, Out]) Pipe[In, Out] {
+	return Pipe[In, Out]{nodes: []*core.GraphNode{first.node}}
+}
+
+// Then appends a stage to a chain. The stage's input type must equal the
+// chain's current output type — a mismatch is a compile error, the
+// paper's "coherence of the parametrized types [...] checked during
+// compilation".
+func Then[In, Mid, Out Token](p Pipe[In, Mid], next Stage[Mid, Out]) Pipe[In, Out] {
+	nodes := make([]*core.GraphNode, 0, len(p.nodes)+1)
+	nodes = append(nodes, p.nodes...)
+	nodes = append(nodes, next.node)
+	return Pipe[In, Out]{nodes: nodes}
+}
+
+// Graph is a validated, executable flow graph whose entry and exit token
+// types are statically known: Call takes an In and returns an Out with no
+// runtime assertions on the caller's side.
+type Graph[In, Out Token] struct {
+	fg *core.Flowgraph
+}
+
+// Build validates the chain (structure and runtime invariants — the typed
+// builder has already pinned the token types) and registers it on the
+// application under the given name, making it callable and exposable as a
+// named parallel service.
+func Build[In, Out Token](app *App, name string, p Pipe[In, Out]) (Graph[In, Out], error) {
+	if len(p.nodes) == 0 {
+		return Graph[In, Out]{}, fmt.Errorf("dps: graph %q: empty chain", name)
+	}
+	fg, err := app.core.NewFlowgraph(name, core.Path(p.nodes...))
+	if err != nil {
+		return Graph[In, Out]{}, err
+	}
+	return Graph[In, Out]{fg: fg}, nil
+}
+
+// MustBuild is Build panicking on error, for example setup code.
+func MustBuild[In, Out Token](app *App, name string, p Pipe[In, Out]) Graph[In, Out] {
+	g, err := Build(app, name, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Typed gives static call types to a flow graph built outside the typed
+// builder (an engine graph from an internal application package, or a
+// named graph looked up with App.Graph). It verifies that the graph's
+// entry accepts In and that its exit emits only Out.
+func Typed[In, Out Token](fg *Flowgraph) (Graph[In, Out], error) {
+	if fg == nil {
+		return Graph[In, Out]{}, fmt.Errorf("dps: Typed of a nil graph")
+	}
+	if err := verifyCallTypes[In, Out](
+		fg.EntryOp().InTypes(), fmt.Sprintf("graph %q entry %q", fg.Name(), fg.EntryOp().Name()),
+		fg.ExitOp().OutTypes(), fmt.Sprintf("graph %q exit %q", fg.Name(), fg.ExitOp().Name()),
+	); err != nil {
+		return Graph[In, Out]{}, err
+	}
+	return Graph[In, Out]{fg: fg}, nil
+}
+
+// MustTyped is Typed panicking on error.
+func MustTyped[In, Out Token](fg *Flowgraph) Graph[In, Out] {
+	g, err := Typed[In, Out](fg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Call executes the graph on one input token from the application's master
+// node and waits for the single output token. Multiple concurrent calls
+// pipeline through the graph. Canceling ctx abandons the call promptly:
+// Call returns ctx's error and the engine drains the call's in-flight
+// tokens, releasing their flow-control window slots.
+func (g Graph[In, Out]) Call(ctx context.Context, in In) (Out, error) {
+	return g.CallFrom(ctx, g.fg.App().MasterNode(), in)
+}
+
+// CallFrom is Call with an explicit origin node; the result token is
+// routed back to that node.
+func (g Graph[In, Out]) CallFrom(ctx context.Context, origin string, in In) (Out, error) {
+	out, err := g.fg.CallFrom(ctx, origin, in)
+	if err != nil {
+		var zero Out
+		return zero, err
+	}
+	return out.(Out), nil
+}
+
+// CallAsync starts a call from the master node and returns a Pending
+// handle for its typed result.
+func (g Graph[In, Out]) CallAsync(ctx context.Context, in In) (Pending[Out], error) {
+	return g.CallAsyncFrom(ctx, g.fg.App().MasterNode(), in)
+}
+
+// CallAsyncFrom starts a call from the given origin node.
+func (g Graph[In, Out]) CallAsyncFrom(ctx context.Context, origin string, in In) (Pending[Out], error) {
+	ch, err := g.fg.CallAsyncFrom(ctx, origin, in)
+	if err != nil {
+		return Pending[Out]{}, err
+	}
+	return Pending[Out]{ch: ch}, nil
+}
+
+// Flowgraph returns the underlying engine graph, e.g. to expose it to an
+// untyped consumer or a service registry.
+func (g Graph[In, Out]) Flowgraph() *Flowgraph { return g.fg }
+
+// Name returns the graph's registered name.
+func (g Graph[In, Out]) Name() string { return g.fg.Name() }
+
+// DOT renders the graph in Graphviz format.
+func (g Graph[In, Out]) DOT() string { return g.fg.DOT() }
+
+// Pending is the typed handle of one asynchronous graph call.
+type Pending[Out Token] struct {
+	ch <-chan core.CallResult
+}
+
+// Wait blocks for the call's outcome. It must be consumed at most once;
+// the result arrives exactly once on the underlying channel.
+func (p Pending[Out]) Wait() (Out, error) {
+	res := <-p.ch
+	if res.Err != nil {
+		var zero Out
+		return zero, res.Err
+	}
+	return res.Value.(Out), nil
+}
+
+// Chan exposes the untyped result channel, for select loops.
+func (p Pending[Out]) Chan() <-chan CallResult { return p.ch }

@@ -1,0 +1,126 @@
+package dps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/core/flowctl"
+)
+
+// FlowPolicy selects the flow-control discipline applied to each split
+// group; see WindowPolicy and UnboundedPolicy.
+type FlowPolicy = flowctl.Policy
+
+// WindowPolicy is the paper's credit-window flow control: at most n tokens
+// of one split–merge group unacknowledged at any time. n <= 0 selects the
+// engine default.
+func WindowPolicy(n int) FlowPolicy { return flowctl.Window{N: n} }
+
+// UnboundedPolicy applies no backpressure: posts never block. Useful as a
+// baseline and for workloads whose group sizes are intrinsically bounded.
+func UnboundedPolicy() FlowPolicy { return flowctl.Unbounded{} }
+
+// Option configures an application at construction time.
+type Option func(*config) error
+
+type config struct {
+	nodes  []string
+	engine core.Config
+}
+
+func buildConfig(opts []Option) (*config, error) {
+	cfg := &config{}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+func (c *config) nodeNames() []string {
+	if len(c.nodes) == 0 {
+		return []string{"node0"}
+	}
+	return c.nodes
+}
+
+// WithNodes names the application's virtual cluster nodes, in attachment
+// order (the first named node is the master node).
+func WithNodes(names ...string) Option {
+	return func(c *config) error {
+		if len(names) == 0 {
+			return fmt.Errorf("dps: WithNodes needs at least one node name")
+		}
+		c.nodes = append([]string(nil), names...)
+		return nil
+	}
+}
+
+// WithWindow bounds the number of tokens in circulation per split–merge
+// pair (the paper's flow-control feedback). Zero keeps the engine default;
+// it is ignored when WithFlowPolicy selects a policy explicitly.
+func WithWindow(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("dps: negative flow-control window %d", n)
+		}
+		c.engine.Window = n
+		return nil
+	}
+}
+
+// WithFlowPolicy selects the flow-control discipline applied to each split
+// group, overriding WithWindow.
+func WithFlowPolicy(p FlowPolicy) Option {
+	return func(c *config) error {
+		c.engine.FlowPolicy = p
+		return nil
+	}
+}
+
+// WithWorkers sets the number of scheduler worker lanes per node. Values
+// above one shard the node's thread instances over that many drainer
+// goroutines (bounded intra-node concurrency); zero or one keeps the
+// default on-demand drainer per instance.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("dps: negative worker count %d", n)
+		}
+		c.engine.Workers = n
+		return nil
+	}
+}
+
+// WithQueue bounds each thread instance's dispatch queue; zero keeps the
+// engine default. Beyond the bound, dispatch degrades to one goroutine per
+// token instead of blocking the poster.
+func WithQueue(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("dps: negative queue bound %d", n)
+		}
+		c.engine.Queue = n
+		return nil
+	}
+}
+
+// WithForceSerialize marshals and unmarshals tokens even for same-node
+// transfers, exercising the full networking path inside one process — the
+// paper's several-kernels-per-host debugging mode.
+func WithForceSerialize(on bool) Option {
+	return func(c *config) error {
+		c.engine.ForceSerialize = on
+		return nil
+	}
+}
+
+// WithRegistry selects the token type registry; the process-wide default
+// registry is used otherwise.
+func WithRegistry(r *Registry) Option {
+	return func(c *config) error {
+		c.engine.Registry = r
+		return nil
+	}
+}

@@ -1,0 +1,39 @@
+package dps
+
+import "repro/internal/core"
+
+// Route selects the thread instance that will process a token — the
+// paper's routing function classes.
+type Route = core.Route
+
+// RouteCtx is the information available to a routing function when it
+// picks a destination thread index inside the target collection.
+type RouteCtx = core.RouteCtx
+
+// RouteFn builds a route from a function of the token and the routing
+// context. The function must return an index in [0, ThreadCount).
+func RouteFn(name string, pick func(tok Token, rc RouteCtx) int) *Route {
+	return core.RouteFn(name, pick)
+}
+
+// ToThread always routes to a fixed thread index.
+func ToThread(i int) *Route { return core.ToThread(i) }
+
+// MainRoute routes every token to thread 0 of the target collection (the
+// paper's "main thread" route).
+func MainRoute() *Route { return core.MainRoute() }
+
+// RoundRobin cycles through the threads of the target collection in
+// posting order. Each RoundRobin value carries its own counter.
+func RoundRobin() *Route { return core.RoundRobin() }
+
+// ByKey routes by a user-extracted integer key modulo the thread count.
+func ByKey[In Token](name string, key func(in In) int) *Route {
+	return core.ByKey[In](name, key)
+}
+
+// LoadBalanced routes each token to the thread with the fewest outstanding
+// (un-acknowledged) tokens — the paper's feedback-driven load balancing.
+// It requires the target node to sit between a split and its merge, where
+// the engine maintains outstanding counters from merge acknowledgements.
+func LoadBalanced() *Route { return core.LoadBalanced() }

@@ -14,7 +14,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/life"
 	"repro/internal/parlife"
 	"repro/internal/simnet"
@@ -36,13 +36,13 @@ func main() {
 	for i := range names {
 		names[i] = fmt.Sprintf("node%d", i)
 	}
-	app, err := core.NewSimApp(core.Config{Workers: *workers}, net, names...)
+	app, err := dps.NewSim(net, dps.WithNodes(names...), dps.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer app.Close()
 
-	sim, err := parlife.New(app, *width, *height, parlife.Options{Workers: *nodes})
+	sim, err := parlife.New(app.Core(), *width, *height, parlife.Options{Workers: *nodes})
 	if err != nil {
 		log.Fatal(err)
 	}

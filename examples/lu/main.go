@@ -15,7 +15,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/matrix"
 	"repro/internal/parlin"
 	"repro/internal/simnet"
@@ -34,13 +34,13 @@ func main() {
 	for i := range names {
 		names[i] = fmt.Sprintf("node%d", i)
 	}
-	app, err := core.NewSimApp(core.Config{Window: 256}, net, names...)
+	app, err := dps.NewSim(net, dps.WithNodes(names...), dps.WithWindow(256))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer app.Close()
 
-	lu, err := parlin.NewLU(app, *n, *r, parlin.LUOptions{Workers: *nodes, Pipelined: *pipelined})
+	lu, err := parlin.NewLU(app.Core(), *n, *r, parlin.LUOptions{Workers: *nodes, Pipelined: *pipelined})
 	if err != nil {
 		log.Fatal(err)
 	}

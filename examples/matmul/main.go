@@ -22,7 +22,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/matrix"
 	"repro/internal/parlin"
 	"repro/internal/simnet"
@@ -42,20 +42,20 @@ func main() {
 		for i := range names {
 			names[i] = fmt.Sprintf("node%d", i)
 		}
-		var app *core.App
+		var app *dps.App
 		var err error
 		if simulated {
 			net := simnet.New(simnet.GigabitEthernet())
 			defer net.Close()
-			app, err = core.NewSimApp(core.Config{Window: 256}, net, names...)
+			app, err = dps.NewSim(net, dps.WithNodes(names...), dps.WithWindow(256))
 		} else {
-			app, err = core.NewLocalApp(core.Config{Window: 256}, names...)
+			app, err = dps.NewLocal(dps.WithNodes(names...), dps.WithWindow(256))
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer app.Close()
-		mm, err := parlin.NewMatmul(app, parlin.MatmulOptions{Workers: *nodes})
+		mm, err := parlin.NewMatmul(app.Core(), parlin.MatmulOptions{Workers: *nodes})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,13 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/serial"
+	"repro/dps"
 )
 
 // StringToken and CharToken are the tutorial's data objects. Registration
@@ -28,8 +28,8 @@ type CharToken struct {
 }
 
 var (
-	_ = serial.MustRegister[StringToken]()
-	_ = serial.MustRegister[CharToken]()
+	_ = dps.Register[StringToken]()
+	_ = dps.Register[CharToken]()
 )
 
 func main() {
@@ -38,13 +38,16 @@ func main() {
 		input = strings.Join(os.Args[1:], " ")
 	}
 
-	// A local "cluster" of three nodes in this process. Swap NewLocalApp
-	// for NewSimApp to pay modelled network costs, or attach kernel
-	// transports (cmd/dps-kernel) for real TCP. The Config selects the
-	// engine tuning: a per-split flow-control window of 16 tokens and two
-	// scheduler worker lanes per node (see internal/core/flowctl and
-	// internal/core/sched).
-	app, err := core.NewLocalApp(core.Config{Window: 16, Workers: 2}, "nodeA", "nodeB", "nodeC")
+	// A local "cluster" of three nodes in this process. Swap NewLocal for
+	// NewSim to pay modelled network costs, or Connect kernel transports
+	// (cmd/dps-kernel) for real TCP. The options select the engine tuning:
+	// a per-split flow-control window of 16 tokens and two scheduler
+	// worker lanes per node.
+	app, err := dps.NewLocal(
+		dps.WithNodes("nodeA", "nodeB", "nodeC"),
+		dps.WithWindow(16),
+		dps.WithWorkers(2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,32 +56,39 @@ func main() {
 	// Thread collections and their dynamic mapping to nodes: two compute
 	// threads on nodeB and one on nodeC, exactly the paper's
 	// computeThreads->map("nodeA*2 nodeB") idiom.
-	mainThread := core.MustCollection[struct{}](app, "main")
+	mainThread := dps.MustCollection[struct{}](app, "main")
 	if err := mainThread.Map("nodeA"); err != nil {
 		log.Fatal(err)
 	}
-	computeThreads := core.MustCollection[struct{}](app, "proc")
+	computeThreads := dps.MustCollection[struct{}](app, "proc")
 	if err := computeThreads.Map("nodeB*2 nodeC"); err != nil {
 		log.Fatal(err)
 	}
 
-	// The three operations of the split-compute-merge construct.
-	splitString := core.Split[*StringToken, *CharToken]("SplitString",
-		func(c *core.Ctx, in *StringToken, post func(*CharToken)) {
+	// The three stages of the split-compute-merge construct: the paper's
+	//   FlowgraphNode<SplitString, MainRoute>(theMainThread) >>
+	//   FlowgraphNode<ToUpperCase, RoundRobinRoute>(computeThreads) >>
+	//   FlowgraphNode<MergeString, MainRoute>(theMainThread)
+	// Each stage carries its token types, so a wiring mistake (say, the
+	// merge before the leaf) is a compile error.
+	splitString := dps.Split("SplitString", mainThread, dps.MainRoute(),
+		func(c *dps.Ctx, in *StringToken, post func(*CharToken)) {
 			for i := 0; i < len(in.Str); i++ {
 				post(&CharToken{Chr: in.Str[i], Pos: i})
 			}
 		})
-	toUpperCase := core.Leaf[*CharToken, *CharToken]("ToUpperCase",
-		func(c *core.Ctx, in *CharToken) *CharToken {
+	roundRobin := dps.ByKey[*CharToken]("RoundRobinRoute",
+		func(in *CharToken) int { return in.Pos })
+	toUpperCase := dps.Leaf("ToUpperCase", computeThreads, roundRobin,
+		func(c *dps.Ctx, in *CharToken) *CharToken {
 			ch := in.Chr
 			if ch >= 'a' && ch <= 'z' {
 				ch -= 'a' - 'A'
 			}
 			return &CharToken{Chr: ch, Pos: in.Pos}
 		})
-	mergeString := core.Merge[*CharToken, *StringToken]("MergeString",
-		func(c *core.Ctx, first *CharToken, next func() (*CharToken, bool)) *StringToken {
+	mergeString := dps.Merge("MergeString", mainThread, dps.MainRoute(),
+		func(c *dps.Ctx, first *CharToken, next func() (*CharToken, bool)) *StringToken {
 			buf := make([]byte, 0)
 			for in, ok := first, true; ok; in, ok = next() {
 				for len(buf) <= in.Pos {
@@ -89,24 +99,17 @@ func main() {
 			return &StringToken{Str: string(buf)}
 		})
 
-	// The flow graph: the paper's
-	//   FlowgraphNode<SplitString, MainRoute>(theMainThread) >>
-	//   FlowgraphNode<ToUpperCase, RoundRobinRoute>(computeThreads) >>
-	//   FlowgraphNode<MergeString, MainRoute>(theMainThread)
-	roundRobin := core.ByKey[*CharToken]("RoundRobinRoute",
-		func(in *CharToken) int { return in.Pos })
-	graph, err := app.NewFlowgraph("graph", core.Path(
-		core.NewNode(splitString, mainThread, core.MainRoute()),
-		core.NewNode(toUpperCase, computeThreads, roundRobin),
-		core.NewNode(mergeString, mainThread, core.MainRoute()),
-	))
+	graph, err := dps.Build(app, "graph",
+		dps.Then(dps.Then(dps.Chain(splitString), toUpperCase), mergeString))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	out, err := graph.Call(&StringToken{Str: input})
+	// The typed call: no assertion on the result, and the context cancels
+	// the whole invocation if the caller gives up.
+	out, err := graph.Call(context.Background(), &StringToken{Str: input})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("in : %s\nout: %s\n", input, out.(*StringToken).Str)
+	fmt.Printf("in : %s\nout: %s\n", input, out.Str)
 }

@@ -10,13 +10,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
-	"repro/internal/core"
+	"repro/dps"
 	"repro/internal/simnet"
 	"repro/internal/stripefs"
 )
@@ -36,15 +37,18 @@ func main() {
 	for i := range names {
 		names[i] = fmt.Sprintf("fsnode%d", i)
 	}
-	fsApp, err := core.NewSimApp(core.Config{}, net, names...)
+	fsApp, err := dps.NewSim(net, dps.WithNodes(names...))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer fsApp.Close()
-	fs, err := stripefs.New(fsApp, stripefs.Options{Stores: *nodes})
+	fs, err := stripefs.New(fsApp.Core(), stripefs.Options{Stores: *nodes})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The file system's parallel read service, with static call types: the
+	// striped-read graph accepts *ReadReq and produces *ReadResp.
+	readService := dps.MustTyped[*stripefs.ReadReq, *stripefs.ReadResp](fs.ReadGraph())
 
 	// Produce and store the file (striped across all nodes).
 	data := make([]byte, *fileMB<<20)
@@ -67,17 +71,17 @@ func main() {
 		wg.Add(1)
 		go func(cid int) {
 			defer wg.Done()
-			app, err := core.NewSimApp(core.Config{}, net, fmt.Sprintf("client%d", cid))
+			app, err := dps.NewSim(net, dps.WithNodes(fmt.Sprintf("client%d", cid)))
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer app.Close()
-			tc := core.MustCollection[struct{}](app, "client")
+			tc := dps.MustCollection[struct{}](app, "client")
 			if err := tc.Map(app.MasterNode()); err != nil {
 				log.Fatal(err)
 			}
-			callOp := core.GraphCallOp("call-fs-read", fs.ReadGraph())
-			g, err := app.NewFlowgraph("reader", core.Path(core.NewNode(callOp, tc, core.MainRoute())))
+			callFS := dps.CallStage("call-fs-read", readService, tc, dps.MainRoute())
+			g, err := dps.Build(app, "reader", dps.Chain(callFS))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -85,11 +89,11 @@ func main() {
 			t0 := time.Now()
 			for i := 0; i < *reads; i++ {
 				off := ((cid*131 + i*7919) * 1024) % (len(data) - readLen)
-				out, err := g.Call(&stripefs.ReadReq{Name: "volume.bin", Offset: off, Length: readLen})
+				out, err := g.Call(context.Background(), &stripefs.ReadReq{Name: "volume.bin", Offset: off, Length: readLen})
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !bytes.Equal(out.(*stripefs.ReadResp).Data, data[off:off+readLen]) {
+				if !bytes.Equal(out.Data, data[off:off+readLen]) {
 					log.Fatalf("client %d: read %d returned wrong bytes", cid, i)
 				}
 			}

@@ -12,14 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/serial"
+	"repro/dps"
 	"repro/internal/simnet"
 )
 
@@ -59,12 +59,12 @@ type StreamDone struct {
 }
 
 var (
-	_ = serial.MustRegister[StreamReq]()
-	_ = serial.MustRegister[PartReq]()
-	_ = serial.MustRegister[FramePart]()
-	_ = serial.MustRegister[Frame]()
-	_ = serial.MustRegister[ProcessedFrame]()
-	_ = serial.MustRegister[StreamDone]()
+	_ = dps.Register[StreamReq]()
+	_ = dps.Register[PartReq]()
+	_ = dps.Register[FramePart]()
+	_ = dps.Register[Frame]()
+	_ = dps.Register[ProcessedFrame]()
+	_ = dps.Register[StreamDone]()
 )
 
 func main() {
@@ -80,21 +80,21 @@ func main() {
 	for i := range names {
 		names[i] = fmt.Sprintf("node%d", i)
 	}
-	app, err := core.NewSimApp(core.Config{Window: 32}, net, names...)
+	app, err := dps.NewSim(net, dps.WithNodes(names...), dps.WithWindow(32))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer app.Close()
 
-	master := core.MustCollection[struct{}](app, "master")
+	master := dps.MustCollection[struct{}](app, "master")
 	if err := master.Map(names[0]); err != nil {
 		log.Fatal(err)
 	}
-	disks := core.MustCollection[struct{}](app, "disks")
+	disks := dps.MustCollection[struct{}](app, "disks")
 	if err := disks.MapRoundRobin(*nodes); err != nil {
 		log.Fatal(err)
 	}
-	procs := core.MustCollection[struct{}](app, "processors")
+	procs := dps.MustCollection[struct{}](app, "processors")
 	if err := procs.MapRoundRobin(*nodes); err != nil {
 		log.Fatal(err)
 	}
@@ -103,8 +103,8 @@ func main() {
 	var firstFrameOut atomic.Int64
 
 	// (1) generate frame part read requests.
-	genReqs := core.Split[*StreamReq, *PartReq]("gen-read-requests",
-		func(c *core.Ctx, in *StreamReq, post func(*PartReq)) {
+	genReqs := dps.Split("gen-read-requests", master, dps.MainRoute(),
+		func(c *dps.Ctx, in *StreamReq, post func(*PartReq)) {
 			for f := 0; f < in.Frames; f++ {
 				for p := 0; p < in.Parts; p++ {
 					post(&PartReq{Frame: f, Part: p, Parts: in.Parts, PartKB: in.PartKB})
@@ -112,8 +112,9 @@ func main() {
 			}
 		})
 	// (2) read frame parts from the disk array (simulated seek+read time).
-	readPart := core.Leaf[*PartReq, *FramePart]("read-part",
-		func(c *core.Ctx, in *PartReq) *FramePart {
+	readPart := dps.Leaf("read-part", disks,
+		dps.ByKey[*PartReq]("stripe", func(in *PartReq) int { return in.Part }),
+		func(c *dps.Ctx, in *PartReq) *FramePart {
 			time.Sleep(200 * time.Microsecond) // disk access
 			data := make([]byte, in.PartKB<<10)
 			for i := range data {
@@ -123,8 +124,8 @@ func main() {
 			return &FramePart{Frame: in.Frame, Part: in.Part, Parts: in.Parts, Data: data}
 		})
 	// (3) combine frame parts into complete frames and stream them out.
-	recompose := core.Stream[*FramePart, *Frame]("recompose",
-		func(c *core.Ctx, first *FramePart, next func() (*FramePart, bool), post func(*Frame)) {
+	recompose := dps.Stream("recompose", master, dps.MainRoute(),
+		func(c *dps.Ctx, first *FramePart, next func() (*FramePart, bool), post func(*Frame)) {
 			pending := map[int][][]byte{}
 			emit := func(p *FramePart) {
 				if pending[p.Frame] == nil {
@@ -152,8 +153,8 @@ func main() {
 			}
 		})
 	// (4) process complete frames.
-	process := core.Leaf[*Frame, *ProcessedFrame]("process-frame",
-		func(c *core.Ctx, in *Frame) *ProcessedFrame {
+	process := dps.Leaf("process-frame", procs, dps.RoundRobin(),
+		func(c *dps.Ctx, in *Frame) *ProcessedFrame {
 			var sum uint32
 			for _, b := range in.Data {
 				sum = sum*31 + uint32(b)
@@ -161,8 +162,8 @@ func main() {
 			return &ProcessedFrame{Frame: in.Frame, Checksum: sum}
 		})
 	// (5) merge processed frames onto the final stream.
-	final := core.Merge[*ProcessedFrame, *StreamDone]("final-stream",
-		func(c *core.Ctx, first *ProcessedFrame, next func() (*ProcessedFrame, bool)) *StreamDone {
+	final := dps.Merge("final-stream", master, dps.MainRoute(),
+		func(c *dps.Ctx, first *ProcessedFrame, next func() (*ProcessedFrame, bool)) *StreamDone {
 			seen := map[int]bool{}
 			for in, ok := first, true; ok; in, ok = next() {
 				if seen[in.Frame] {
@@ -173,13 +174,11 @@ func main() {
 			return &StreamDone{Frames: len(seen)}
 		})
 
-	g, err := app.NewFlowgraph("video", core.Path(
-		core.NewNode(genReqs, master, core.MainRoute()),
-		core.NewNode(readPart, disks, core.ByKey[*PartReq]("stripe", func(in *PartReq) int { return in.Part })),
-		core.NewNode(recompose, master, core.MainRoute()),
-		core.NewNode(process, procs, core.RoundRobin()),
-		core.NewNode(final, master, core.MainRoute()),
-	))
+	// The five-stage typed chain: request generation >> disk reads >>
+	// stream recomposition >> frame processing >> final merge. Token types
+	// are propagated stage to stage at compile time.
+	g, err := dps.Build(app, "video",
+		dps.Then(dps.Then(dps.Then(dps.Then(dps.Chain(genReqs), readPart), recompose), process), final))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -187,12 +186,11 @@ func main() {
 	fmt.Printf("streaming %d frames x %d parts x %d KB through %d nodes\n",
 		*frames, *parts, *partKB, *nodes)
 	start := time.Now()
-	out, err := g.Call(&StreamReq{Frames: *frames, Parts: *parts, PartKB: *partKB})
+	done, err := g.Call(context.Background(), &StreamReq{Frames: *frames, Parts: *parts, PartKB: *partKB})
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	done := out.(*StreamDone)
 	fmt.Printf("processed %d frames in %v (%.1f frames/s)\n",
 		done.Frames, elapsed.Round(time.Millisecond),
 		float64(done.Frames)/elapsed.Seconds())

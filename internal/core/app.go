@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -79,7 +82,19 @@ type App struct {
 
 	callSeq atomic.Uint64
 	callMu  sync.Mutex
-	calls   map[uint64]chan CallResult
+	calls   map[uint64]*callEntry
+	// canceled holds the IDs of calls whose context fired before the result
+	// arrived (sync.Map: written once per cancellation, read lock-free on
+	// the token hot paths). In-flight tokens of these calls are dropped —
+	// with their flow-control accounting released — wherever the engine
+	// next touches them. An ID is reaped when the graph still produces the
+	// orphaned result; a call whose tokens were all dropped before reaching
+	// the exit retains its 8-byte ID for the application's lifetime, the
+	// price of not tracking per-call in-flight counts.
+	canceled sync.Map
+	// cancelActive counts outstanding canceled IDs: while zero — the
+	// overwhelmingly common case — the hot paths skip the map entirely.
+	cancelActive atomic.Int64
 
 	failErr atomic.Value // errBox
 	closed  atomic.Bool
@@ -93,17 +108,38 @@ type CallResult struct {
 	Err   error
 }
 
+// callEntry is one pending flow-graph invocation: the channel the result is
+// delivered on, the caller's context (consulted by blocking engine points so
+// cancellation unwinds in-flight work), and the context watcher to detach
+// once the call settles.
+type callEntry struct {
+	ch   chan CallResult
+	ctx  context.Context
+	stop func() bool
+}
+
 // NewApp creates an application with no nodes; attach transports with
 // AttachTransport or use the NewLocalApp / NewSimApp conveniences.
 func NewApp(cfg Config) *App {
-	return &App{
+	app := &App{
 		cfg:         cfg,
 		reg:         cfg.registry(),
 		runtimes:    make(map[string]*Runtime),
 		collections: make(map[string]*ThreadCollection),
 		graphs:      make(map[string]*Flowgraph),
-		calls:       make(map[uint64]chan CallResult),
+		calls:       make(map[uint64]*callEntry),
 	}
+	// Call IDs travel in token envelopes and are consulted on every
+	// receiving node (cancellation drops). In a multi-process deployment
+	// (TCP kernels) each process runs its own App; sequential IDs starting
+	// at 1 would collide across processes and a canceled local call could
+	// shadow a healthy remote one. A random starting point makes the ID
+	// namespace effectively unique per App instance.
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		app.callSeq.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+	return app
 }
 
 // NewLocalApp creates an application whose nodes communicate through an
@@ -232,11 +268,21 @@ func (app *App) fail(err error) {
 	first := app.Err()
 	app.callMu.Lock()
 	pending := app.calls
-	app.calls = make(map[uint64]chan CallResult)
+	app.calls = make(map[uint64]*callEntry)
+	stops := make([]func() bool, 0, len(pending))
+	for _, ce := range pending {
+		// ce.stop is written under callMu (setCallStop); read it here too.
+		if ce.stop != nil {
+			stops = append(stops, ce.stop)
+		}
+	}
 	app.callMu.Unlock()
-	for _, ch := range pending {
+	for _, stop := range stops {
+		stop()
+	}
+	for _, ce := range pending {
 		select {
-		case ch <- CallResult{Err: first}:
+		case ce.ch <- CallResult{Err: first}:
 		default:
 		}
 	}
@@ -247,7 +293,7 @@ func (app *App) fail(err error) {
 	}
 	app.mu.Unlock()
 	for _, rt := range rts {
-		rt.abortLocal()
+		rt.wakeBlocked()
 	}
 }
 
@@ -285,21 +331,107 @@ func (app *App) runtime(name string) (*Runtime, bool) {
 	return rt, ok
 }
 
-func (app *App) registerCall() (uint64, chan CallResult) {
+func (app *App) registerCall(ctx context.Context) (uint64, *callEntry) {
 	id := app.callSeq.Add(1)
-	ch := make(chan CallResult, 1)
+	ce := &callEntry{ch: make(chan CallResult, 1), ctx: ctx}
 	app.callMu.Lock()
-	app.calls[id] = ch
+	app.calls[id] = ce
 	app.callMu.Unlock()
-	return id, ch
+	return id, ce
+}
+
+// setCallStop attaches the context watcher to a pending call. If the call
+// settled (result, failure or cancellation) while the watcher was being
+// created, the watcher is detached immediately instead.
+func (app *App) setCallStop(id uint64, stop func() bool) {
+	app.callMu.Lock()
+	ce, ok := app.calls[id]
+	if ok {
+		ce.stop = stop
+	}
+	app.callMu.Unlock()
+	if !ok {
+		stop()
+	}
 }
 
 func (app *App) completeCall(id uint64, res CallResult) {
 	app.callMu.Lock()
-	ch, ok := app.calls[id]
+	ce, ok := app.calls[id]
 	delete(app.calls, id)
+	var stop func() bool
+	if ok {
+		stop = ce.stop
+	} else {
+		// The orphaned result of a canceled call: reap the cancellation
+		// record — no further tokens of this call can be in flight.
+		if _, wasCanceled := app.canceled.LoadAndDelete(id); wasCanceled {
+			app.cancelActive.Add(-1)
+		}
+	}
 	app.callMu.Unlock()
 	if ok {
-		ch <- res
+		if stop != nil {
+			stop()
+		}
+		ce.ch <- res
 	}
+}
+
+// cancelCall aborts a pending call after its context fired: the caller gets
+// cause delivered immediately, the entry leaves the pending table, and the
+// call ID is recorded so the engine drops (and acknowledges) the call's
+// in-flight tokens instead of letting them wedge flow-control windows.
+// Blocked executions of the call are woken so they observe the cancellation
+// and unwind.
+func (app *App) cancelCall(id uint64, cause error) {
+	app.callMu.Lock()
+	ce, ok := app.calls[id]
+	if !ok {
+		// The result won the race; the call completed normally.
+		app.callMu.Unlock()
+		return
+	}
+	delete(app.calls, id)
+	// Mutated under callMu (like completeCall's reap) so the entry removal
+	// and the cancellation record appear atomically to other settlers.
+	app.canceled.Store(id, struct{}{})
+	app.cancelActive.Add(1)
+	app.callMu.Unlock()
+	select {
+	case ce.ch <- CallResult{Err: cause}:
+	default:
+	}
+	app.mu.Lock()
+	rts := make([]*Runtime, 0, len(app.runtimes))
+	for _, rt := range app.runtimes {
+		rts = append(rts, rt)
+	}
+	app.mu.Unlock()
+	for _, rt := range rts {
+		rt.wakeBlocked()
+	}
+}
+
+// callAborted reports whether a call was canceled. The fast path is one
+// atomic load; the lock-free map is consulted only while canceled calls
+// are outstanding, so the token hot paths never serialize on callMu.
+func (app *App) callAborted(id uint64) bool {
+	if app.cancelActive.Load() == 0 {
+		return false
+	}
+	_, ok := app.canceled.Load(id)
+	return ok
+}
+
+// callContext returns the context a pending call was registered with, or
+// nil when the call is no longer pending (completed or canceled).
+func (app *App) callContext(id uint64) context.Context {
+	app.callMu.Lock()
+	ce, ok := app.calls[id]
+	app.callMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return ce.ctx
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 )
@@ -8,14 +10,20 @@ import (
 // Call executes the flow graph on one input token from the application's
 // master node and waits for the single output token. Multiple concurrent
 // calls pipeline through the graph, each identified by a call ID.
-func (g *Flowgraph) Call(tok Token) (Token, error) {
-	return g.CallFrom(g.app.MasterNode(), tok)
+//
+// Canceling ctx abandons the call promptly: Call returns ctx's error, the
+// pending-call entry is deregistered, and the engine drops the call's
+// in-flight tokens — releasing their flow-control window slots and
+// load-balancing credits — so an abandoned call cannot wedge the graph for
+// later callers.
+func (g *Flowgraph) Call(ctx context.Context, tok Token) (Token, error) {
+	return g.CallFrom(ctx, g.app.MasterNode(), tok)
 }
 
 // CallFrom is Call with an explicit origin node; the result token is routed
 // back to that node.
-func (g *Flowgraph) CallFrom(origin string, tok Token) (Token, error) {
-	ch, err := g.CallAsyncFrom(origin, tok)
+func (g *Flowgraph) CallFrom(ctx context.Context, origin string, tok Token) (Token, error) {
+	ch, err := g.CallAsyncFrom(ctx, origin, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -23,32 +31,40 @@ func (g *Flowgraph) CallFrom(origin string, tok Token) (Token, error) {
 	return res.Value, res.Err
 }
 
-// CallTimeout is CallFrom with a deadline, mainly for tests: it fails
-// rather than hanging when an experiment wires a graph incorrectly.
+// CallTimeout is CallFrom with a deadline.
+//
+// Deprecated: use CallFrom with a context from context.WithTimeout. This
+// shim remains for existing experiments; unlike the historical behaviour
+// (which merely stopped waiting), the expired deadline now cancels the call
+// like any other context cancellation.
 func (g *Flowgraph) CallTimeout(origin string, tok Token, d time.Duration) (Token, error) {
-	ch, err := g.CallAsyncFrom(origin, tok)
-	if err != nil {
-		return nil, err
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	out, err := g.CallFrom(ctx, origin, tok)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return nil, fmt.Errorf("dps: graph %q: call timed out after %v: %w", g.name, d, err)
 	}
-	select {
-	case res := <-ch:
-		return res.Value, res.Err
-	case <-time.After(d):
-		return nil, fmt.Errorf("dps: graph %q: call timed out after %v", g.name, d)
-	}
+	return out, err
 }
 
 // CallAsync starts a call from the master node and returns the channel the
 // result will be delivered on.
-func (g *Flowgraph) CallAsync(tok Token) (<-chan CallResult, error) {
-	return g.CallAsyncFrom(g.app.MasterNode(), tok)
+func (g *Flowgraph) CallAsync(ctx context.Context, tok Token) (<-chan CallResult, error) {
+	return g.CallAsyncFrom(ctx, g.app.MasterNode(), tok)
 }
 
 // CallAsyncFrom starts a call from the given origin node. The returned
 // channel receives exactly one CallResult; pending calls fail when the
-// application fails or closes.
-func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, error) {
+// application fails or closes, and receive ctx's error when ctx is canceled
+// before the result arrives. A nil ctx is treated as context.Background().
+func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token) (<-chan CallResult, error) {
 	app := g.app
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := app.Err(); err != nil {
 		return nil, err
 	}
@@ -79,7 +95,12 @@ func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, 
 	if err != nil {
 		return nil, err
 	}
-	id, ch := app.registerCall()
+	id, ce := app.registerCall(ctx)
+	if ctx.Done() != nil {
+		app.setCallStop(id, context.AfterFunc(ctx, func() {
+			app.cancelCall(id, context.Cause(ctx))
+		}))
+	}
 	env := getEnvelope()
 	env.Graph = g.name
 	env.Node = g.entry
@@ -92,7 +113,7 @@ func (g *Flowgraph) CallAsyncFrom(origin string, tok Token) (<-chan CallResult, 
 	if err := rt.sendSafe(env, target); err != nil {
 		app.completeCall(id, CallResult{Err: err})
 	}
-	return ch, nil
+	return ce.ch, nil
 }
 
 // GraphCallOp wraps a flow graph as a leaf operation: the caller's graph

@@ -1,0 +1,257 @@
+package core
+
+// White-box cancellation accounting: canceling a call on a graph with
+// nested split–merge groups must leave no split-side group state behind.
+// Each inner group's reap owes one acknowledgement to its enclosing group
+// (the merge output that would normally carry it never exists), so without
+// that settling the outer groups stay non-quiescent in rt.groups forever —
+// per-cancellation state growth that wakeBlocked then iterates for the
+// application's lifetime.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serial"
+)
+
+type nestTok struct {
+	N int
+}
+
+type nestSum struct {
+	Sum int
+}
+
+var (
+	_ = serial.MustRegister[nestTok]()
+	_ = serial.MustRegister[nestSum]()
+)
+
+// TestCancelReapsStreamGroups is the stream-shaped variant: the stream
+// both closes the split's group and opens its own, so cancellation must
+// settle the accounting of two chained groups per call (the stream's
+// subtree carries the frame *below* its input group onward — recording the
+// wrong frame would over-release the collected group and leak the rest).
+func TestCancelReapsStreamGroups(t *testing.T) {
+	app, err := NewLocalApp(Config{Window: 2}, "n0", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	main := MustCollection[struct{}](app, "s-main")
+	if err := main.Map("n0"); err != nil {
+		t.Fatal(err)
+	}
+	work := MustCollection[struct{}](app, "s-work")
+	if err := work.Map("n1"); err != nil {
+		t.Fatal(err)
+	}
+	var blocking atomic.Bool
+	blocking.Store(true)
+	hold := make(chan struct{})
+
+	split := Split[*nestTok, *nestTok]("s-split",
+		func(c *Ctx, in *nestTok, post func(*nestTok)) {
+			for i := 0; i < in.N; i++ {
+				post(&nestTok{N: i})
+			}
+		})
+	stage := Leaf[*nestTok, *nestTok]("s-stage",
+		func(c *Ctx, in *nestTok) *nestTok {
+			if blocking.Load() {
+				<-hold
+			}
+			return in
+		})
+	relay := Stream[*nestTok, *nestTok]("s-relay",
+		func(c *Ctx, first *nestTok, next func() (*nestTok, bool), post func(*nestTok)) {
+			for in, ok := first, true; ok; in, ok = next() {
+				post(in)
+			}
+		})
+	final := Merge[*nestTok, *nestSum]("s-final",
+		func(c *Ctx, first *nestTok, next func() (*nestTok, bool)) *nestSum {
+			n := 0
+			for _, ok := first, true; ok; _, ok = next() {
+				n++
+			}
+			return &nestSum{Sum: n}
+		})
+	g, err := app.NewFlowgraph("s-stream", Path(
+		NewNode(split, main, MainRoute()),
+		NewNode(stage, work, RoundRobin()),
+		NewNode(relay, work, MainRoute()),
+		NewNode(final, main, MainRoute()),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.CallFrom(ctx, app.MasterNode(), &nestTok{N: 8})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled stream call returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled stream call did not return")
+	}
+	blocking.Store(false)
+	close(hold)
+
+	waitGroupsReaped(t, app)
+	// The graph must stay fully usable afterwards.
+	for i := 0; i < 3; i++ {
+		out, err := g.CallTimeout(app.MasterNode(), &nestTok{N: 5}, 30*time.Second)
+		if err != nil {
+			t.Fatalf("call %d after stream cancellation: %v", i, err)
+		}
+		if got := out.(*nestSum).Sum; got != 5 {
+			t.Fatalf("call %d merged %d, want 5", i, got)
+		}
+	}
+	waitGroupsReaped(t, app)
+	if err := app.Err(); err != nil {
+		t.Fatalf("application failed: %v", err)
+	}
+}
+
+// waitGroupsReaped polls until every runtime's split-side group table and
+// every instance's merge-side group table are empty and every
+// load-balancing credit charge has been released. A lost credit release
+// (e.g. an acknowledgement arriving after its group was over-released and
+// prematurely reaped) permanently skews LoadBalanced routing.
+func waitGroupsReaped(t *testing.T, app *App) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		splitGroups, mergeGroups, credits := 0, 0, 0
+		app.mu.Lock()
+		for _, rt := range app.runtimes {
+			splitGroups += len(rt.groups.all())
+			rt.mu.Lock()
+			for _, inst := range rt.threads {
+				inst.mu.Lock()
+				mergeGroups += len(inst.groups)
+				inst.mu.Unlock()
+			}
+			for _, ct := range rt.credits {
+				for i := 0; i < 16; i++ {
+					credits += ct.Outstanding(i)
+				}
+			}
+			rt.mu.Unlock()
+		}
+		app.mu.Unlock()
+		if splitGroups == 0 && mergeGroups == 0 && credits == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked after cancellation: %d split group(s), %d merge group(s), %d credit charge(s)",
+				splitGroups, mergeGroups, credits)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCancelReapsNestedSplitGroups(t *testing.T) {
+	app, err := NewLocalApp(Config{Window: 2}, "n0", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	main := MustCollection[struct{}](app, "w-main")
+	if err := main.Map("n0"); err != nil {
+		t.Fatal(err)
+	}
+	work := MustCollection[struct{}](app, "w-work")
+	if err := work.Map("n1"); err != nil {
+		t.Fatal(err)
+	}
+	var blocking atomic.Bool
+	blocking.Store(true)
+	hold := make(chan struct{})
+
+	outerSplit := Split[*nestTok, *nestTok]("w-osplit",
+		func(c *Ctx, in *nestTok, post func(*nestTok)) {
+			for i := 0; i < in.N; i++ {
+				post(&nestTok{N: 4})
+			}
+		})
+	innerSplit := Split[*nestTok, *nestTok]("w-isplit",
+		func(c *Ctx, in *nestTok, post func(*nestTok)) {
+			for i := 0; i < in.N; i++ {
+				post(&nestTok{N: i})
+			}
+		})
+	leaf := Leaf[*nestTok, *nestTok]("w-leaf",
+		func(c *Ctx, in *nestTok) *nestTok {
+			if blocking.Load() {
+				<-hold
+			}
+			return in
+		})
+	innerMerge := Merge[*nestTok, *nestSum]("w-imerge",
+		func(c *Ctx, first *nestTok, next func() (*nestTok, bool)) *nestSum {
+			n := 0
+			for _, ok := first, true; ok; _, ok = next() {
+				n++
+			}
+			return &nestSum{Sum: n}
+		})
+	outerMerge := Merge[*nestSum, *nestSum]("w-omerge",
+		func(c *Ctx, first *nestSum, next func() (*nestSum, bool)) *nestSum {
+			sum := 0
+			for in, ok := first, true; ok; in, ok = next() {
+				sum += in.Sum
+			}
+			return &nestSum{Sum: sum}
+		})
+	g, err := app.NewFlowgraph("w-nested", Path(
+		NewNode(outerSplit, main, MainRoute()),
+		NewNode(innerSplit, work, RoundRobin()),
+		NewNode(leaf, work, RoundRobin()),
+		NewNode(innerMerge, work, MainRoute()),
+		NewNode(outerMerge, main, MainRoute()),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.CallFrom(ctx, app.MasterNode(), &nestTok{N: 8})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled call returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled call did not return")
+	}
+	blocking.Store(false)
+	close(hold)
+
+	// Every group — outer split groups and merge-side state included —
+	// must drain and reap.
+	waitGroupsReaped(t, app)
+	if err := app.Err(); err != nil {
+		t.Fatalf("application failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -17,6 +18,11 @@ type Ctx struct {
 	graph *Flowgraph
 	node  *GraphNode
 	env   *envelope
+
+	// callID identifies the flow-graph invocation this execution belongs
+	// to; it outlives env (which is recycled on completion) so the
+	// cancellation paths can consult it at any point.
+	callID uint64
 
 	sg      *splitGroup // group opened by this split/stream execution
 	mg      *mergeGroup // group consumed by this merge/stream execution
@@ -76,7 +82,8 @@ func (c *Ctx) GroupIndex() int {
 // the thread while blocked. Called on a graph exposed by another
 // application this is the paper's inter-application parallel service call
 // (Figure 10): the call behaves like a leaf operation, preserving
-// pipelining and token queueing.
+// pipelining and token queueing. The nested call inherits the originating
+// call's context, so canceling the outer call cancels the service call too.
 func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
 	origin := c.rt.name
 	if g.app != c.rt.app {
@@ -84,7 +91,7 @@ func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
 		// and reaches us through the in-process call table.
 		origin = g.app.MasterNode()
 	}
-	ch, err := g.CallAsyncFrom(origin, tok)
+	ch, err := g.CallAsyncFrom(c.callContext(), origin, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +99,24 @@ func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
 	res := <-ch
 	c.inst.exec.Lock()
 	return res.Value, res.Err
+}
+
+// callContext returns the context of the call this execution belongs to,
+// or nil when the call is no longer pending (e.g. already canceled). The
+// engine only has the context of calls originated by this process; tokens
+// arriving from a foreign process (real TCP kernels) see nil and rely on
+// the application-failure path alone.
+func (c *Ctx) callContext() context.Context {
+	return c.rt.app.callContext(c.callID)
+}
+
+// checkCanceled panics with the call context's error if the invocation this
+// execution belongs to was canceled, unwinding the operation. recoverOp
+// recognizes the unwind and cleans up without failing the application.
+func (c *Ctx) checkCanceled() {
+	if c.rt.app.callAborted(c.callID) {
+		panic(opError{context.Canceled})
+	}
 }
 
 // failIfAborted panics with the application error if a failure was
@@ -110,6 +135,7 @@ func (c *Ctx) postOut(tok Token) {
 	if tok == nil {
 		panic(opError{fmt.Errorf("posted nil token")})
 	}
+	c.checkCanceled()
 	t, err := tokType(tok)
 	if err != nil {
 		panic(opError{err})
@@ -233,12 +259,25 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 	sg.mu.Unlock()
 
 	if !sg.gate.TryAcquire() {
-		stalled, err := sg.gate.Acquire(func() {
+		// failed must also observe call cancellation: the cancel
+		// bookkeeping can land between our cancellation check and the
+		// gate wait, in which case the context is already detached from
+		// the call table and only the canceled set knows.
+		failed := func() error {
+			if err := c.rt.app.Err(); err != nil {
+				return err
+			}
+			if c.rt.app.callAborted(c.callID) {
+				return context.Canceled
+			}
+			return nil
+		}
+		stalled, err := sg.gate.Acquire(c.callContext(), func() {
 			// First wait on an exhausted window: count the stall and
 			// release the thread so other operations keep making progress.
 			c.rt.stats.windowStalls.Add(1)
 			c.yieldInstLock()
-		}, c.rt.app.Err)
+		}, failed)
 		if stalled {
 			// Reacquire so the execution continues (or unwinds) holding
 			// its lock, balancing the deferred unlock.
@@ -283,6 +322,16 @@ func (c *Ctx) nextIn() (Token, bool) {
 				c.inst.exec.Lock()
 			}
 			return nil, false
+		}
+		// Consult cancellation before parking, not only after wake-ups:
+		// the cancel broadcast may have happened before this execution
+		// reached the wait, and no further token or group-end will come.
+		if c.rt.app.callAborted(c.callID) {
+			mg.mu.Unlock()
+			if unlocked {
+				c.inst.exec.Lock()
+			}
+			panic(opError{context.Canceled})
 		}
 		if !unlocked {
 			c.yieldInstLock()

@@ -12,6 +12,7 @@
 package flowctl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -31,12 +32,14 @@ type Gate interface {
 	// of the posting loop; on failure the poster falls back to Acquire.
 	TryAcquire() bool
 	// Acquire reserves a slot for one posted token, blocking while the
-	// policy's window is exhausted. onStall is invoked once, before the
+	// policy's window is exhausted. A non-nil ctx makes the wait
+	// cancellable: cancellation wakes the waiter and aborts the
+	// acquisition with ctx.Err(). onStall is invoked once, before the
 	// first wait (the engine releases the poster's execution lock and
 	// counts the stall there); failed is consulted after every wake-up and
 	// a non-nil result aborts the acquisition, returned as err. stalled
 	// reports whether the call blocked at all.
-	Acquire(onStall func(), failed func() error) (stalled bool, err error)
+	Acquire(ctx context.Context, onStall func(), failed func() error) (stalled bool, err error)
 	// Release returns one slot (one token of the group was consumed).
 	Release()
 	// Quiescent reports that no tokens are in flight.
@@ -89,18 +92,36 @@ func (g *windowGate) TryAcquire() bool {
 	return false
 }
 
-func (g *windowGate) Acquire(onStall func(), failed func() error) (stalled bool, err error) {
-	g.mu.Lock()
-	for g.inflight >= g.n {
-		// Consult failed before every wait, not only after wake-ups: a
-		// poster entering an exhausted window after the application already
-		// failed would otherwise park forever (acks have stopped and the
-		// abort broadcast has already happened).
+func (g *windowGate) Acquire(ctx context.Context, onStall func(), failed func() error) (stalled bool, err error) {
+	// Cancellation has no channel to select on inside a cond wait; instead
+	// the context wakes the gate when it fires and the loop consults
+	// ctx.Err() alongside failed.
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, g.Wake)
+		defer stop()
+	}
+	aborted := func() error {
 		if failed != nil {
 			if err := failed(); err != nil {
-				g.mu.Unlock()
-				return stalled, err
+				return err
 			}
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g.mu.Lock()
+	for g.inflight >= g.n {
+		// Consult aborted before every wait, not only after wake-ups: a
+		// poster entering an exhausted window after the application already
+		// failed (or its call was canceled) would otherwise park forever
+		// (acks have stopped and the wake broadcast has already happened).
+		if err := aborted(); err != nil {
+			g.mu.Unlock()
+			return stalled, err
 		}
 		if !stalled {
 			stalled = true
@@ -113,11 +134,9 @@ func (g *windowGate) Acquire(onStall func(), failed func() error) (stalled bool,
 	// One final consultation before taking the slot: a wake-up can race a
 	// concurrent Release with the abort broadcast, and a failed poster must
 	// unwind rather than push another token into a failed application.
-	if failed != nil {
-		if err := failed(); err != nil {
-			g.mu.Unlock()
-			return stalled, err
-		}
+	if err := aborted(); err != nil {
+		g.mu.Unlock()
+		return stalled, err
 	}
 	g.inflight++
 	g.mu.Unlock()
@@ -169,7 +188,7 @@ func (g *unboundedGate) TryAcquire() bool {
 	return true
 }
 
-func (g *unboundedGate) Acquire(onStall func(), failed func() error) (bool, error) {
+func (g *unboundedGate) Acquire(ctx context.Context, onStall func(), failed func() error) (bool, error) {
 	g.TryAcquire()
 	return false, nil
 }

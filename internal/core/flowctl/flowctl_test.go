@@ -1,6 +1,7 @@
 package flowctl
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -31,7 +32,7 @@ func TestWindowAcquireBlocksUntilRelease(t *testing.T) {
 	stallSeen := make(chan struct{})
 	acquired := make(chan bool)
 	go func() {
-		stalled, err := g.Acquire(func() { close(stallSeen) }, nil)
+		stalled, err := g.Acquire(nil, func() { close(stallSeen) }, nil)
 		if err != nil {
 			t.Error(err)
 		}
@@ -65,7 +66,7 @@ func TestWindowOnStallInvokedOnce(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := g.Acquire(func() { stalls++ }, nil); err != nil {
+		if _, err := g.Acquire(nil, func() { stalls++ }, nil); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -89,7 +90,7 @@ func TestWindowAcquireAbortsOnFailure(t *testing.T) {
 	var failure error
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := g.Acquire(nil, func() error {
+		_, err := g.Acquire(nil, nil, func() error {
 			mu.Lock()
 			defer mu.Unlock()
 			return failure
@@ -147,7 +148,7 @@ func TestUnboundedNeverBlocks(t *testing.T) {
 	if g.Quiescent() {
 		t.Fatal("unbounded gate must still count tokens in flight")
 	}
-	stalled, err := g.Acquire(func() { t.Error("unbounded gate stalled") }, nil)
+	stalled, err := g.Acquire(nil, func() { t.Error("unbounded gate stalled") }, nil)
 	if stalled || err != nil {
 		t.Fatalf("unbounded Acquire: stalled=%v err=%v", stalled, err)
 	}
@@ -224,6 +225,54 @@ func TestCreditsExhaustionDrivesChoice(t *testing.T) {
 	}
 }
 
+func TestWindowAcquireCanceled(t *testing.T) {
+	// A blocked Acquire must wake and abort with ctx.Err() when the caller's
+	// context is canceled — no Release ever arrives in this test.
+	g := Window{N: 1}.NewGate()
+	g.TryAcquire()
+	ctx, cancel := context.WithCancel(context.Background())
+	stallSeen := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, func() { close(stallSeen) }, nil)
+		errCh <- err
+	}()
+	select {
+	case <-stallSeen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not stall on the exhausted window")
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Acquire did not return")
+	}
+	// The canceled acquisition must not have consumed a slot.
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("gate not quiescent after the canceled acquire")
+	}
+}
+
+func TestWindowAcquireCanceledBeforeWait(t *testing.T) {
+	// An already-canceled context aborts without stalling at all.
+	g := Window{N: 1}.NewGate()
+	g.TryAcquire()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stalled, err := g.Acquire(ctx, func() { t.Error("onStall invoked for a pre-canceled acquire") }, nil)
+	if stalled {
+		t.Error("pre-canceled acquire reported a stall")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
 func TestWindowAcquireFailedBeforeWait(t *testing.T) {
 	// A poster reaching an exhausted window after the application already
 	// failed must return the failure immediately instead of parking (the
@@ -233,7 +282,7 @@ func TestWindowAcquireFailedBeforeWait(t *testing.T) {
 	boom := errors.New("boom")
 	done := make(chan error, 1)
 	go func() {
-		stalled, err := g.Acquire(func() { t.Error("onStall invoked for a pre-failed acquire") },
+		stalled, err := g.Acquire(nil, func() { t.Error("onStall invoked for a pre-failed acquire") },
 			func() error { return boom })
 		if stalled {
 			t.Error("pre-failed acquire reported a stall")

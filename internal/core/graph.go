@@ -75,6 +75,15 @@ func (g *Flowgraph) Name() string { return g.name }
 // NodeCount returns the number of operation nodes.
 func (g *Flowgraph) NodeCount() int { return len(g.nodes) }
 
+// App returns the application the graph is registered on.
+func (g *Flowgraph) App() *App { return g.app }
+
+// EntryOp returns the operation of the graph's unique entry node.
+func (g *Flowgraph) EntryOp() *OpDef { return g.nodes[g.entry].op }
+
+// ExitOp returns the operation of the graph's unique exit node.
+func (g *Flowgraph) ExitOp() *OpDef { return g.nodes[g.exit].op }
+
 // NewFlowgraph validates the builder's paths and registers the graph under
 // the given name. Validation reproduces the paper's compile-time coherence
 // checks: token-type compatibility along every edge, unambiguous type-based
@@ -380,7 +389,7 @@ func (g *Flowgraph) errf(format string, args ...any) error {
 // flow graphs "can be easily visualized" as a design aid.
 func (g *Flowgraph) DOT() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", g.name)
+	fmt.Fprintf(&sb, "digraph \"%s\" {\n  rankdir=LR;\n", dotEscape(g.name))
 	for i, n := range g.nodes {
 		shape := "box"
 		switch n.op.kind {
@@ -392,7 +401,7 @@ func (g *Flowgraph) DOT() string {
 			shape = "diamond"
 		}
 		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n(%s on %s via %s)\" shape=%s];\n",
-			i, n.op.name, n.op.kind, n.tc.Name(), n.route.Name(), shape)
+			i, dotEscape(n.op.name), n.op.kind, dotEscape(n.tc.Name()), dotEscape(n.route.Name()), shape)
 	}
 	for i := range g.nodes {
 		for _, s := range g.succ[i] {
@@ -400,5 +409,30 @@ func (g *Flowgraph) DOT() string {
 		}
 	}
 	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// dotEscape makes an arbitrary name safe inside a double-quoted DOT
+// string: backslashes and quotes are escaped and literal newlines become
+// the label line break, so hostile names cannot produce invalid Graphviz.
+func dotEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n\r") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			// discard; a bare CR has no DOT representation
+		default:
+			sb.WriteRune(r)
+		}
+	}
 	return sb.String()
 }

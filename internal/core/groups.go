@@ -47,16 +47,20 @@ func (gt *groupTable) open(g *Flowgraph, opener int, policy flowctl.Policy) *spl
 	return sg
 }
 
+// remove deletes a group, reporting whether it was still registered (so a
+// racing reap runs its side effects exactly once).
+func (gt *groupTable) remove(id uint64) bool {
+	gt.mu.Lock()
+	_, ok := gt.splits[id]
+	delete(gt.splits, id)
+	gt.mu.Unlock()
+	return ok
+}
+
 func (gt *groupTable) lookup(id uint64) *splitGroup {
 	gt.mu.Lock()
 	defer gt.mu.Unlock()
 	return gt.splits[id]
-}
-
-func (gt *groupTable) remove(id uint64) {
-	gt.mu.Lock()
-	delete(gt.splits, id)
-	gt.mu.Unlock()
 }
 
 func (gt *groupTable) all() []*splitGroup {
@@ -78,6 +82,15 @@ type splitGroup struct {
 	closer int // paired merge/stream node
 	gate   flowctl.Gate
 
+	// callID identifies the invocation the group belongs to; outerAck is
+	// the enclosing group's frame the opener's input token carried, owed
+	// exactly once by this group's subtree. In normal operation the paired
+	// merge's output token delivers it downstream; if the call is canceled
+	// the reap of this group fires it directly, so nested cancellations
+	// release the outer window slot too.
+	callID   uint64
+	outerAck *bufferedToken
+
 	mu          sync.Mutex
 	posted      int
 	done        bool // opener's execute returned
@@ -86,6 +99,10 @@ type splitGroup struct {
 
 // mergeGroup is the merge-side state of one group on a thread instance.
 type mergeGroup struct {
+	// callID identifies the invocation the group belongs to, so the
+	// cancellation sweep can retire never-started groups.
+	callID uint64
+
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -103,16 +120,43 @@ type bufferedToken struct {
 	groupID    uint64
 }
 
-func newMergeGroup() *mergeGroup {
-	mg := &mergeGroup{total: -1}
+func newMergeGroup(callID uint64) *mergeGroup {
+	mg := &mergeGroup{callID: callID, total: -1}
 	mg.cond = sync.NewCond(&mg.mu)
 	return mg
 }
 
 // openGroup creates and registers the split-side state for a split/stream
-// execution starting on this node.
-func (rt *Runtime) openGroup(g *Flowgraph, opener int) *splitGroup {
-	sg := rt.groups.open(g, opener, rt.policy)
+// execution starting on this node, remembering the enclosing frame of the
+// opener's input token for cancellation accounting. For a split that frame
+// is the input's top frame (the closer merge pops the split's own frame,
+// leaving it on top of the output); a stream's input top frame is the group
+// the stream itself collects — its subtree carries the frame *below* it
+// onward (postOut's KindStream branch), so that one is recorded instead.
+func (rt *Runtime) openGroup(c *Ctx, opener int) *splitGroup {
+	sg := rt.groups.open(c.graph, opener, rt.policy)
+	sg.callID = c.callID
+	var outer *frame
+	switch c.node.op.kind {
+	case KindStream:
+		if n := len(c.env.Frames); n >= 2 {
+			outer = &c.env.Frames[n-2]
+		}
+	default:
+		if fr, ok := c.env.topFrame(); ok {
+			outer = fr
+		}
+	}
+	if outer != nil {
+		// The closer output that would normally carry this frame onward
+		// has LastWorker/CreditNode unset, so the cancellation ack matches.
+		sg.outerAck = &bufferedToken{
+			lastWorker: -1,
+			creditNode: -1,
+			origin:     outer.Origin,
+			groupID:    outer.GroupID,
+		}
+	}
 	rt.stats.groupsOpened.Add(1)
 	return sg
 }
@@ -140,6 +184,7 @@ func (rt *Runtime) finishOpener(c *Ctx) {
 		Thread:  mergeThread,
 		GroupID: sg.id,
 		Total:   posted,
+		CallID:  c.callID,
 	}
 	target, err := closerNode.tc.NodeOf(mergeThread)
 	if err != nil {
@@ -150,13 +195,24 @@ func (rt *Runtime) finishOpener(c *Ctx) {
 }
 
 // maybeReapSplit discards a group's split-side state once the opener
-// finished and every posted token was acknowledged.
+// finished and every posted token was acknowledged. For a canceled call
+// the reap also settles the group's debt to its enclosing group: the merge
+// output that would have carried the outer frame onward will never exist
+// (or was dropped before the outer merge consumed it), so the outer window
+// slot is acknowledged here, letting nested cancellations unwind bottom-up.
+// (If the paired merge managed to emit its output in the instant before
+// cancellation, the outer frame can be acknowledged twice; gates clamp at
+// zero and the call is abandoned, so the transient over-release is benign.)
 func (rt *Runtime) maybeReapSplit(sg *splitGroup) {
 	sg.mu.Lock()
 	done := sg.done
 	sg.mu.Unlock()
 	if done && sg.gate.Quiescent() {
-		rt.groups.remove(sg.id)
+		if rt.groups.remove(sg.id) {
+			if sg.outerAck != nil && rt.app.callAborted(sg.callID) {
+				rt.ackConsumed(*sg.outerAck)
+			}
+		}
 	}
 }
 
@@ -171,7 +227,7 @@ func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *Grap
 	inst.mu.Lock()
 	mg, ok := inst.groups[fr.GroupID]
 	if !ok {
-		mg = newMergeGroup()
+		mg = newMergeGroup(env.CallID)
 		inst.groups[fr.GroupID] = mg
 	}
 	inst.mu.Unlock()
@@ -208,6 +264,41 @@ func (rt *Runtime) ackConsumed(bt bufferedToken) {
 	}
 }
 
+// dropEnvelope discards a token of a canceled call. Its top frame is
+// acknowledged exactly as if the paired merge had consumed it, so the
+// split-side window slot and load-balancing credit release and the group
+// can be reaped; the call's entry token (no frames yet) needs no ack.
+func (rt *Runtime) dropEnvelope(env *envelope) {
+	if fr, ok := env.topFrame(); ok {
+		rt.ackConsumed(bufferedToken{
+			lastWorker: env.LastWorker,
+			creditNode: env.CreditNode,
+			origin:     fr.Origin,
+			groupID:    fr.GroupID,
+		})
+	}
+	putEnvelope(env)
+}
+
+// retireMergeGroup dismantles the merge-side state of a canceled call's
+// group: buffered tokens are acknowledged (their window slots must not stay
+// occupied) and the instance's group entry is removed. Idempotent — the
+// collector unwind and a late group-end may both retire the same group.
+func (rt *Runtime) retireMergeGroup(inst *threadInstance, mg *mergeGroup, groupID uint64) {
+	mg.mu.Lock()
+	buf := mg.buf
+	mg.buf = nil
+	mg.mu.Unlock()
+	for _, bt := range buf {
+		rt.ackConsumed(bt)
+	}
+	inst.mu.Lock()
+	if inst.groups[groupID] == mg {
+		delete(inst.groups, groupID)
+	}
+	inst.mu.Unlock()
+}
+
 // handleAck applies one consumption acknowledgement: one gate slot returns,
 // the group may be reaped, and the charged leaf thread's credit is
 // released.
@@ -225,7 +316,11 @@ func (rt *Runtime) handleAck(m ackMsg) {
 }
 
 // handleGroupEnd records a group's announced total on the merge-side state,
-// waking the collector execution blocked in next.
+// waking the collector execution blocked in next. Group-ends of canceled
+// calls retire the merge-side state instead of leaving state no collector
+// will ever consume; a cancellation landing after the check below is
+// settled by cancelCall's wakeBlocked sweep, which retires groups by their
+// recorded call ID.
 func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
 	g, ok := rt.app.Graph(m.Graph)
 	if !ok {
@@ -241,7 +336,7 @@ func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
 	inst.mu.Lock()
 	mg, ok := inst.groups[m.GroupID]
 	if !ok {
-		mg = newMergeGroup()
+		mg = newMergeGroup(m.CallID)
 		inst.groups[m.GroupID] = mg
 	}
 	inst.mu.Unlock()
@@ -249,4 +344,7 @@ func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
 	mg.total = m.Total
 	mg.cond.Broadcast()
 	mg.mu.Unlock()
+	if rt.app.callAborted(m.CallID) {
+		rt.retireMergeGroup(inst, mg, m.GroupID)
+	}
 }

@@ -72,7 +72,7 @@ func TestQuickEnvelopeRoundTrip(t *testing.T) {
 }
 
 func TestGroupEndRoundTrip(t *testing.T) {
-	in := &groupEndMsg{Graph: "g", Node: 4, Thread: 2, GroupID: 77, Total: 1234}
+	in := &groupEndMsg{Graph: "g", Node: 4, Thread: 2, GroupID: 77, Total: 1234, CallID: 9}
 	buf := encodeGroupEnd(in)
 	if buf[0] != msgGroupEnd {
 		t.Fatal("kind byte wrong")

@@ -152,8 +152,14 @@ func (rt *Runtime) credit(graph string, node int, threads int) *flowctl.Credits 
 // --- linkSink: decoded inbound traffic from the link layer ---------------
 
 // deliverToken hands an envelope (token decoded) to its destination thread
-// on this node.
+// on this node. Tokens of canceled calls are dropped here, with their
+// flow-control window slot and load-balancing credit released, so an
+// abandoned call drains instead of wedging its split groups.
 func (rt *Runtime) deliverToken(env *envelope) {
+	if rt.app.callAborted(env.CallID) {
+		rt.dropEnvelope(env)
+		return
+	}
 	g, ok := rt.app.Graph(env.Graph)
 	if !ok {
 		rt.app.fail(fmt.Errorf("dps: unknown graph %q", env.Graph))
@@ -202,14 +208,21 @@ func (rt *Runtime) runItem(it workItem, tk sched.Ticket, fromDrainer bool) bool 
 // calling goroutine still holds the drainer role afterwards.
 func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (still bool) {
 	inst, g, node, env := it.inst, it.g, it.node, it.env
-	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env, drainer: fromDrainer}
+	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env, callID: env.CallID, drainer: fromDrainer}
 	defer func() { still = c.drainer }()
 	tk.Wait()
 	defer inst.exec.Unlock()
-	defer rt.recoverOp(g, node)
+	defer rt.recoverOp(c)
+	if rt.app.callAborted(env.CallID) {
+		// The call was canceled while this token sat in the dispatch
+		// queue: drop it instead of running the operation.
+		c.env = nil
+		rt.dropEnvelope(env)
+		return
+	}
 
 	if node.op.kind == KindSplit {
-		c.sg = rt.openGroup(g, node.id)
+		c.sg = rt.openGroup(c, node.id)
 	}
 	x := &exec{
 		ctx: c,
@@ -234,13 +247,22 @@ func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (st
 // drainer role afterwards.
 func (rt *Runtime) runCollector(it workItem, tk sched.Ticket, fromDrainer bool) (still bool) {
 	inst, g, node, firstEnv, first, mg := it.inst, it.g, it.node, it.env, it.bt, it.mg
-	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, mg: mg, drainer: fromDrainer}
+	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, callID: firstEnv.CallID, mg: mg, drainer: fromDrainer}
 	defer func() { still = c.drainer }()
 	tk.Wait()
 	defer inst.exec.Unlock()
-	defer rt.recoverOp(g, node)
+	defer rt.recoverOp(c)
+	if rt.app.callAborted(firstEnv.CallID) {
+		// Canceled while queued: never start the collector. Acknowledge
+		// the first token and retire the group's merge-side state.
+		rt.ackConsumed(first)
+		rt.retireMergeGroup(inst, mg, first.groupID)
+		c.env = nil
+		putEnvelope(firstEnv)
+		return
+	}
 	if node.op.kind == KindStream {
-		c.sg = rt.openGroup(g, node.id)
+		c.sg = rt.openGroup(c, node.id)
 	}
 	// The first token counts as consumed when the execution starts.
 	rt.ackConsumed(first)
@@ -292,9 +314,12 @@ func (rt *Runtime) sendSafe(env *envelope, targetNode string) (err error) {
 	return nil
 }
 
-// abortLocal wakes every blocked wait on this node so operations observe
-// the application failure and unwind.
-func (rt *Runtime) abortLocal() {
+// wakeBlocked wakes every blocked wait on this node so operations observe
+// an application failure or a call cancellation and unwind. Merge-side
+// groups of canceled calls are retired here as well: a group whose
+// collector never started (all its tokens dropped upstream) has no
+// execution left to clean it up.
+func (rt *Runtime) wakeBlocked() {
 	for _, sg := range rt.groups.all() {
 		sg.gate.Wake()
 	}
@@ -304,17 +329,24 @@ func (rt *Runtime) abortLocal() {
 		insts = append(insts, inst)
 	}
 	rt.mu.Unlock()
+	type groupRef struct {
+		id uint64
+		mg *mergeGroup
+	}
 	for _, inst := range insts {
 		inst.mu.Lock()
-		groups := make([]*mergeGroup, 0, len(inst.groups))
-		for _, mg := range inst.groups {
-			groups = append(groups, mg)
+		groups := make([]groupRef, 0, len(inst.groups))
+		for id, mg := range inst.groups {
+			groups = append(groups, groupRef{id: id, mg: mg})
 		}
 		inst.mu.Unlock()
-		for _, mg := range groups {
-			mg.mu.Lock()
-			mg.cond.Broadcast()
-			mg.mu.Unlock()
+		for _, gr := range groups {
+			if rt.app.callAborted(gr.mg.callID) {
+				rt.retireMergeGroup(inst, gr.mg, gr.id)
+			}
+			gr.mg.mu.Lock()
+			gr.mg.cond.Broadcast()
+			gr.mg.mu.Unlock()
 		}
 	}
 }
@@ -324,14 +356,66 @@ func (rt *Runtime) abortLocal() {
 // application, but opErrors carry cleaner messages).
 type opError struct{ err error }
 
-func (rt *Runtime) recoverOp(g *Flowgraph, node *GraphNode) {
+func (rt *Runtime) recoverOp(c *Ctx) {
 	r := recover()
 	if r == nil {
 		return
 	}
+	g, node := c.graph, c.node
 	if oe, ok := r.(opError); ok {
+		// An engine-raised unwind of a canceled call is not an application
+		// failure: release the execution's group accounting and keep the
+		// application serving other calls.
+		if rt.app.Err() == nil && rt.callCanceled(c.callID) {
+			rt.cleanupCanceled(c)
+			return
+		}
 		rt.app.fail(fmt.Errorf("graph %q, operation %q: %w", g.name, node.op.name, oe.err))
 		return
 	}
 	rt.app.fail(fmt.Errorf("dps: panic in graph %q, operation %q: %v", g.name, node.op.name, r))
+}
+
+// callCanceled reports whether an execution's originating call is canceled,
+// covering the window between the context firing and cancelCall's
+// bookkeeping (the pending entry still exists but its context has an error).
+func (rt *Runtime) callCanceled(id uint64) bool {
+	if rt.app.callAborted(id) {
+		return true
+	}
+	if ctx := rt.app.callContext(id); ctx != nil && ctx.Err() != nil {
+		return true
+	}
+	return false
+}
+
+// cleanupCanceled unwinds one execution of a canceled call: the group it
+// was collecting is retired (buffered tokens acknowledged so the split side
+// releases window slots and credits), the group it opened is closed for
+// reaping, a leaf's unforwarded input token is acknowledged, and the
+// envelope returns to the pool. The application keeps running.
+func (rt *Runtime) cleanupCanceled(c *Ctx) {
+	if c.mg != nil && c.env != nil {
+		if fr, ok := c.env.topFrame(); ok {
+			rt.retireMergeGroup(c.inst, c.mg, fr.GroupID)
+		}
+	}
+	if c.sg != nil {
+		c.sg.mu.Lock()
+		c.sg.done = true
+		c.sg.mu.Unlock()
+		rt.maybeReapSplit(c.sg)
+	}
+	if env := c.env; env != nil && c.mg == nil && c.sg == nil && c.postSeq == 0 {
+		// A leaf unwound before forwarding its token: in normal operation
+		// the forwarded output carries the frame to the merge, which acks
+		// it. Release the input token's slot (and credit charge) directly,
+		// exactly as if the token had been dropped before execution.
+		c.env = nil
+		rt.dropEnvelope(env)
+	}
+	if env := c.env; env != nil {
+		c.env = nil
+		putEnvelope(env)
+	}
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -158,7 +159,7 @@ func TestOperationPanicFailsCall(t *testing.T) {
 		t.Fatal("app error not recorded")
 	}
 	// Subsequent calls fail fast.
-	if _, err := g.Call(&CountToken{}); err == nil {
+	if _, err := g.Call(context.Background(), &CountToken{}); err == nil {
 		t.Fatal("expected failed app to reject calls")
 	}
 }

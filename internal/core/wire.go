@@ -20,6 +20,10 @@ type groupEndMsg struct {
 	Thread  int
 	GroupID uint64
 	Total   int
+	// CallID identifies the invocation the group belongs to, so the merge
+	// side can discard group-end announcements of canceled calls instead of
+	// materializing merge state nobody will consume.
+	CallID uint64
 }
 
 type ackMsg struct {
@@ -170,6 +174,7 @@ func appendGroupEnd(b []byte, m *groupEndMsg) []byte {
 	b = appendInt(b, m.Thread)
 	b = appendUint64(b, m.GroupID)
 	b = appendInt(b, m.Total)
+	b = appendUint64(b, m.CallID)
 	return b
 }
 
@@ -192,7 +197,10 @@ func decodeGroupEnd(b []byte) (*groupEndMsg, error) {
 	if m.GroupID, b, err = readUint64(b); err != nil {
 		return nil, err
 	}
-	if m.Total, _, err = readInt(b); err != nil {
+	if m.Total, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if m.CallID, _, err = readUint64(b); err != nil {
 		return nil, err
 	}
 	return m, nil

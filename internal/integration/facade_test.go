@@ -1,0 +1,116 @@
+package integration
+
+// The public dps package claims to be a zero-cost façade: Graph[In, Out]
+// erases to the same engine machinery as a direct core.Flowgraph call.
+// These tests pin that claim on the same-node path — same graph, called
+// both ways — as a benchmark for inspection and as an allocation assertion
+// enforced in CI.
+
+import (
+	"context"
+	"testing"
+
+	"repro/dps"
+	"repro/internal/core"
+	"repro/internal/serial"
+)
+
+type fcTok struct {
+	N int
+}
+
+var _ = serial.MustRegister[fcTok]()
+
+// facadeFixture builds one single-node leaf graph and returns it twice:
+// as the engine graph and as the typed façade wrapper of that same graph.
+func facadeFixture(tb testing.TB) (*core.Flowgraph, dps.Graph[*fcTok, *fcTok]) {
+	tb.Helper()
+	app, err := core.NewLocalApp(core.Config{}, "n0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(app.Close)
+	tc := core.MustCollection[struct{}](app, "main")
+	if err := tc.Map("n0"); err != nil {
+		tb.Fatal(err)
+	}
+	inc := core.Leaf[*fcTok, *fcTok]("inc",
+		func(c *core.Ctx, in *fcTok) *fcTok { return &fcTok{N: in.N + 1} })
+	fg, err := app.NewFlowgraph("facade", core.Path(core.NewNode(inc, tc, core.MainRoute())))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := dps.Typed[*fcTok, *fcTok](fg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fg, g
+}
+
+// BenchmarkFacadeCallOverhead compares dps.Graph.Call against the direct
+// core.Flowgraph.Call on the same-node path of the same graph.
+func BenchmarkFacadeCallOverhead(b *testing.B) {
+	fg, g := facadeFixture(b)
+	ctx := context.Background()
+	in := &fcTok{N: 1}
+
+	b.Run("core", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := fg.Call(ctx, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.(*fcTok).N != 2 {
+				b.Fatal("wrong result")
+			}
+		}
+	})
+	b.Run("dps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := g.Call(ctx, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.N != 2 {
+				b.Fatal("wrong result")
+			}
+		}
+	})
+}
+
+// TestFacadeAddsNoAllocations asserts the zero-cost claim: the typed
+// façade call allocates nothing beyond what the engine call itself does.
+func TestFacadeAddsNoAllocations(t *testing.T) {
+	fg, g := facadeFixture(t)
+	ctx := context.Background()
+	in := &fcTok{N: 1}
+
+	// Warm both paths (lazy thread instantiation, pools).
+	for i := 0; i < 32; i++ {
+		if _, err := fg.Call(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Call(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const runs = 200
+	coreAllocs := testing.AllocsPerRun(runs, func() {
+		if _, err := fg.Call(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	facadeAllocs := testing.AllocsPerRun(runs, func() {
+		if _, err := g.Call(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: core=%.2f facade=%.2f", coreAllocs, facadeAllocs)
+	// Pool refills make individual runs jitter by a fraction of an alloc;
+	// anything >= one whole extra allocation is a façade regression.
+	if facadeAllocs > coreAllocs+0.5 {
+		t.Fatalf("façade adds allocations: core %.2f, facade %.2f allocs/op", coreAllocs, facadeAllocs)
+	}
+}

@@ -4,6 +4,7 @@
 package integration
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -172,7 +173,7 @@ func TestNodeFailureFailsCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := g.CallAsyncFrom("f0", &parlife.StepOrder{})
+	ch, err := g.CallAsyncFrom(context.Background(), "f0", &parlife.StepOrder{})
 	if err != nil {
 		t.Fatal(err)
 	}

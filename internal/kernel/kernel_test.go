@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -261,14 +262,14 @@ func TestServiceRegistry(t *testing.T) {
 	if err := reg.Expose("echo-service", g); err == nil {
 		t.Fatal("expected duplicate expose error")
 	}
-	out, err := reg.Call("echo-service", &kReq{Text: "ping"})
+	out, err := reg.Call(context.Background(), "echo-service", &kReq{Text: "ping"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := out.(*kRes).Text; got != "ping!" {
 		t.Fatalf("got %q", got)
 	}
-	if _, err := reg.Call("nope", &kReq{}); err == nil {
+	if _, err := reg.Call(context.Background(), "nope", &kReq{}); err == nil {
 		t.Fatal("expected unknown service error")
 	}
 	if op, err := ServiceCallOp(reg, "call-echo", "echo-service"); err != nil || op == nil {

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,13 +60,14 @@ func (r *ServiceRegistry) Names() []string {
 	return out
 }
 
-// Call invokes a service synchronously from outside any graph.
-func (r *ServiceRegistry) Call(name string, tok core.Token) (core.Token, error) {
+// Call invokes a service synchronously from outside any graph; ctx cancels
+// the call.
+func (r *ServiceRegistry) Call(ctx context.Context, name string, tok core.Token) (core.Token, error) {
 	g, ok := r.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("kernel: unknown service %q", name)
 	}
-	return g.Call(tok)
+	return g.Call(ctx, tok)
 }
 
 // ServiceCallOp builds a leaf operation that calls the named service,

@@ -15,6 +15,7 @@
 package parlife
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -582,7 +583,7 @@ func (s *Sim) Load(w *life.World) error {
 		return fmt.Errorf("parlife: world is %dx%d, sim is %dx%d", w.Width, w.Height, s.width, s.height)
 	}
 	s.iter = 0
-	_, err := s.load.Call(&WorldToken{Width: w.Width, Height: w.Height, Cells: append([]uint8(nil), w.Cells...)})
+	_, err := s.load.Call(context.Background(), &WorldToken{Width: w.Width, Height: w.Height, Cells: append([]uint8(nil), w.Cells...)})
 	return err
 }
 
@@ -593,7 +594,7 @@ func (s *Sim) Step(improved bool) error {
 	if improved {
 		g = s.improve
 	}
-	_, err := g.Call(&StepOrder{Iter: s.iter})
+	_, err := g.Call(context.Background(), &StepOrder{Iter: s.iter})
 	return err
 }
 
@@ -609,7 +610,7 @@ func (s *Sim) StepN(n int, improved bool) error {
 
 // Gather reassembles the current world on the master.
 func (s *Sim) Gather() (*life.World, error) {
-	out, err := s.gather.Call(&StepOrder{})
+	out, err := s.gather.Call(context.Background(), &StepOrder{})
 	if err != nil {
 		return nil, err
 	}
@@ -619,7 +620,7 @@ func (s *Sim) Gather() (*life.World, error) {
 
 // ReadBlock reads an h x w sub-grid through the parallel read service.
 func (s *Sim) ReadBlock(row, col, h, w int) ([]uint8, error) {
-	out, err := s.read.Call(&ReadReq{Row: row, Col: col, H: h, W: w})
+	out, err := s.read.Call(context.Background(), &ReadReq{Row: row, Col: col, H: h, W: w})
 	if err != nil {
 		return nil, err
 	}

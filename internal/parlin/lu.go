@@ -1,6 +1,7 @@
 package parlin
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -474,10 +475,10 @@ func (l *LU) Factor(a *matrix.Matrix) (*matrix.Matrix, []int, error) {
 	if a.Rows != l.n || a.Cols != l.n {
 		return nil, nil, fmt.Errorf("parlin: matrix is %dx%d, app built for %d", a.Rows, a.Cols, l.n)
 	}
-	if _, err := l.factor.Call(&LUStart{N: l.n, R: l.r, A: append([]float64(nil), a.Data...)}); err != nil {
+	if _, err := l.factor.Call(context.Background(), &LUStart{N: l.n, R: l.r, A: append([]float64(nil), a.Data...)}); err != nil {
 		return nil, nil, err
 	}
-	out, err := l.gather.Call(&LUDone{})
+	out, err := l.gather.Call(context.Background(), &LUDone{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -487,7 +488,7 @@ func (l *LU) Factor(a *matrix.Matrix) (*matrix.Matrix, []int, error) {
 
 // FactorOnly runs the factorization without gathering (for timing).
 func (l *LU) FactorOnly(a *matrix.Matrix) error {
-	_, err := l.factor.Call(&LUStart{N: l.n, R: l.r, A: append([]float64(nil), a.Data...)})
+	_, err := l.factor.Call(context.Background(), &LUStart{N: l.n, R: l.r, A: append([]float64(nil), a.Data...)})
 	return err
 }
 

@@ -6,6 +6,7 @@
 package parlin
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -192,7 +193,7 @@ func (m *Matmul) Run(a, b *matrix.Matrix, s int, compute bool) (*matrix.Matrix, 
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
 		return nil, fmt.Errorf("parlin: matmul needs equal square matrices")
 	}
-	out, err := m.graph.Call(&MatmulOrder{
+	out, err := m.graph.Call(context.Background(), &MatmulOrder{
 		N: a.Rows, S: s, Compute: compute,
 		A: append([]float64(nil), a.Data...),
 		B: append([]float64(nil), b.Data...),

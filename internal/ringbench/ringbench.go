@@ -12,6 +12,7 @@
 package ringbench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -127,7 +128,7 @@ func RunDPSConfig(cfg simnet.Config, ringNodes, totalBytes, blockSize int, appCf
 		blocks = 1
 	}
 	sw := trace.StartStopwatch()
-	out, err := g.Call(&RingOrder{Blocks: blocks, BlockSize: blockSize})
+	out, err := g.Call(context.Background(), &RingOrder{Blocks: blocks, BlockSize: blockSize})
 	if err != nil {
 		return Result{}, err
 	}

@@ -11,6 +11,7 @@
 package stripefs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -320,7 +321,7 @@ func (fs *FS) Write(name string, data []byte, stripeSize int) error {
 	if stripeSize <= 0 {
 		return fmt.Errorf("stripefs: stripe size must be positive")
 	}
-	out, err := fs.write.Call(&WriteReq{Name: name, StripeSize: stripeSize, Data: data})
+	out, err := fs.write.Call(context.Background(), &WriteReq{Name: name, StripeSize: stripeSize, Data: data})
 	if err != nil {
 		return err
 	}
@@ -340,7 +341,7 @@ func (fs *FS) Write(name string, data []byte, stripeSize int) error {
 // Read returns length bytes from offset of a stored file, gathered in
 // parallel from the stripe stores.
 func (fs *FS) Read(name string, offset, length int) ([]byte, error) {
-	out, err := fs.read.Call(&ReadReq{Name: name, Offset: offset, Length: length})
+	out, err := fs.read.Call(context.Background(), &ReadReq{Name: name, Offset: offset, Length: length})
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +350,7 @@ func (fs *FS) Read(name string, offset, length int) ([]byte, error) {
 
 // Stat reports a file's size and stripe size (size -1 if absent).
 func (fs *FS) Stat(name string) (size, stripeSize int, err error) {
-	out, err := fs.stat.Call(&StatReq{Name: name})
+	out, err := fs.stat.Call(context.Background(), &StatReq{Name: name})
 	if err != nil {
 		return 0, 0, err
 	}
