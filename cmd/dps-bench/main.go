@@ -3,21 +3,31 @@
 //
 // Usage:
 //
-//	dps-bench -exp figure6|table1|figure9|table2|figure15|all [-quick]
-//	          [-workers N] [-stats] [-write EXPERIMENTS.md]
+//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|all
+//	          [-quick] [-workers N] [-stats] [-write EXPERIMENTS.md]
+//	          [-json results.json]
 //
 // Without -write the regenerated tables print to stdout; with -write the
 // output is additionally assembled into the experiments report file,
 // recording paper-reference values next to the measured rows. -workers
 // shards every node's scheduler over N drainer lanes (scheduler worker lanes);
 // -stats dumps the aggregated engine counters of each experiment (tokens,
-// bytes, flow-control stalls, queue depths, drainer handoffs).
+// bytes, flow-control stalls, queue depths, drainer handoffs, migrations).
+// -json writes machine-readable results — per experiment: wall-clock ns,
+// allocation bytes/counts of the host process, the table rows and the
+// engine counters — so CI can archive one BENCH_<sha>.json per commit and
+// the performance trajectory has data points.
+//
+// The rebalance experiment is not in the paper: it prices the placement
+// layer's live thread migration by remapping a ring hop mid-benchmark.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,24 +36,26 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15 or all")
+	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance or all")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 	workers := flag.Int("workers", 0, "scheduler worker lanes per node (0 = per-instance drainers)")
 	stats := flag.Bool("stats", false, "dump aggregated engine counters per experiment")
 	write := flag.String("write", "", "also write the report to this file (e.g. EXPERIMENTS.md)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	flag.Parse()
 
 	opt := bench.Options{Quick: *quick, Workers: *workers}
 	fns := map[string]func(bench.Options) (*bench.Report, error){
-		"figure6":  bench.Figure6,
-		"table1":   bench.Table1,
-		"figure9":  bench.Figure9,
-		"table2":   bench.Table2,
-		"figure15": bench.Figure15,
+		"figure6":   bench.Figure6,
+		"table1":    bench.Table1,
+		"figure9":   bench.Figure9,
+		"table2":    bench.Table2,
+		"figure15":  bench.Figure15,
+		"rebalance": bench.Rebalance,
 	}
 	var order []string
 	if *exp == "all" {
-		order = []string{"figure6", "table1", "figure9", "table2", "figure15"}
+		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance"}
 	} else {
 		if _, ok := fns[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -53,20 +65,27 @@ func main() {
 	}
 
 	var reports []*bench.Report
+	var measures []measurement
 	for _, id := range order {
 		fmt.Fprintf(os.Stderr, "running %s ...\n", id)
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		r, err := fns[id](opt)
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, elapsed.Round(time.Millisecond))
 		fmt.Println(r.String())
 		if *stats && r.Stats != nil {
 			fmt.Println(formatStats(r.Stats))
 		}
 		reports = append(reports, r)
+		measures = append(measures, measure(r, elapsed, &before, &after))
 	}
 
 	if *write != "" {
@@ -76,6 +95,67 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *write)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, measures, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+// measurement is the machine-readable record of one experiment run.
+type measurement struct {
+	ID string `json:"id"`
+	// NsOp is the experiment's wall-clock time in nanoseconds (one
+	// experiment = one "op", mirroring go test -bench units).
+	NsOp int64 `json:"ns_op"`
+	// BytesOp / AllocsOp are the host process's heap allocation deltas
+	// across the experiment.
+	BytesOp  uint64 `json:"bytes_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+	// Header and Rows reproduce the experiment's table.
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	// Stats are the aggregated engine counters (tokens, bytes, stalls,
+	// migrations, forwarded tokens, ...).
+	Stats *dps.Stats `json:"stats,omitempty"`
+}
+
+func measure(r *bench.Report, elapsed time.Duration, before, after *runtime.MemStats) measurement {
+	return measurement{
+		ID:       r.ID,
+		NsOp:     elapsed.Nanoseconds(),
+		BytesOp:  after.TotalAlloc - before.TotalAlloc,
+		AllocsOp: after.Mallocs - before.Mallocs,
+		Header:   r.Table.Header,
+		Rows:     r.Table.Rows,
+		Stats:    r.Stats,
+	}
+}
+
+// benchFile is the top-level -json document.
+type benchFile struct {
+	Schema      string        `json:"schema"`
+	GoVersion   string        `json:"go_version"`
+	Quick       bool          `json:"quick"`
+	Workers     int           `json:"workers"`
+	Experiments []measurement `json:"experiments"`
+}
+
+func writeJSON(path string, measures []measurement, opt bench.Options) error {
+	doc := benchFile{
+		Schema:      "dps-bench/1",
+		GoVersion:   runtime.Version(),
+		Quick:       opt.Quick,
+		Workers:     opt.Workers,
+		Experiments: measures,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // formatStats renders an experiment's aggregated engine counters.
@@ -89,9 +169,11 @@ func formatStats(s *dps.Stats) string {
   calls completed   %d
   queue high-water  %d
   drainer handoffs  %d
+  migrations        %d (forwarded %d tokens, %d state bytes)
 `, s.TokensPosted, s.TokensLocal, s.TokensRemote, s.BytesSent,
 		s.GroupsOpened, s.AcksSent, s.WindowStalls, s.CallsCompleted,
-		s.QueueHighWater, s.DrainerHandoffs)
+		s.QueueHighWater, s.DrainerHandoffs,
+		s.MigrationsCompleted, s.TokensForwarded, s.MigrationBytes)
 }
 
 func renderMarkdown(reports []*bench.Report, opt bench.Options) string {
@@ -106,11 +188,12 @@ func renderMarkdown(reports []*bench.Report, opt bench.Options) string {
 	sb.WriteString("Absolute numbers are not comparable to the paper's 2003 testbed — the\n")
 	sb.WriteString("*shape* columns and the notes record what must (and does) hold.\n\n")
 	titles := map[string]string{
-		"figure6":  "Figure 6 — round-trip ring throughput, DPS vs raw transfers",
-		"table1":   "Table 1 — execution-time reduction from overlapping (block matmul)",
-		"figure9":  "Figure 9 — Game of Life speedup, simple vs improved flow graph",
-		"table2":   "Table 2 — world-read service calls during the simulation",
-		"figure15": "Figure 15 — LU factorization speedup, pipelined vs non-pipelined",
+		"figure6":   "Figure 6 — round-trip ring throughput, DPS vs raw transfers",
+		"table1":    "Table 1 — execution-time reduction from overlapping (block matmul)",
+		"figure9":   "Figure 9 — Game of Life speedup, simple vs improved flow graph",
+		"table2":    "Table 2 — world-read service calls during the simulation",
+		"figure15":  "Figure 15 — LU factorization speedup, pipelined vs non-pipelined",
+		"rebalance": "Rebalance — live thread remap of a ring hop mid-benchmark (not in paper)",
 	}
 	for _, r := range reports {
 		sb.WriteString("## " + titles[r.ID] + "\n\n```\n")

@@ -13,9 +13,21 @@
 //	dps-kernel -name nodeA -listen 127.0.0.1:0 -ns 127.0.0.1:7000
 //	dps-kernel -name nodeB -listen 127.0.0.1:0 -ns 127.0.0.1:7000
 //
-// A -demo flag on one kernel runs the tutorial uppercase application
-// across all currently registered kernels, demonstrating lazy application
-// attachment and on-demand TCP connections.
+// A -demo flag on one kernel runs the tutorial uppercase application,
+// demonstrating lazy application attachment and on-demand TCP connections.
+// With -serve the kernel keeps the demo application alive afterwards and
+// accepts live-remap control messages from other processes:
+//
+//	dps-kernel -name nodeA -listen 127.0.0.1:0 -ns 127.0.0.1:7000 -demo -serve
+//	dps-kernel -ns 127.0.0.1:7000 -remap-target nodeA -remap-app demo \
+//	           -remap-collection workers -remap-spec "nodeA*4"
+//
+// The single-binary demo attaches only the local kernel, so its remaps
+// exercise the control plane and placement epochs but cannot move threads
+// off-machine. An application that attaches several kernels' transports to
+// one engine App (see internal/kernel's tests) migrates threads between
+// kernel processes with exactly the same control message — quiesce, state
+// shipment over TCP, token forwarding included.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/dps"
 	"repro/internal/kernel"
@@ -57,8 +70,13 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	ns := flag.String("ns", "127.0.0.1:7000", "name server address")
 	demo := flag.Bool("demo", false, "run the uppercase demo across all registered kernels, then exit")
+	serve := flag.Bool("serve", false, "with -demo: keep the demo app alive and accept live-remap control messages")
 	workers := flag.Int("workers", 0, "demo app: scheduler worker lanes per node (0 = per-instance drainers)")
 	window := flag.Int("window", 0, "demo app: per-split flow-control window (0 = default)")
+	remapTarget := flag.String("remap-target", "", "client mode: kernel to send a live-remap control message to, then exit")
+	remapApp := flag.String("remap-app", "demo", "client mode: application instance to remap")
+	remapCollection := flag.String("remap-collection", "workers", "client mode: thread collection to remap")
+	remapSpec := flag.String("remap-spec", "", "client mode: new placement in mapping-string syntax")
 	flag.Parse()
 
 	if *serveNS {
@@ -72,6 +90,18 @@ func main() {
 		return
 	}
 
+	if *remapTarget != "" {
+		req := kernel.RemapRequest{App: *remapApp, Collection: *remapCollection, Spec: *remapSpec}
+		if req.Spec == "" {
+			fatal(fmt.Errorf("-remap-spec is required with -remap-target"))
+		}
+		if err := kernel.SendRemap(*ns, *remapTarget, req); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("remap request sent to %q: %s/%s -> %q\n", *remapTarget, req.App, req.Collection, req.Spec)
+		return
+	}
+
 	if *name == "" {
 		fatal(fmt.Errorf("a kernel needs -name"))
 	}
@@ -82,7 +112,7 @@ func main() {
 	fmt.Printf("kernel %q listening on %s (name server %s)\n", k.Name(), k.Addr(), *ns)
 
 	if *demo {
-		if err := runDemo(k, *ns, *workers, *window); err != nil {
+		if err := runDemo(k, *ns, *workers, *window, *serve); err != nil {
 			fatal(err)
 		}
 		_ = k.Close()
@@ -94,8 +124,10 @@ func main() {
 
 // runDemo builds the tutorial split-compute-merge graph over every kernel
 // currently registered with the name server and converts a sentence to
-// uppercase in parallel.
-func runDemo(local *kernel.Kernel, ns string, workerLanes, window int) error {
+// uppercase in parallel. With serve it then keeps calling the graph once a
+// second and accepts live-remap control messages, printing the worker
+// placement after each migration.
+func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve bool) error {
 	names, err := kernel.ListNames(ns)
 	if err != nil {
 		return err
@@ -163,7 +195,46 @@ func runDemo(local *kernel.Kernel, ns string, workerLanes, window int) error {
 		return err
 	}
 	fmt.Printf("demo result: %s\n", out.Text)
-	return nil
+	if !serve {
+		return nil
+	}
+
+	// Live mode: keep the application serving and let control messages
+	// remap the worker collection while calls run.
+	local.OnRemap(func(req kernel.RemapRequest) error {
+		if req.App != "demo" {
+			return fmt.Errorf("unknown app %q", req.App)
+		}
+		tc, ok := app.Collection(req.Collection)
+		if !ok {
+			return fmt.Errorf("unknown collection %q", req.Collection)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := tc.Remap(ctx, req.Spec); err != nil {
+			fmt.Printf("remap failed: %v\n", err)
+			return err
+		}
+		fmt.Printf("collection %q remapped (epoch %d): %v\n", req.Collection, tc.Epoch(), tc.Placements())
+		return nil
+	})
+	fmt.Println("serving; send -remap-target control messages to migrate workers (ctrl-c to stop)")
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return nil
+		case <-time.After(time.Second):
+		}
+		out, err := g.Call(context.Background(), &demoReq{Text: fmt.Sprintf("serving call %d over tcp kernels", i)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("call %d: %s (stats: %d migrations, %d forwarded)\n",
+			i, out.Text, app.Stats().MigrationsCompleted, app.Stats().TokensForwarded)
+	}
 }
 
 func waitForInterrupt() {

@@ -6,6 +6,14 @@ import "repro/internal/core"
 // private instance of the collection's state type and is placed on a
 // cluster node with Map / MapNodes / MapRoundRobin (the paper's dynamic
 // mapping strings, e.g. "nodeA*2 nodeB").
+//
+// While flow graphs execute, the placement may only change through the
+// live-remap protocol: Remap(ctx, spec) / RemapThread(ctx, i, node)
+// quiesce each moving thread, ship its state (which must be a registered,
+// fully exported struct type — or empty) to the new node, and forward
+// in-flight tokens so calls keep running with per-thread FIFO order
+// preserved. Epoch reports the placement version. WithRebalance bounds the
+// per-thread quiesce wait.
 type Collection = core.ThreadCollection
 
 // NewCollection creates a thread collection whose threads each own a

@@ -331,3 +331,54 @@ func TestDefaultNode(t *testing.T) {
 		t.Fatalf("default nodes %v", names)
 	}
 }
+
+// counterState is a migratable thread state used by the live-remap test.
+type counterState struct {
+	Calls int
+}
+
+var _ = dps.Register[counterState]()
+
+// TestLiveRemapThroughFacade drives the placement layer end to end through
+// the public API: a stateful collection is remapped between nodes with
+// WithRebalance configured, the state travels, and the epoch advances.
+func TestLiveRemapThroughFacade(t *testing.T) {
+	app := newApp(t, dps.WithNodes("a", "b"), dps.WithRebalance(5*time.Second))
+	work := dps.MustCollection[counterState](app, "remap-work")
+	if err := work.Map("a"); err != nil {
+		t.Fatal(err)
+	}
+	count := dps.Leaf("remap-count", work, dps.MainRoute(),
+		func(c *dps.Ctx, in *cntTok) *cntTok {
+			st := dps.StateOf[counterState](c)
+			st.Calls++
+			return &cntTok{N: st.Calls}
+		})
+	g, err := dps.Build(app, "remap-graph", dps.Chain(count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := g.Call(context.Background(), &cntTok{}); err != nil || out.N != 1 {
+		t.Fatalf("first call: %v, %v", out, err)
+	}
+	before := work.Epoch()
+	if err := work.Remap(context.Background(), "b"); err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	if got, _ := work.NodeOf(0); got != "b" {
+		t.Fatalf("thread on %q after remap", got)
+	}
+	if work.Epoch() <= before {
+		t.Fatal("epoch did not advance")
+	}
+	out, err := g.Call(context.Background(), &cntTok{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 {
+		t.Fatalf("state did not travel: counter = %d, want 2", out.N)
+	}
+	if s := app.Stats(); s.MigrationsCompleted != 1 {
+		t.Fatalf("MigrationsCompleted = %d", s.MigrationsCompleted)
+	}
+}

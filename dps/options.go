@@ -2,6 +2,7 @@ package dps
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/core/flowctl"
@@ -102,6 +103,22 @@ func WithQueue(n int) Option {
 			return fmt.Errorf("dps: negative queue bound %d", n)
 		}
 		c.engine.Queue = n
+		return nil
+	}
+}
+
+// WithRebalance bounds the quiesce phase of live thread migrations
+// (Collection.Remap / RemapThread) when the caller's context carries no
+// deadline: a thread stuck inside an operation or an open merge group longer
+// than drain aborts the migration cleanly (placement unchanged, held tokens
+// re-dispatched) instead of stalling the remap forever. Zero waits
+// indefinitely.
+func WithRebalance(drain time.Duration) Option {
+	return func(c *config) error {
+		if drain < 0 {
+			return fmt.Errorf("dps: negative rebalance drain %v", drain)
+		}
+		c.engine.RemapDrain = drain
 		return nil
 	}
 }

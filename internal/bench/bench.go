@@ -125,6 +125,59 @@ func Figure6(opt Options) (*Report, error) {
 	}, nil
 }
 
+// Rebalance measures the cost of live thread migration (the "Dynamic" in
+// DPS, not an experiment of the paper): the Figure 6 ring runs undisturbed,
+// then again with one forwarding hop remapped to another node mid-stream
+// and back, exercising the placement layer's quiesce/ship/forward protocol
+// under load. The delivered byte counts must be identical; the throughput
+// delta and the forwarded-token count price the migration.
+func Rebalance(opt Options) (*Report, error) {
+	total := 32 << 20
+	size := 64 << 10
+	if opt.Quick {
+		total = 8 << 20
+	}
+	t := &trace.Table{
+		Title:  "Rebalance: 4-node ring, live remap of hop 2 mid-run (not in paper)",
+		Header: []string{"scenario", "MB/s", "migrations", "forwarded", "migBytes"},
+	}
+	agg := &core.Stats{}
+	cfg := core.Config{Window: 64, Workers: opt.Workers}
+	base, err := ringbench.RunDPSConfig(gigabit(), 4, total, size, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rebalance baseline: %w", err)
+	}
+	agg.Add(base.Stats)
+	t.AddRow("steady", fmt.Sprintf("%.1f", base.Throughput), "0", "0", "0")
+
+	// Trigger the remap roughly a third into the run, return two thirds in.
+	after := base.Elapsed / 3
+	spec := ringbench.RebalanceSpec{Hop: 2, To: 0, After: after, Back: true}
+	moved, err := ringbench.RunDPSRebalance(gigabit(), 4, total, size, cfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("rebalance migrated run: %w", err)
+	}
+	agg.Add(moved.Stats)
+	if moved.TotalBytes != base.TotalBytes {
+		return nil, fmt.Errorf("rebalance: delivered %d bytes, baseline %d", moved.TotalBytes, base.TotalBytes)
+	}
+	t.AddRow("remap x2",
+		fmt.Sprintf("%.1f", moved.Throughput),
+		fmt.Sprint(moved.Stats.MigrationsCompleted),
+		fmt.Sprint(moved.Stats.TokensForwarded),
+		fmt.Sprint(moved.Stats.MigrationBytes),
+	)
+	return &Report{
+		ID:    "rebalance",
+		Table: t,
+		Stats: agg,
+		Notes: []string{
+			"check: both scenarios deliver identical byte counts (no token lost or duplicated across the migrations).",
+			"check: forwarded tokens stay bounded by the in-flight window per migration; throughput dips only during the handover.",
+		},
+	}, nil
+}
+
 // table1Cell measures one (blockSize, workers) configuration: the full
 // pipelined run, the communication-only run, and the computation-only run
 // (zero-cost fabric), from which the paper's two reported quantities

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core/flowctl"
 	"repro/internal/serial"
@@ -37,6 +38,10 @@ type Config struct {
 	// transfers, exercising the full networking path inside one process —
 	// the paper's several-kernels-per-host debugging mode.
 	ForceSerialize bool
+	// RemapDrain bounds the quiesce phase of live thread migrations
+	// (ThreadCollection.Remap) when the caller's context carries no
+	// deadline; zero waits indefinitely.
+	RemapDrain time.Duration
 	// Registry is the token type registry; nil selects serial.DefaultRegistry.
 	Registry *serial.Registry
 }
@@ -98,6 +103,13 @@ type App struct {
 
 	failErr atomic.Value // errBox
 	closed  atomic.Bool
+
+	// migrateMu serializes live thread migrations; migrActive switches the
+	// token posting paths from the lock-free fast route onto the per-key
+	// route locks once the first migration starts (sticky; the in-flight
+	// fast-path counts live on each Runtime — see migrate.go).
+	migrateMu  sync.Mutex
+	migrActive atomic.Int32
 
 	cleanup []func()
 }
@@ -329,6 +341,40 @@ func (app *App) runtime(name string) (*Runtime, bool) {
 	defer app.mu.Unlock()
 	rt, ok := app.runtimes[name]
 	return rt, ok
+}
+
+// allRuntimes snapshots every node runtime in attachment order.
+func (app *App) allRuntimes() []*Runtime {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	rts := make([]*Runtime, 0, len(app.nodeOrder))
+	for _, name := range app.nodeOrder {
+		rts = append(rts, app.runtimes[name])
+	}
+	return rts
+}
+
+// activeCalls reports the number of flow-graph invocations in flight.
+func (app *App) activeCalls() int {
+	app.callMu.Lock()
+	defer app.callMu.Unlock()
+	return len(app.calls)
+}
+
+// replaceMapping swaps a collection's placement wholesale, rejecting the
+// swap while calls execute. The check and the swap happen under callMu —
+// the lock call registration takes — so a call racing the remap either
+// registers first (and the swap is rejected) or registers after the new
+// table is in place and routes consistently; no call can resolve half its
+// tokens against each placement.
+func (app *App) replaceMapping(tc *ThreadCollection, nodes []string) error {
+	app.callMu.Lock()
+	defer app.callMu.Unlock()
+	if tc.place.Len() > 0 && len(app.calls) > 0 {
+		return fmt.Errorf("dps: collection %q: cannot replace the mapping while calls are executing; use Remap for a live migration", tc.name)
+	}
+	tc.place.Set(nodes)
+	return nil
 }
 
 func (app *App) registerCall(ctx context.Context) (uint64, *callEntry) {

@@ -91,10 +91,6 @@ func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token)
 	if thread < 0 || thread >= count {
 		return nil, fmt.Errorf("dps: graph %q: entry route %q returned thread %d of %d", g.name, entryNode.route.Name(), thread, count)
 	}
-	target, err := entryNode.tc.NodeOf(thread)
-	if err != nil {
-		return nil, err
-	}
 	id, ce := app.registerCall(ctx)
 	if ctx.Done() != nil {
 		app.setCallStop(id, context.AfterFunc(ctx, func() {
@@ -110,7 +106,7 @@ func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token)
 	env.LastWorker = -1
 	env.CreditNode = -1
 	env.Token = tok
-	if err := rt.sendSafe(env, target); err != nil {
+	if err := rt.routeSafe(env, entryNode.tc, thread); err != nil {
 		app.completeCall(id, CallResult{Err: err})
 	}
 	return ce.ch, nil

@@ -1,17 +1,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strconv"
 	"strings"
-	"sync"
+
+	"repro/internal/core/place"
 )
 
 // ThreadCollection is a named group of DPS threads. Each thread carries a
 // private instance of the collection's state type S (the paper's thread
 // class members, used to build distributed data structures) and is placed
-// on a cluster node by Map.
+// on a cluster node by Map. The placement is an epoch-versioned table
+// owned by the placement layer (internal/core/place); while flow graphs
+// execute it may only change through the live-remap protocol (Remap /
+// RemapThread), which quiesces the affected instance, migrates its state
+// and forwards in-flight tokens.
 //
 // Threads are instantiated lazily on their node the first time a token is
 // routed to them, mirroring the paper's on-demand application deployment.
@@ -21,8 +27,7 @@ type ThreadCollection struct {
 	stateType reflect.Type // nil for stateless collections
 	newState  func() any
 
-	mu         sync.RWMutex
-	placements []string // placements[i] = node name of thread i
+	place place.Table
 }
 
 // NewCollection creates a thread collection whose threads each own a
@@ -56,8 +61,10 @@ func (tc *ThreadCollection) Name() string { return tc.name }
 // Map places the collection's threads on cluster nodes using the paper's
 // mapping-string syntax: node names separated by spaces with an optional
 // multiplier, e.g. "nodeA*2 nodeB" creates threads 0 and 1 on nodeA and
-// thread 2 on nodeB. Map replaces any previous mapping; it must not be
-// called while a graph using the collection is executing.
+// thread 2 on nodeB. Map replaces any previous mapping. While a flow graph
+// using the collection has calls in flight a replacement is rejected —
+// remapping a live collection must go through Remap, which migrates thread
+// state and forwards in-flight tokens instead of silently misrouting them.
 func (tc *ThreadCollection) Map(spec string) error {
 	placements, err := ParseMapping(spec)
 	if err != nil {
@@ -66,7 +73,8 @@ func (tc *ThreadCollection) Map(spec string) error {
 	return tc.MapNodes(placements...)
 }
 
-// MapNodes places thread i on nodes[i].
+// MapNodes places thread i on nodes[i]. Like Map, it rejects replacing the
+// mapping of a collection while calls are executing.
 func (tc *ThreadCollection) MapNodes(nodes ...string) error {
 	if len(nodes) == 0 {
 		return fmt.Errorf("dps: collection %q: empty mapping", tc.name)
@@ -76,10 +84,7 @@ func (tc *ThreadCollection) MapNodes(nodes ...string) error {
 			return fmt.Errorf("dps: collection %q: unknown node %q", tc.name, n)
 		}
 	}
-	tc.mu.Lock()
-	tc.placements = append([]string(nil), nodes...)
-	tc.mu.Unlock()
-	return nil
+	return tc.app.replaceMapping(tc, nodes)
 }
 
 // MapRoundRobin places n threads across the application's nodes in order,
@@ -97,28 +102,84 @@ func (tc *ThreadCollection) MapRoundRobin(n int) error {
 	return tc.MapNodes(nodes...)
 }
 
-// ThreadCount returns the number of mapped threads.
-func (tc *ThreadCollection) ThreadCount() int {
-	tc.mu.RLock()
-	defer tc.mu.RUnlock()
-	return len(tc.placements)
+// Remap live-migrates the collection to a new placement given in the
+// paper's mapping-string syntax, while flow graphs keep executing. The new
+// placement must keep the thread count (merge routing and credit trackers
+// are sized by it); every thread whose node changes goes through the
+// migration protocol: its instance is quiesced on the old node, its state
+// serialized and shipped to the new owner, the placement epoch bumped, and
+// a relay installed so in-flight tokens routed with the stale placement
+// are forwarded in order.
+//
+// ctx bounds the quiesce of each thread (an instance busy inside an
+// operation, or collecting an open merge group, is migrated only once it
+// falls idle). When ctx has no deadline, Config.RemapDrain applies. Threads
+// migrate one at a time; on error the failed thread's migration is rolled
+// back (its placement unchanged, held tokens re-dispatched) but threads
+// already moved stay moved — consult Placements for the partial progress.
+// Traffic continues undisturbed either way.
+func (tc *ThreadCollection) Remap(ctx context.Context, spec string) error {
+	placements, err := ParseMapping(spec)
+	if err != nil {
+		return fmt.Errorf("dps: collection %q: %w", tc.name, err)
+	}
+	return tc.RemapNodes(ctx, placements...)
 }
+
+// RemapNodes is Remap with an explicit per-thread node list.
+func (tc *ThreadCollection) RemapNodes(ctx context.Context, nodes ...string) error {
+	cur := tc.Placements()
+	if len(cur) == 0 {
+		return fmt.Errorf("dps: collection %q: not mapped; use Map first", tc.name)
+	}
+	for _, n := range nodes {
+		if !tc.app.hasNode(n) {
+			return fmt.Errorf("dps: collection %q: unknown node %q", tc.name, n)
+		}
+	}
+	moves, err := place.Plan(cur, nodes)
+	if err != nil {
+		return fmt.Errorf("dps: collection %q: %w", tc.name, err)
+	}
+	for _, mv := range moves {
+		if err := tc.app.migrateThread(ctx, tc, mv.Thread, mv.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemapThread live-migrates a single thread to the given node (see Remap).
+func (tc *ThreadCollection) RemapThread(ctx context.Context, thread int, node string) error {
+	if !tc.app.hasNode(node) {
+		return fmt.Errorf("dps: collection %q: unknown node %q", tc.name, node)
+	}
+	if _, err := tc.NodeOf(thread); err != nil {
+		return err
+	}
+	return tc.app.migrateThread(ctx, tc, thread, node)
+}
+
+// ThreadCount returns the number of mapped threads.
+func (tc *ThreadCollection) ThreadCount() int { return tc.place.Len() }
+
+// Epoch returns the placement table's version; it increases on every Map
+// and on every completed thread migration.
+func (tc *ThreadCollection) Epoch() uint64 { return tc.place.Epoch() }
 
 // NodeOf returns the cluster node hosting thread i.
 func (tc *ThreadCollection) NodeOf(i int) (string, error) {
-	tc.mu.RLock()
-	defer tc.mu.RUnlock()
-	if i < 0 || i >= len(tc.placements) {
-		return "", fmt.Errorf("dps: collection %q: thread index %d out of range [0,%d)", tc.name, i, len(tc.placements))
+	node, ok := tc.place.NodeOf(i)
+	if !ok {
+		return "", fmt.Errorf("dps: collection %q: thread index %d out of range [0,%d)", tc.name, i, tc.place.Len())
 	}
-	return tc.placements[i], nil
+	return node, nil
 }
 
 // Placements returns a copy of the node assignment of every thread.
 func (tc *ThreadCollection) Placements() []string {
-	tc.mu.RLock()
-	defer tc.mu.RUnlock()
-	return append([]string(nil), tc.placements...)
+	_, nodes := tc.place.Snapshot()
+	return nodes
 }
 
 // ParseMapping parses the paper's thread-mapping string syntax

@@ -207,11 +207,7 @@ func (c *Ctx) postOut(tok Token) {
 	env.CreditNode = creditNode
 	env.Frames = frames
 	env.Token = tok
-	target, err := succNode.tc.NodeOf(thread)
-	if err != nil {
-		panic(opError{err})
-	}
-	c.rt.lnk.sendToken(env, target)
+	c.rt.routeToken(env, succNode.tc, thread)
 }
 
 // pickRoute evaluates a node's routing function with bounds checking.

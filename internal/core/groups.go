@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core/flowctl"
+	"repro/internal/core/place"
 )
 
 // This file is the engine's groups layer: the lifecycle of split–merge (and
@@ -186,11 +187,7 @@ func (rt *Runtime) finishOpener(c *Ctx) {
 		Total:   posted,
 		CallID:  c.callID,
 	}
-	target, err := closerNode.tc.NodeOf(mergeThread)
-	if err != nil {
-		panic(opError{err})
-	}
-	rt.lnk.sendGroupEnd(target, end)
+	rt.routeGroupEnd(end, closerNode.tc, mergeThread)
 	rt.maybeReapSplit(sg)
 }
 
@@ -243,6 +240,7 @@ func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *Grap
 	if !mg.started {
 		mg.started = true
 		mg.mu.Unlock()
+		inst.inflight.Add(1)
 		inst.exec.Enqueue(workItem{inst: inst, g: g, node: node, env: env, bt: bt, mg: mg, collector: true})
 		return
 	}
@@ -320,14 +318,27 @@ func (rt *Runtime) handleAck(m ackMsg) {
 // calls retire the merge-side state instead of leaving state no collector
 // will ever consume; a cancellation landing after the check below is
 // settled by cancelCall's wakeBlocked sweep, which retires groups by their
-// recorded call ID.
-func (rt *Runtime) handleGroupEnd(m *groupEndMsg) {
+// recorded call ID. Like tokens, group-ends pass the placement intercepts
+// once this node has participated in a live remap.
+func (rt *Runtime) handleGroupEnd(m *groupEndMsg, src string) {
 	g, ok := rt.app.Graph(m.Graph)
 	if !ok {
 		rt.app.fail(fmt.Errorf("dps: group-end for unknown graph %q", m.Graph))
 		return
 	}
 	node := g.nodes[m.Node]
+	if rt.place.active.Load() != 0 {
+		key := place.Key{Collection: node.tc.Name(), Thread: m.Thread}
+		if rt.placeIntercept(key, placeItem{src: src, ge: m, node: node}) {
+			return
+		}
+	}
+	rt.applyGroupEnd(node, m)
+}
+
+// applyGroupEnd delivers a group-end to its resolved destination node's
+// local merge-side state, past the placement intercepts.
+func (rt *Runtime) applyGroupEnd(node *GraphNode, m *groupEndMsg) {
 	inst, err := rt.instance(node.tc, m.Thread)
 	if err != nil {
 		rt.app.fail(err)

@@ -16,12 +16,17 @@ import (
 // pools in pool.go.
 
 // linkSink is the upward interface of the link layer: the engine receives
-// decoded messages and failures through it.
+// decoded messages and failures through it. Tokens and group-ends carry the
+// transport-level source node — the placement layer's fence gates are per
+// sender (fences themselves name their original sender in the message, as
+// forwarding rewrites the transport source).
 type linkSink interface {
-	deliverToken(env *envelope)
-	deliverGroupEnd(m *groupEndMsg)
+	deliverToken(env *envelope, src string)
+	deliverGroupEnd(m *groupEndMsg, src string)
 	deliverAck(m ackMsg)
 	deliverResult(callID uint64, tok Token)
+	deliverMigrate(m *migrateMsg)
+	deliverFence(m *fenceMsg)
 	linkFail(err error)
 }
 
@@ -70,7 +75,7 @@ func (l *link) handle(src string, payload []byte) {
 		env.Token = tok
 		env.Payload = nil // aliases the wire buffer recycled below
 		putWireBuf(payload)
-		l.sink.deliverToken(env)
+		l.sink.deliverToken(env, src)
 		return
 	case msgGroupEnd:
 		m, err := decodeGroupEnd(body)
@@ -78,7 +83,7 @@ func (l *link) handle(src string, payload []byte) {
 			l.sink.linkFail(fmt.Errorf("dps: bad group-end from %q: %w", src, err))
 			return
 		}
-		l.sink.deliverGroupEnd(m)
+		l.sink.deliverGroupEnd(m, src)
 	case msgAck:
 		m, err := decodeAck(body)
 		if err != nil {
@@ -100,6 +105,22 @@ func (l *link) handle(src string, payload []byte) {
 		putWireBuf(payload)
 		l.sink.deliverResult(m.CallID, tok)
 		return
+	case msgMigrate:
+		m, err := decodeMigrate(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad migration envelope from %q: %w", src, err))
+			return
+		}
+		// m.State aliases the wire buffer; deliverMigrate fully consumes it
+		// (the state is deserialized synchronously) before the recycle below.
+		l.sink.deliverMigrate(m)
+	case msgFence:
+		m, err := decodeFence(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad fence from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverFence(m)
 	default:
 		l.sink.linkFail(fmt.Errorf("dps: unknown message kind %d from %q", kind, src))
 		return
@@ -117,7 +138,7 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 		// Same address space: transfer the pointer directly, bypassing the
 		// communication layer (paper §4).
 		l.stats.tokensLocal.Add(1)
-		l.sink.deliverToken(env)
+		l.sink.deliverToken(env, l.name)
 		return
 	}
 	if targetNode == l.name {
@@ -127,7 +148,7 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 			panic(opError{err})
 		}
 		env.Token = tok
-		l.sink.deliverToken(env)
+		l.sink.deliverToken(env, l.name)
 		return
 	}
 	// The token is serialized straight into a pooled wire buffer after the
@@ -151,12 +172,32 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 // context is unwinding its group).
 func (l *link) sendGroupEnd(target string, m *groupEndMsg) {
 	if target == l.name {
-		l.sink.deliverGroupEnd(m)
+		l.sink.deliverGroupEnd(m, l.name)
 		return
 	}
 	if err := l.tr.Send(target, appendGroupEnd(getWireBuf(), m)); err != nil {
 		panic(opError{err})
 	}
+}
+
+// sendMigrate ships a migration envelope to the instance's new owner.
+func (l *link) sendMigrate(target string, m *migrateMsg) error {
+	if target == l.name {
+		l.sink.deliverMigrate(m)
+		return nil
+	}
+	buf := appendMigrate(getWireBuf(), m)
+	l.stats.bytesSent.Add(int64(len(buf)))
+	return l.tr.Send(target, buf)
+}
+
+// sendFence emits one fence half of the live-remap handshake.
+func (l *link) sendFence(target string, m *fenceMsg) error {
+	if target == l.name {
+		l.sink.deliverFence(m)
+		return nil
+	}
+	return l.tr.Send(target, appendFence(getWireBuf(), m))
 }
 
 // sendAck returns a consumption acknowledgement to the split-side node.

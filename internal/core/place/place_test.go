@@ -1,0 +1,188 @@
+package place
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTableEpochs(t *testing.T) {
+	var tb Table
+	if tb.Epoch() != 0 || tb.Len() != 0 {
+		t.Fatal("zero table must be empty at epoch 0")
+	}
+	if _, ok := tb.NodeOf(0); ok {
+		t.Fatal("NodeOf on empty table")
+	}
+	if e := tb.Set([]string{"a", "a", "b"}); e != 1 {
+		t.Fatalf("first Set -> epoch %d", e)
+	}
+	if n, ok := tb.NodeOf(2); !ok || n != "b" {
+		t.Fatalf("NodeOf(2) = %q, %v", n, ok)
+	}
+	if _, ok := tb.NodeOf(3); ok {
+		t.Fatal("NodeOf out of range succeeded")
+	}
+	e, err := tb.SetThread(1, "c")
+	if err != nil || e != 2 {
+		t.Fatalf("SetThread -> %d, %v", e, err)
+	}
+	if _, err := tb.SetThread(9, "c"); err == nil {
+		t.Fatal("SetThread out of range succeeded")
+	}
+	epoch, nodes := tb.Snapshot()
+	if epoch != 2 || !reflect.DeepEqual(nodes, []string{"a", "c", "b"}) {
+		t.Fatalf("snapshot = %d %v", epoch, nodes)
+	}
+	// Snapshot is a copy.
+	nodes[0] = "x"
+	if n, _ := tb.NodeOf(0); n != "a" {
+		t.Fatal("snapshot aliases the table")
+	}
+}
+
+func TestPlan(t *testing.T) {
+	moves, err := Plan([]string{"a", "b", "c"}, []string{"a", "c", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(moves, []Move{{Thread: 1, From: "b", To: "c"}}) {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves, _ := Plan([]string{"a"}, []string{"a"}); moves != nil {
+		t.Fatalf("no-op plan returned %v", moves)
+	}
+	if _, err := Plan([]string{"a"}, []string{"a", "b"}); err == nil {
+		t.Fatal("cardinality change accepted")
+	}
+}
+
+func TestRelayHoldFlushForward(t *testing.T) {
+	var r Relay
+	if tgt := r.Target(); tgt != "" {
+		t.Fatalf("fresh relay forwards to %q", tgt)
+	}
+	for _, it := range []string{"a", "b"} {
+		if tgt, held := r.Offer(it); !held || tgt != "" {
+			t.Fatalf("hold Offer -> %q, %v", tgt, held)
+		}
+	}
+	if r.HeldLen() != 2 {
+		t.Fatalf("held %d", r.HeldLen())
+	}
+	var flushed []string
+	r.Flush("nodeB", 7, func(item any) { flushed = append(flushed, item.(string)) })
+	if !reflect.DeepEqual(flushed, []string{"a", "b"}) {
+		t.Fatalf("flushed %v", flushed)
+	}
+	if tgt, held := r.Offer("c"); held || tgt != "nodeB" {
+		t.Fatalf("forward Offer -> %q, %v", tgt, held)
+	}
+	if r.HeldLen() != 0 {
+		t.Fatal("forwarding relay holds items")
+	}
+}
+
+func TestRelayAbort(t *testing.T) {
+	var r Relay
+	r.Offer(1)
+	r.Offer(2)
+	got := r.Abort()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("aborted %v", got)
+	}
+}
+
+func collect(dst *[]any) func(any) {
+	return func(item any) { *dst = append(*dst, item) }
+}
+
+func TestGatesOpenThenClose(t *testing.T) {
+	var g Gates
+	key := Key{Collection: "c", Thread: 0}
+	// Opening fence first: direct tokens buffer until the closing fence.
+	var rel []any
+	if done := g.OnFence(key, "s", 5, FenceOpen, collect(&rel)); done {
+		t.Fatal("half a handshake completed")
+	}
+	if !g.Offer(key, "s", 5, "t1") || !g.Offer(key, "s", 5, "t2") {
+		t.Fatal("open gate did not buffer")
+	}
+	if g.Offer(key, "other", 5, "x") {
+		t.Fatal("gate captured another sender")
+	}
+	if !g.PendingFor(key, 5, collect(&rel)) {
+		t.Fatal("open gate not pending")
+	}
+	if done := g.OnFence(key, "s", 5, FenceClose, collect(&rel)); !done {
+		t.Fatal("handshake did not complete")
+	}
+	if !reflect.DeepEqual(rel, []any{"t1", "t2"}) {
+		t.Fatalf("released %v", rel)
+	}
+	if g.Offer(key, "s", 5, "t3") {
+		t.Fatal("completed gate still buffering")
+	}
+	if g.PendingFor(key, 5, collect(&rel)) {
+		t.Fatal("completed gate still pending")
+	}
+}
+
+func TestGatesCloseBeforeOpen(t *testing.T) {
+	var g Gates
+	key := Key{Collection: "c", Thread: 1}
+	var rel []any
+	if done := g.OnFence(key, "s", 3, FenceClose, collect(&rel)); done {
+		t.Fatal("close alone completed")
+	}
+	// A closed-but-not-opened entry must not buffer tokens (the sender's
+	// direct stream always begins with the opening fence).
+	if g.Offer(key, "s", 3, "t") {
+		t.Fatal("closed-only gate buffered")
+	}
+	if !g.PendingFor(key, 3, collect(&rel)) {
+		t.Fatal("half handshake not pending")
+	}
+	if done := g.OnFence(key, "s", 3, FenceOpen, collect(&rel)); !done {
+		t.Fatal("pair did not complete")
+	}
+	if len(rel) != 0 {
+		t.Fatalf("released %v from empty gate", rel)
+	}
+}
+
+func TestGatesEpochFloorAndStragglers(t *testing.T) {
+	var g Gates
+	key := Key{Collection: "c", Thread: 2}
+	var rel []any
+	// An old-epoch straggler opens a gate...
+	g.OnFence(key, "s", 2, FenceOpen, collect(&rel))
+	// ...but once the owner is at epoch 5 it must not capture traffic...
+	if g.Offer(key, "s", 5, "t") {
+		t.Fatal("stale gate captured current traffic")
+	}
+	// ...and quiesce drops it instead of waiting forever.
+	if g.PendingFor(key, 5, collect(&rel)) {
+		t.Fatal("stale gate blocks quiesce")
+	}
+	if g.PendingFor(key, 5, collect(&rel)) {
+		t.Fatal("stale gate survived the drop")
+	}
+}
+
+func TestGatesNewerEpochSupersedes(t *testing.T) {
+	var g Gates
+	key := Key{Collection: "c", Thread: 3}
+	var rel []any
+	g.OnFence(key, "s", 2, FenceOpen, collect(&rel))
+	g.Offer(key, "s", 0, "old")
+	// A newer handshake replaces the entry; the old buffered item is dropped
+	// with it (its stream was superseded), and a stale closing fence must
+	// not complete the new pair.
+	g.OnFence(key, "s", 4, FenceOpen, collect(&rel))
+	if done := g.OnFence(key, "s", 2, FenceClose, collect(&rel)); done {
+		t.Fatal("stale close completed the newer handshake")
+	}
+	if done := g.OnFence(key, "s", 4, FenceClose, collect(&rel)); !done {
+		t.Fatal("matching close did not complete")
+	}
+}

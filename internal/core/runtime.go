@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core/flowctl"
+	"repro/internal/core/place"
 	"repro/internal/core/sched"
 	"repro/internal/transport"
 )
@@ -12,7 +14,7 @@ import (
 // Runtime is the per-node controller of the paper's §3: it sequences the
 // program execution on one cluster node according to the flow graphs and
 // thread collections, creates thread instances lazily, and composes the
-// four engine layers:
+// five engine layers:
 //
 //   - sched:   per-thread-instance work queues, FIFO execution tickets and
 //     drainer handoff (internal/core/sched), optionally sharded over N
@@ -20,6 +22,8 @@ import (
 //   - flowctl: per-split-group flow-control gates and the load-balancing
 //     credit trackers (internal/core/flowctl);
 //   - groups:  split/merge/stream group lifecycle (groups.go);
+//   - place:   epoch-versioned thread placement and the live-remap
+//     relays/fence gates (internal/core/place, migrate.go);
 //   - link:    envelope framing, buffer pooling and send/receive over
 //     transport.Transport (link.go, wire.go, pool.go).
 type Runtime struct {
@@ -31,6 +35,7 @@ type Runtime struct {
 	sched  sched.Scheduler[workItem]
 	groups groupTable
 	policy flowctl.Policy
+	place  placeState
 
 	stats statCounters
 
@@ -60,6 +65,11 @@ type threadInstance struct {
 	index int
 	state any
 	exec  sched.Instance[workItem]
+
+	// inflight counts executions between enqueue and completion (including
+	// ones parked inside blocking points); the migration quiesce waits for
+	// it to reach zero.
+	inflight atomic.Int64
 
 	mu     sync.Mutex
 	groups map[uint64]*mergeGroup
@@ -154,8 +164,10 @@ func (rt *Runtime) credit(graph string, node int, threads int) *flowctl.Credits 
 // deliverToken hands an envelope (token decoded) to its destination thread
 // on this node. Tokens of canceled calls are dropped here, with their
 // flow-control window slot and load-balancing credit released, so an
-// abandoned call drains instead of wedging its split groups.
-func (rt *Runtime) deliverToken(env *envelope) {
+// abandoned call drains instead of wedging its split groups. Once this node
+// has participated in a live remap, arrivals first pass the placement
+// intercepts (relay/gates/pending — see migrate.go).
+func (rt *Runtime) deliverToken(env *envelope, src string) {
 	if rt.app.callAborted(env.CallID) {
 		rt.dropEnvelope(env)
 		return
@@ -170,6 +182,18 @@ func (rt *Runtime) deliverToken(env *envelope) {
 		return
 	}
 	node := g.nodes[env.Node]
+	if rt.place.active.Load() != 0 {
+		key := place.Key{Collection: node.tc.Name(), Thread: env.Thread}
+		if rt.placeIntercept(key, placeItem{src: src, env: env, g: g, node: node}) {
+			return
+		}
+	}
+	rt.dispatchToken(g, node, env)
+}
+
+// dispatchToken delivers an envelope to its (possibly lazily created) local
+// thread instance, past the placement intercepts.
+func (rt *Runtime) dispatchToken(g *Flowgraph, node *GraphNode, env *envelope) {
 	inst, err := rt.instance(node.tc, env.Thread)
 	if err != nil {
 		rt.app.fail(err)
@@ -177,13 +201,16 @@ func (rt *Runtime) deliverToken(env *envelope) {
 	}
 	switch node.op.kind {
 	case KindLeaf, KindSplit:
+		inst.inflight.Add(1)
 		inst.exec.Enqueue(workItem{inst: inst, g: g, node: node, env: env})
 	case KindMerge, KindStream:
 		rt.deliverToGroup(inst, g, node, env)
 	}
 }
 
-func (rt *Runtime) deliverGroupEnd(m *groupEndMsg) { rt.handleGroupEnd(m) }
+func (rt *Runtime) deliverGroupEnd(m *groupEndMsg, src string) { rt.handleGroupEnd(m, src) }
+
+func (rt *Runtime) deliverMigrate(m *migrateMsg) { rt.installMigrated(m) }
 
 func (rt *Runtime) deliverAck(m ackMsg) { rt.handleAck(m) }
 
@@ -198,6 +225,7 @@ func (rt *Runtime) linkFail(err error) { rt.app.fail(err) }
 // runItem executes one queued item, reporting whether the caller still
 // holds the drainer role afterwards. It is the scheduler layer's RunFunc.
 func (rt *Runtime) runItem(it workItem, tk sched.Ticket, fromDrainer bool) bool {
+	defer it.inst.inflight.Add(-1)
 	if it.collector {
 		return rt.runCollector(it, tk, fromDrainer)
 	}
@@ -296,22 +324,6 @@ func (rt *Runtime) runCollector(it workItem, tk sched.Ticket, fromDrainer bool) 
 	c.env = nil
 	putEnvelope(firstEnv)
 	return
-}
-
-// sendSafe is sendToken for non-operation goroutines (graph calls): it
-// converts the panic-based error propagation into an error return.
-func (rt *Runtime) sendSafe(env *envelope, targetNode string) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if oe, ok := r.(opError); ok {
-				err = oe.err
-				return
-			}
-			panic(r)
-		}
-	}()
-	rt.lnk.sendToken(env, targetNode)
-	return nil
 }
 
 // wakeBlocked wakes every blocked wait on this node so operations observe

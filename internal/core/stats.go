@@ -29,9 +29,21 @@ type Stats struct {
 	// DrainerHandoffs counts scheduler drainer-role handoffs (an operation
 	// blocked mid-execution and passed its queue to another goroutine).
 	DrainerHandoffs int64
+	// MigrationsCompleted counts live thread remaps completed with this node
+	// as the old owner (the node that quiesced and shipped the state).
+	MigrationsCompleted int64
+	// TokensForwarded counts envelopes and group-ends re-sent by a placement
+	// relay because they reached a node the destination thread had migrated
+	// away from (held arrivals flushed at the handoff included).
+	TokensForwarded int64
+	// MigrationBytes counts serialized thread-state bytes shipped in
+	// migration envelopes by this node.
+	MigrationBytes int64
 }
 
-// Add accumulates o into s (QueueHighWater takes the maximum).
+// Add accumulates o into s. Every counter is a sum except QueueHighWater,
+// which takes the maximum (a per-node high-water mark has no meaningful
+// cluster-wide sum).
 func (s *Stats) Add(o *Stats) {
 	s.TokensPosted += o.TokensPosted
 	s.TokensLocal += o.TokensLocal
@@ -45,32 +57,41 @@ func (s *Stats) Add(o *Stats) {
 		s.QueueHighWater = o.QueueHighWater
 	}
 	s.DrainerHandoffs += o.DrainerHandoffs
+	s.MigrationsCompleted += o.MigrationsCompleted
+	s.TokensForwarded += o.TokensForwarded
+	s.MigrationBytes += o.MigrationBytes
 }
 
 // statCounters is the atomic backing store embedded in each Runtime.
 // Scheduler-layer counters (queue depth, handoffs) live in the scheduler
 // itself and are merged into snapshots.
 type statCounters struct {
-	tokensPosted   atomic.Int64
-	tokensLocal    atomic.Int64
-	tokensRemote   atomic.Int64
-	bytesSent      atomic.Int64
-	groupsOpened   atomic.Int64
-	acksSent       atomic.Int64
-	windowStalls   atomic.Int64
-	callsCompleted atomic.Int64
+	tokensPosted        atomic.Int64
+	tokensLocal         atomic.Int64
+	tokensRemote        atomic.Int64
+	bytesSent           atomic.Int64
+	groupsOpened        atomic.Int64
+	acksSent            atomic.Int64
+	windowStalls        atomic.Int64
+	callsCompleted      atomic.Int64
+	migrationsCompleted atomic.Int64
+	tokensForwarded     atomic.Int64
+	migrationBytes      atomic.Int64
 }
 
 func (c *statCounters) snapshot() *Stats {
 	return &Stats{
-		TokensPosted:   c.tokensPosted.Load(),
-		TokensLocal:    c.tokensLocal.Load(),
-		TokensRemote:   c.tokensRemote.Load(),
-		BytesSent:      c.bytesSent.Load(),
-		GroupsOpened:   c.groupsOpened.Load(),
-		AcksSent:       c.acksSent.Load(),
-		WindowStalls:   c.windowStalls.Load(),
-		CallsCompleted: c.callsCompleted.Load(),
+		TokensPosted:        c.tokensPosted.Load(),
+		TokensLocal:         c.tokensLocal.Load(),
+		TokensRemote:        c.tokensRemote.Load(),
+		BytesSent:           c.bytesSent.Load(),
+		GroupsOpened:        c.groupsOpened.Load(),
+		AcksSent:            c.acksSent.Load(),
+		WindowStalls:        c.windowStalls.Load(),
+		CallsCompleted:      c.callsCompleted.Load(),
+		MigrationsCompleted: c.migrationsCompleted.Load(),
+		TokensForwarded:     c.tokensForwarded.Load(),
+		MigrationBytes:      c.migrationBytes.Load(),
 	}
 }
 

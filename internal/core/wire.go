@@ -12,6 +12,8 @@ const (
 	msgGroupEnd byte = 2 // split finished: announces the group's token count
 	msgAck      byte = 3 // merge consumed a token of a group
 	msgResult   byte = 4 // final graph output returning to the caller
+	msgMigrate  byte = 5 // thread-instance state handoff (old owner -> new owner)
+	msgFence    byte = 6 // route-change fence of the live-remap protocol
 )
 
 type groupEndMsg struct {
@@ -39,6 +41,36 @@ type ackMsg struct {
 type resultMsg struct {
 	CallID  uint64
 	Payload []byte
+}
+
+// migrateMsg is the migration envelope of the live-remap protocol: the old
+// owner ships a quiesced thread instance's serialized state to the new
+// owner. An empty State installs a fresh zero state (stateless collections
+// and instances that were never touched on the old node). Fences is the
+// number of fence pairs emitted for this epoch's flip: the new owner may
+// not migrate the instance onward until that many pairs have terminally
+// completed here, which certifies that no stale token of this epoch is
+// still in flight through any relay chain.
+type migrateMsg struct {
+	Collection string
+	Thread     int
+	Epoch      uint64
+	Fences     int
+	State      []byte
+}
+
+// fenceMsg is one half of a sender's route-change handshake (see
+// internal/core/place): Phase place.FenceClose travels the sender's old
+// channel and is forwarded by the relay; place.FenceOpen travels the new
+// channel directly. Src is the original sending node, preserved across
+// forwarding (the transport-level source of a forwarded fence is the relay
+// node, not the sender).
+type fenceMsg struct {
+	Collection string
+	Thread     int
+	Epoch      uint64
+	Src        string
+	Phase      byte
 }
 
 func appendString(b []byte, s string) []byte {
@@ -255,5 +287,73 @@ func decodeResult(b []byte) (*resultMsg, error) {
 		return nil, err
 	}
 	m.Payload = b
+	return m, nil
+}
+
+// appendMigrate writes a migration envelope; the state payload is appended
+// after the header, mirroring the token path's single-copy layout.
+func appendMigrate(b []byte, m *migrateMsg) []byte {
+	b = append(b, msgMigrate)
+	b = appendString(b, m.Collection)
+	b = appendInt(b, m.Thread)
+	b = appendUint64(b, m.Epoch)
+	b = appendInt(b, m.Fences)
+	b = binary.AppendUvarint(b, uint64(len(m.State)))
+	return append(b, m.State...)
+}
+
+// decodeMigrate parses a migration envelope. State aliases b; the caller
+// must fully consume it before recycling the wire buffer.
+func decodeMigrate(b []byte) (*migrateMsg, error) {
+	m := &migrateMsg{}
+	var err error
+	if m.Collection, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if m.Thread, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if m.Epoch, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	if m.Fences, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, fmt.Errorf("dps: truncated migration state")
+	}
+	m.State = b[n : n+int(l)]
+	return m, nil
+}
+
+func appendFence(b []byte, m *fenceMsg) []byte {
+	b = append(b, msgFence)
+	b = appendString(b, m.Collection)
+	b = appendInt(b, m.Thread)
+	b = appendUint64(b, m.Epoch)
+	b = appendString(b, m.Src)
+	return append(b, m.Phase)
+}
+
+func decodeFence(b []byte) (*fenceMsg, error) {
+	m := &fenceMsg{}
+	var err error
+	if m.Collection, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if m.Thread, b, err = readInt(b); err != nil {
+		return nil, err
+	}
+	if m.Epoch, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	if m.Src, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("dps: truncated fence")
+	}
+	m.Phase = b[0]
 	return m, nil
 }

@@ -31,7 +31,110 @@ type Kernel struct {
 	launched  map[string]bool
 	pending   map[string][]pendingMsg
 	resolved  map[string]string // kernel name -> addr cache
+	onRemap   func(RemapRequest) error
 	closed    bool
+}
+
+// controlApp is the reserved application name carrying kernel control
+// messages (live-remap requests); user applications cannot collide with it
+// because application names come from Go string literals and this one
+// starts with a NUL byte.
+const controlApp = "\x00dps-control"
+
+// Control message kinds multiplexed on the controlApp frame.
+const ctlRemap byte = 1
+
+// RemapRequest asks a kernel to live-remap a thread collection of one of
+// its applications: the named collection is remapped to the placement
+// given in the paper's mapping-string syntax via the migration protocol
+// (quiesce, state shipment, token forwarding) while the application keeps
+// serving calls.
+type RemapRequest struct {
+	// App names the application instance on the target kernel.
+	App string
+	// Collection names the thread collection to remap.
+	Collection string
+	// Spec is the new placement in mapping-string syntax ("kernA*2 kernB").
+	Spec string
+}
+
+// OnRemap installs the kernel's handler for live-remap control messages.
+// The handler typically resolves the application and calls
+// Collection.Remap; errors are logged by the handler itself (control
+// messages are fire-and-forget, like the paper's kernel commands).
+func (k *Kernel) OnRemap(fn func(RemapRequest) error) {
+	k.mu.Lock()
+	k.onRemap = fn
+	k.mu.Unlock()
+}
+
+// SendRemap delivers a live-remap control message to the named kernel,
+// resolving it through the name server. It returns once the message has
+// been handed to the kernel's TCP endpoint; the remap itself runs
+// asynchronously on the target.
+func SendRemap(nsAddr, kernelName string, req RemapRequest) error {
+	addr, err := LookupName(nsAddr, kernelName)
+	if err != nil {
+		return err
+	}
+	resolve := func(name string) (string, error) {
+		if name != kernelName {
+			return "", fmt.Errorf("kernel: unexpected peer %q", name)
+		}
+		return addr, nil
+	}
+	client, err := tcptransport.Listen("remap-client", "127.0.0.1:0", resolve)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+	body := appendControlRemap(nil, req)
+	return client.Send(kernelName, makeAppFrame(controlApp, body))
+}
+
+func appendControlRemap(b []byte, req RemapRequest) []byte {
+	b = append(b, ctlRemap)
+	for _, s := range []string{req.App, req.Collection, req.Spec} {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+func decodeControlRemap(b []byte) (RemapRequest, error) {
+	var req RemapRequest
+	for _, dst := range []*string{&req.App, &req.Collection, &req.Spec} {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return RemapRequest{}, fmt.Errorf("kernel: malformed remap request")
+		}
+		*dst = string(b[n : n+int(l)])
+		b = b[n+int(l):]
+	}
+	return req, nil
+}
+
+// handleControl dispatches one kernel control message.
+func (k *Kernel) handleControl(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case ctlRemap:
+		req, err := decodeControlRemap(body)
+		if err != nil {
+			return
+		}
+		k.mu.Lock()
+		fn := k.onRemap
+		k.mu.Unlock()
+		if fn != nil {
+			// Remap quiesces and waits for the handover; never block the
+			// receive loop on it.
+			go func() { _ = fn(req) }()
+		}
+	}
 }
 
 type pendingMsg struct {
@@ -145,6 +248,10 @@ func (k *Kernel) demux(src string, payload []byte) {
 	appName, rest, err := splitAppFrame(payload)
 	if err != nil {
 		return // malformed frame: drop (a real kernel would log)
+	}
+	if appName == controlApp {
+		k.handleControl(rest)
+		return
 	}
 
 	k.mu.Lock()

@@ -286,3 +286,81 @@ func TestServiceRegistry(t *testing.T) {
 		t.Fatal("service not withdrawn")
 	}
 }
+
+// TestRemapControlMessage drives a live remap over the kernel control
+// plane: a client kernel-less process sends a RemapRequest through the
+// name server, and the serving kernel's handler migrates the collection
+// while the application keeps answering calls.
+func TestRemapControlMessage(t *testing.T) {
+	ns, err := StartNameServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ns.Close() }()
+	k1, err := Start("ctl0", "127.0.0.1:0", ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = k1.Close() }()
+	k2, err := Start("ctl1", "127.0.0.1:0", ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = k2.Close() }()
+
+	app := core.NewApp(core.Config{})
+	defer app.Close()
+	if _, err := app.AttachTransport(k1.Transport("ctlapp")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AttachTransport(k2.Transport("ctlapp")); err != nil {
+		t.Fatal(err)
+	}
+	work := core.MustCollection[struct{}](app, "ctl-work")
+	if err := work.Map("ctl0"); err != nil {
+		t.Fatal(err)
+	}
+	echo := core.Leaf[*kReq, *kReq]("ctl-echo",
+		func(c *core.Ctx, in *kReq) *kReq { return in })
+	g, err := app.NewFlowgraph("ctl-echo", core.Path(core.NewNode(echo, work, core.MainRoute())))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remapped := make(chan error, 1)
+	k1.OnRemap(func(req RemapRequest) error {
+		if req.App != "ctlapp" {
+			remapped <- fmt.Errorf("unexpected app %q", req.App)
+			return nil
+		}
+		tc, ok := app.Collection(req.Collection)
+		if !ok {
+			remapped <- fmt.Errorf("unknown collection %q", req.Collection)
+			return nil
+		}
+		err := tc.Remap(context.Background(), req.Spec)
+		remapped <- err
+		return err
+	})
+
+	if _, err := g.Call(context.Background(), &kReq{Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SendRemap(ns.Addr(), "ctl0", RemapRequest{App: "ctlapp", Collection: "ctl-work", Spec: "ctl1"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-remapped:
+		if err != nil {
+			t.Fatalf("remap handler: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("remap control message never arrived")
+	}
+	if got, _ := work.NodeOf(0); got != "ctl1" {
+		t.Fatalf("collection on %q after control remap", got)
+	}
+	if _, err := g.Call(context.Background(), &kReq{Text: "y"}); err != nil {
+		t.Fatalf("call after control remap: %v", err)
+	}
+}

@@ -152,44 +152,49 @@ var (
 
 // workerState is a worker thread's private data: its current band, the
 // shadow band receiving the next generation, and per-iteration progress.
+// All fields are exported and the type registered with internal/serial so
+// band workers can be live-migrated between nodes (ThreadCollection.Remap
+// ships the state in a migration envelope).
 type workerState struct {
-	band, shadow *life.Band
-	// iter is the iteration currently being computed (band holds its input
-	// generation); computedIter is the newest fully computed generation,
-	// whose cells live in shadow while computedIter == iter and in band
+	Band, Shadow *life.Band
+	// Iter is the iteration currently being computed (Band holds its input
+	// generation); ComputedIter is the newest fully computed generation,
+	// whose cells live in Shadow while ComputedIter == Iter and in Band
 	// after the next iteration's swap.
-	iter         int
-	computedIter int
-	gotUp, gotDn bool
-	centerDone   bool
+	Iter         int
+	ComputedIter int
+	GotUp, GotDn bool
+	CenterDone   bool
 }
+
+var _ = serial.MustRegister[workerState]()
 
 // newestRows returns the rows of the newest fully computed generation.
 func (st *workerState) newestRows() *life.Band {
-	if st.computedIter == st.iter && st.computedIter > 0 {
-		return st.shadow
+	if st.ComputedIter == st.Iter && st.ComputedIter > 0 {
+		return st.Shadow
 	}
-	return st.band
+	return st.Band
 }
 
 // ensureIter swaps band and shadow when the first token of a new iteration
 // arrives; the global per-iteration merge guarantees no token of iteration
 // t+1 is in flight while iteration t is incomplete, so the swap is safe.
 func (st *workerState) ensureIter(iter int) {
-	if st.band == nil {
+	if st.Band == nil {
 		panic("parlife: worker received work before its band was loaded")
 	}
-	if iter == st.iter {
+	if iter == st.Iter {
 		return
 	}
-	if iter != st.iter+1 {
-		panic(fmt.Sprintf("parlife: iteration jumped from %d to %d", st.iter, iter))
+	if iter != st.Iter+1 {
+		panic(fmt.Sprintf("parlife: iteration jumped from %d to %d", st.Iter, iter))
 	}
-	st.band, st.shadow = st.shadow, st.band
-	st.iter = iter
-	st.gotUp, st.gotDn = false, false
-	st.centerDone = false
-	st.band.UpBorder, st.band.DnBorder = nil, nil
+	st.Band, st.Shadow = st.Shadow, st.Band
+	st.Iter = iter
+	st.GotUp, st.GotDn = false, false
+	st.CenterDone = false
+	st.Band.UpBorder, st.Band.DnBorder = nil, nil
 }
 
 // Sim is a running distributed Game of Life.
@@ -311,9 +316,9 @@ func (s *Sim) readBorderLeaf() *core.OpDef {
 			st.ensureIter(in.Iter)
 			var row []uint8
 			if in.Dir == 0 {
-				row = st.band.LastRow()
+				row = st.Band.LastRow()
 			} else {
-				row = st.band.FirstRow()
+				row = st.Band.FirstRow()
 			}
 			return &BorderData{Iter: in.Iter, Dest: in.Dest, Dir: in.Dir, Row: row}
 		})
@@ -327,21 +332,21 @@ func (s *Sim) storeBorderLeaf(computeEdges bool, opName string) *core.OpDef {
 			st := core.StateOf[workerState](c)
 			st.ensureIter(in.Iter)
 			if in.Dir == 0 {
-				st.band.UpBorder = in.Row
-				st.gotUp = true
+				st.Band.UpBorder = in.Row
+				st.GotUp = true
 			} else {
-				st.band.DnBorder = in.Row
-				st.gotDn = true
+				st.Band.DnBorder = in.Row
+				st.GotDn = true
 			}
-			if computeEdges && st.gotUp && st.gotDn {
-				st.band.StepEdges(st.shadow)
+			if computeEdges && st.GotUp && st.GotDn {
+				st.Band.StepEdges(st.Shadow)
 				edgeRows := 2
-				if len(st.band.Rows) < 2 {
-					edgeRows = len(st.band.Rows)
+				if len(st.Band.Rows) < 2 {
+					edgeRows = len(st.Band.Rows)
 				}
 				s.chargeCompute(edgeRows)
-				if st.centerDone {
-					st.computedIter = in.Iter
+				if st.CenterDone {
+					st.ComputedIter = in.Iter
 				}
 			}
 			return &Notify{Iter: in.Iter, Worker: in.Dest}
@@ -377,9 +382,9 @@ func (s *Sim) buildGraphs() error {
 		func(c *core.Ctx, in *ComputeOrder) *Notify {
 			st := core.StateOf[workerState](c)
 			st.ensureIter(in.Iter)
-			st.band.StepAll(st.shadow)
-			s.chargeCompute(len(st.band.Rows))
-			st.computedIter = in.Iter
+			st.Band.StepAll(st.Shadow)
+			s.chargeCompute(len(st.Band.Rows))
+			st.ComputedIter = in.Iter
 			return &Notify{Iter: in.Iter, Worker: in.Worker}
 		})
 	doneMerge := core.Merge[*Notify, *DoneToken](s.name+"-done",
@@ -419,10 +424,10 @@ func (s *Sim) buildGraphs() error {
 		func(c *core.Ctx, in *CenterOrder) *Notify {
 			st := core.StateOf[workerState](c)
 			st.ensureIter(in.Iter)
-			s.chargeCompute(st.band.StepInterior(st.shadow))
-			st.centerDone = true
-			if st.gotUp && st.gotDn {
-				st.computedIter = in.Iter
+			s.chargeCompute(st.Band.StepInterior(st.Shadow))
+			st.CenterDone = true
+			if st.GotUp && st.GotDn {
+				st.ComputedIter = in.Iter
 			}
 			return &Notify{Iter: in.Iter, Worker: in.Worker}
 		})
@@ -457,13 +462,13 @@ func (s *Sim) buildGraphs() error {
 	loadLeaf := core.Leaf[*LoadOrder, *Notify](s.name+"-load-band",
 		func(c *core.Ctx, in *LoadOrder) *Notify {
 			st := core.StateOf[workerState](c)
-			st.band = &life.Band{Width: s.width, Top: in.Top, Rows: in.Rows}
-			st.shadow = st.band.NewShadow()
+			st.Band = &life.Band{Width: s.width, Top: in.Top, Rows: in.Rows}
+			st.Shadow = st.Band.NewShadow()
 			// The next iteration (1) reads the freshly loaded band, so no
 			// swap must occur when its tokens arrive.
-			st.iter = 1
-			st.computedIter = 0
-			st.gotUp, st.gotDn, st.centerDone = false, false, false
+			st.Iter = 1
+			st.ComputedIter = 0
+			st.GotUp, st.GotDn, st.CenterDone = false, false, false
 			return &Notify{Worker: in.Worker}
 		})
 	loadMerge := core.Merge[*Notify, *DoneToken](s.name+"-load-done",
@@ -636,3 +641,8 @@ func (s *Sim) Iter() int { return s.iter }
 
 // Workers returns the number of band workers.
 func (s *Sim) Workers() int { return s.workers }
+
+// BandCollection exposes the band-worker thread collection, so deployments
+// can live-migrate workers between nodes (ThreadCollection.Remap) while the
+// simulation runs.
+func (s *Sim) BandCollection() *core.ThreadCollection { return s.band }

@@ -67,8 +67,34 @@ func RunDPS(cfg simnet.Config, ringNodes, totalBytes, blockSize, window int) (Re
 // RunDPSConfig is RunDPS with full control over the engine configuration
 // (flow-control policy, scheduler workers, queue bound).
 func RunDPSConfig(cfg simnet.Config, ringNodes, totalBytes, blockSize int, appCfg core.Config) (Result, error) {
+	return RunDPSRebalance(cfg, ringNodes, totalBytes, blockSize, appCfg, RebalanceSpec{})
+}
+
+// RebalanceSpec asks the DPS ring run to live-migrate one forwarding hop
+// mid-benchmark, exercising the placement layer's remap protocol under
+// load. The zero value performs no migration.
+type RebalanceSpec struct {
+	// Hop is the forwarding hop to migrate (1..ringNodes-1); zero disables
+	// the rebalance.
+	Hop int
+	// To is the destination node index within the ring.
+	To int
+	// After is when to trigger the migration, measured from the start of
+	// the benchmark call.
+	After time.Duration
+	// Back migrates the hop back to its original node After later, so the
+	// run ends on the initial placement.
+	Back bool
+}
+
+// RunDPSRebalance measures the DPS ring, optionally live-remapping one hop
+// mid-run per spec.
+func RunDPSRebalance(cfg simnet.Config, ringNodes, totalBytes, blockSize int, appCfg core.Config, spec RebalanceSpec) (Result, error) {
 	if ringNodes < 2 {
 		return Result{}, fmt.Errorf("ringbench: need at least 2 nodes")
+	}
+	if spec.Hop != 0 && (spec.Hop < 1 || spec.Hop >= ringNodes || spec.To < 0 || spec.To >= ringNodes) {
+		return Result{}, fmt.Errorf("ringbench: rebalance hop %d -> node %d out of range", spec.Hop, spec.To)
 	}
 	net := simnet.New(cfg)
 	defer net.Close()
@@ -127,12 +153,42 @@ func RunDPSConfig(cfg simnet.Config, ringNodes, totalBytes, blockSize int, appCf
 	if blocks == 0 {
 		blocks = 1
 	}
+
+	var remapErr error
+	remapDone := make(chan struct{})
+	if spec.Hop != 0 {
+		go func() {
+			defer close(remapDone)
+			time.Sleep(spec.After)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			tc := single[spec.Hop]
+			if err := tc.RemapThread(ctx, 0, names[spec.To]); err != nil {
+				remapErr = err
+				return
+			}
+			if spec.Back {
+				time.Sleep(spec.After)
+				remapErr = tc.RemapThread(ctx, 0, names[spec.Hop])
+			}
+		}()
+	} else {
+		close(remapDone)
+	}
+
 	sw := trace.StartStopwatch()
 	out, err := g.Call(context.Background(), &RingOrder{Blocks: blocks, BlockSize: blockSize})
 	if err != nil {
+		// Join the remap goroutine before the deferred app/net teardown so
+		// it cannot migrate against a closing application.
+		<-remapDone
 		return Result{}, err
 	}
 	elapsed := sw.Elapsed()
+	<-remapDone
+	if remapErr != nil {
+		return Result{}, fmt.Errorf("ringbench: mid-run remap: %w", remapErr)
+	}
 	if got := out.(*RingDone).Blocks; got != blocks {
 		return Result{}, fmt.Errorf("ringbench: %d of %d blocks arrived", got, blocks)
 	}

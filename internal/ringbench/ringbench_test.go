@@ -151,3 +151,30 @@ func TestShardedWorkersRing(t *testing.T) {
 		t.Fatalf("moved %d bytes", res.TotalBytes)
 	}
 }
+
+// TestRingRebalanceMidRun remaps a forwarding hop to another ring node (and
+// back) while blocks stream through, asserting the acceptance criteria of
+// the placement layer: the call does not fail, every block arrives exactly
+// once (result identical to the unmigrated run), and the engine counters
+// record the migrations and the forwarded in-flight tokens.
+func TestRingRebalanceMidRun(t *testing.T) {
+	const total, block = 4 << 20, 16 << 10
+	base, err := RunDPS(testCfg(), 4, total, block, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RebalanceSpec{Hop: 2, To: 0, After: time.Millisecond, Back: true}
+	res, err := RunDPSRebalance(testCfg(), 4, total, block, core.Config{Window: 32}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != base.TotalBytes {
+		t.Fatalf("migrated run delivered %d bytes, baseline %d", res.TotalBytes, base.TotalBytes)
+	}
+	if res.Stats.MigrationsCompleted != 2 {
+		t.Fatalf("MigrationsCompleted = %d, want 2 (out and back)", res.Stats.MigrationsCompleted)
+	}
+	if res.Stats.TokensForwarded == 0 {
+		t.Fatal("no token was forwarded; the remap missed the stream")
+	}
+}

@@ -215,3 +215,121 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// dynResolver is a mutable name→address table safe for concurrent use,
+// standing in for the kernel name server in restart scenarios.
+type dynResolver struct {
+	mu    sync.Mutex
+	table map[string]string
+}
+
+func (r *dynResolver) set(name, addr string) {
+	r.mu.Lock()
+	r.table[name] = addr
+	r.mu.Unlock()
+}
+
+func (r *dynResolver) resolve(name string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addr, ok := r.table[name]
+	if !ok {
+		return "", fmt.Errorf("dyn: unknown node %q", name)
+	}
+	return addr, nil
+}
+
+// TestPeerRestartRedialsViaResolver restarts a peer on a fresh address: the
+// sender's cached connection dies, the failure is surfaced to the caller
+// (not swallowed), and once the resolver learns the new address the next
+// Send lazily re-dials — the paper's on-demand connection establishment
+// applied to recovery.
+func TestPeerRestartRedialsViaResolver(t *testing.T) {
+	res := &dynResolver{table: map[string]string{}}
+	a1, err := Listen("a", "127.0.0.1:0", res.resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("b", "127.0.0.1:0", res.resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	res.set("a", a1.Addr())
+	res.set("b", b.Addr())
+
+	got := make(chan string, 16)
+	h := func(src string, payload []byte) { got <- string(payload) }
+	a1.SetHandler(h)
+	b.SetHandler(func(string, []byte) {})
+
+	if err := b.Send("a", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m != "before" {
+			t.Fatalf("got %q", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout before restart")
+	}
+
+	// Peer goes away. The sender's next attempts must eventually return an
+	// error: either the cached connection fails on write, or the re-dial of
+	// the stale address is refused. A silent success after the reader
+	// noticed EOF would mean the transport swallowed the failure.
+	oldAddr := a1.Addr()
+	_ = a1.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := b.Send("a", []byte("into the void")); err != nil {
+			break // failure surfaced
+		}
+		select {
+		case <-deadline:
+			t.Fatal("sends to a closed peer kept succeeding; dial/write error was swallowed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// While the resolver still points at the dead address, Send must keep
+	// reporting the dial failure rather than pretending delivery.
+	if err := b.Send("a", []byte("still down")); err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+
+	// The peer comes back on a NEW address; only the resolver knows. The
+	// next Send must consult it and re-dial lazily.
+	a2, err := Listen("a", "127.0.0.1:0", res.resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a2.Close() })
+	if a2.Addr() == oldAddr {
+		t.Skipf("OS reused address %s; cannot distinguish re-dial", oldAddr)
+	}
+	a2.SetHandler(h)
+	res.set("a", a2.Addr())
+
+	var sendErr error
+	redeadline := time.After(10 * time.Second)
+	for {
+		if sendErr = b.Send("a", []byte("after restart")); sendErr == nil {
+			break
+		}
+		select {
+		case <-redeadline:
+			t.Fatalf("send after restart never succeeded: %v", sendErr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	select {
+	case m := <-got:
+		if m != "after restart" {
+			t.Fatalf("got %q after restart", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted peer never received the re-dialed message")
+	}
+}
