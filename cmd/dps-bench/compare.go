@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// compareFiles diffs two -json outputs (old, new) experiment by experiment
+// and reports regressions beyond the noise threshold: ns/op and allocs/op
+// growing by more than threshold (a fraction, e.g. 0.10) fail the
+// comparison. Experiments present in only one file are reported but do not
+// fail it (the suite grows over time). CI uses this to gate on the ring
+// benchmark's trajectory without hand-reading artifacts.
+func compareFiles(oldPath, newPath string, threshold float64, out *strings.Builder) (regressed bool, err error) {
+	oldDoc, err := readBenchFile(oldPath)
+	if err != nil {
+		return false, fmt.Errorf("read %s: %w", oldPath, err)
+	}
+	newDoc, err := readBenchFile(newPath)
+	if err != nil {
+		return false, fmt.Errorf("read %s: %w", newPath, err)
+	}
+	if oldDoc.Quick != newDoc.Quick || oldDoc.Workers != newDoc.Workers {
+		fmt.Fprintf(out, "note: configurations differ (quick %v/%v, workers %d/%d) — deltas may not be meaningful\n",
+			oldDoc.Quick, newDoc.Quick, oldDoc.Workers, newDoc.Workers)
+	}
+	oldByID := make(map[string]measurement, len(oldDoc.Experiments))
+	for _, m := range oldDoc.Experiments {
+		oldByID[m.ID] = m
+	}
+	fmt.Fprintf(out, "%-12s %15s %15s %9s   %15s %15s %9s\n",
+		"experiment", "ns/op old", "ns/op new", "delta", "allocs old", "allocs new", "delta")
+	for _, n := range newDoc.Experiments {
+		o, ok := oldByID[n.ID]
+		if !ok {
+			fmt.Fprintf(out, "%-12s (new experiment, no baseline)\n", n.ID)
+			continue
+		}
+		delete(oldByID, n.ID)
+		nsDelta := ratio(float64(n.NsOp), float64(o.NsOp))
+		allocDelta := ratio(float64(n.AllocsOp), float64(o.AllocsOp))
+		nsBad := nsDelta > threshold
+		allocBad := allocDelta > threshold
+		mark := ""
+		if nsBad || allocBad {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(out, "%-12s %15d %15d %8.1f%%   %15d %15d %8.1f%%%s\n",
+			n.ID, o.NsOp, n.NsOp, nsDelta*100, o.AllocsOp, n.AllocsOp, allocDelta*100, mark)
+	}
+	for id := range oldByID {
+		fmt.Fprintf(out, "%-12s (dropped from the new run)\n", id)
+	}
+	return regressed, nil
+}
+
+// ratio returns (new-old)/old, clamping a zero baseline to "no change" —
+// a dimension that was never measured cannot regress.
+func ratio(newV, oldV float64) float64 {
+	if oldV <= 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &benchFile{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != "dps-bench/1" {
+		return nil, fmt.Errorf("unknown schema %q", doc.Schema)
+	}
+	return doc, nil
+}
+
+// runCompare implements the -compare mode: exit 0 on no regression, 1 on
+// regression, 2 on usage/read errors. The flag package stops parsing at
+// the first positional argument, so `-threshold` given after the two file
+// operands (as the usage line shows) is scanned here.
+func runCompare(args []string, threshold float64) int {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case arg == "-threshold" || arg == "--threshold":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "dps-bench: -threshold needs a value")
+				return 2
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dps-bench: bad threshold %q\n", args[i])
+				return 2
+			}
+			threshold = v
+		case strings.HasPrefix(arg, "-threshold=") || strings.HasPrefix(arg, "--threshold="):
+			v, err := strconv.ParseFloat(arg[strings.IndexByte(arg, '=')+1:], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dps-bench: bad threshold %q\n", arg)
+				return 2
+			}
+			threshold = v
+		default:
+			files = append(files, arg)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dps-bench -compare old.json new.json [-threshold 0.10]")
+		return 2
+	}
+	var sb strings.Builder
+	regressed, err := compareFiles(files[0], files[1], threshold, &sb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dps-bench:", err)
+		return 2
+	}
+	fmt.Print(sb.String())
+	if regressed {
+		fmt.Printf("regression beyond %.0f%% threshold\n", threshold*100)
+		return 1
+	}
+	fmt.Printf("no regression beyond %.0f%% threshold\n", threshold*100)
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, ms []measurement) string {
+	t.Helper()
+	doc := benchFile{Schema: "dps-bench/1", GoVersion: "go1.22", Quick: true, Experiments: ms}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", []measurement{
+		{ID: "figure6", NsOp: 1000, AllocsOp: 500},
+		{ID: "rebalance", NsOp: 2000, AllocsOp: 700},
+	})
+	newP := writeBench(t, dir, "new.json", []measurement{
+		{ID: "figure6", NsOp: 1050, AllocsOp: 510}, // +5%, +2%: within 10%
+		{ID: "rebalance", NsOp: 1900, AllocsOp: 700},
+	})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, newP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("unexpected regression:\n%s", sb.String())
+	}
+}
+
+func TestCompareDetectsNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", []measurement{{ID: "figure6", NsOp: 1000, AllocsOp: 500}})
+	newP := writeBench(t, dir, "new.json", []measurement{{ID: "figure6", NsOp: 1200, AllocsOp: 500}})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, newP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("20%% ns/op growth not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report lacks the regression marker:\n%s", sb.String())
+	}
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", []measurement{{ID: "figure6", NsOp: 1000, AllocsOp: 500}})
+	newP := writeBench(t, dir, "new.json", []measurement{{ID: "figure6", NsOp: 1000, AllocsOp: 600}})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, newP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("20% alloc growth not flagged")
+	}
+}
+
+func TestCompareToleratesSuiteDrift(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", []measurement{
+		{ID: "figure6", NsOp: 1000, AllocsOp: 500},
+		{ID: "gone", NsOp: 1, AllocsOp: 1},
+	})
+	newP := writeBench(t, dir, "new.json", []measurement{
+		{ID: "figure6", NsOp: 900, AllocsOp: 450},
+		{ID: "failover", NsOp: 5000, AllocsOp: 9000}, // new experiment: no baseline
+	})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, newP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("suite drift must not fail the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "no baseline") || !strings.Contains(out, "dropped") {
+		t.Fatalf("drift not reported:\n%s", out)
+	}
+}
+
+func TestCompareRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeBench(t, dir, "good.json", nil)
+	var sb strings.Builder
+	if _, err := compareFiles(bad, good, 0.10, &sb); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}

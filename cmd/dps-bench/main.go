@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|all
+//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|failover|all
 //	          [-quick] [-workers N] [-stats] [-write EXPERIMENTS.md]
 //	          [-json results.json]
+//	dps-bench -compare old.json new.json [-threshold 0.10]
+//
+// -compare diffs two -json outputs experiment by experiment and exits
+// non-zero when ns/op or allocs/op regressed beyond the threshold; CI uses
+// it to gate on the ring benchmark's trajectory against the previous run.
 //
 // Without -write the regenerated tables print to stdout; with -write the
 // output is additionally assembled into the experiments report file,
@@ -36,13 +41,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance or all")
+	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance, failover or all")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 	workers := flag.Int("workers", 0, "scheduler worker lanes per node (0 = per-instance drainers)")
 	stats := flag.Bool("stats", false, "dump aggregated engine counters per experiment")
 	write := flag.String("write", "", "also write the report to this file (e.g. EXPERIMENTS.md)")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
+	compare := flag.Bool("compare", false, "compare two -json files (old new) and fail on regression")
+	threshold := flag.Float64("threshold", 0.10, "with -compare: regression threshold as a fraction")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold))
+	}
 
 	opt := bench.Options{Quick: *quick, Workers: *workers}
 	fns := map[string]func(bench.Options) (*bench.Report, error){
@@ -52,10 +63,11 @@ func main() {
 		"table2":    bench.Table2,
 		"figure15":  bench.Figure15,
 		"rebalance": bench.Rebalance,
+		"failover":  bench.Failover,
 	}
 	var order []string
 	if *exp == "all" {
-		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance"}
+		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance", "failover"}
 	} else {
 		if _, ok := fns[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -170,10 +182,12 @@ func formatStats(s *dps.Stats) string {
   queue high-water  %d
   drainer handoffs  %d
   migrations        %d (forwarded %d tokens, %d state bytes)
+  fault tolerance   %d checkpoints (%d state bytes), %d replayed, %d failovers
 `, s.TokensPosted, s.TokensLocal, s.TokensRemote, s.BytesSent,
 		s.GroupsOpened, s.AcksSent, s.WindowStalls, s.CallsCompleted,
 		s.QueueHighWater, s.DrainerHandoffs,
-		s.MigrationsCompleted, s.TokensForwarded, s.MigrationBytes)
+		s.MigrationsCompleted, s.TokensForwarded, s.MigrationBytes,
+		s.CheckpointsTaken, s.CheckpointBytes, s.TokensReplayed, s.FailoversCompleted)
 }
 
 func renderMarkdown(reports []*bench.Report, opt bench.Options) string {
@@ -194,6 +208,7 @@ func renderMarkdown(reports []*bench.Report, opt bench.Options) string {
 		"table2":    "Table 2 — world-read service calls during the simulation",
 		"figure15":  "Figure 15 — LU factorization speedup, pipelined vs non-pipelined",
 		"rebalance": "Rebalance — live thread remap of a ring hop mid-benchmark (not in paper)",
+		"failover":  "Failover — ring node crash mid-benchmark, checkpoint restore + replay (not in paper)",
 	}
 	for _, r := range reports {
 		sb.WriteString("## " + titles[r.ID] + "\n\n```\n")

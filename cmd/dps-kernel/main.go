@@ -77,6 +77,7 @@ func main() {
 	remapApp := flag.String("remap-app", "demo", "client mode: application instance to remap")
 	remapCollection := flag.String("remap-collection", "workers", "client mode: thread collection to remap")
 	remapSpec := flag.String("remap-spec", "", "client mode: new placement in mapping-string syntax")
+	heartbeat := flag.Duration("heartbeat", 0, "probe peer kernels at this interval and report deaths (with -demo -serve: enables checkpointing and automatic failover)")
 	flag.Parse()
 
 	if *serveNS {
@@ -112,11 +113,19 @@ func main() {
 	fmt.Printf("kernel %q listening on %s (name server %s)\n", k.Name(), k.Addr(), *ns)
 
 	if *demo {
-		if err := runDemo(k, *ns, *workers, *window, *serve); err != nil {
+		// The demo installs its own OnFailover handler (feeding the engine's
+		// recovery) before the heartbeat starts, so a peer declared dead in
+		// the startup window is not lost to a print-only handler.
+		if err := runDemo(k, *ns, *workers, *window, *serve, *heartbeat); err != nil {
 			fatal(err)
 		}
 		_ = k.Close()
 		return
+	}
+	if *heartbeat > 0 {
+		k.OnFailover(func(peer string) { fmt.Printf("kernel %q declared dead\n", peer) })
+		k.StartHeartbeat(*heartbeat, 3)
+		fmt.Printf("heartbeating peers every %v\n", *heartbeat)
 	}
 	waitForInterrupt()
 	_ = k.Close()
@@ -127,7 +136,7 @@ func main() {
 // uppercase in parallel. With serve it then keeps calling the graph once a
 // second and accepts live-remap control messages, printing the worker
 // placement after each migration.
-func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve bool) error {
+func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve bool, heartbeat time.Duration) error {
 	names, err := kernel.ListNames(ns)
 	if err != nil {
 		return err
@@ -142,13 +151,32 @@ func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve boo
 	// In a full deployment every kernel process attaches its own instance
 	// of the application; this single-binary demo attaches the local
 	// kernel and runs four worker threads on it (the listing above shows
-	// which peers a multi-process deployment would map to).
-	app, err := dps.Connect(local.Transport("demo"),
-		dps.WithWorkers(workerLanes), dps.WithWindow(window))
+	// which peers a multi-process deployment would map to). With
+	// -heartbeat the application also checkpoints, and a peer kernel
+	// declared dead is handed to the engine's failover (for an application
+	// spanning several kernels' transports this recovers the dead
+	// kernel's threads onto the survivors).
+	opts := []dps.Option{dps.WithWorkers(workerLanes), dps.WithWindow(window)}
+	if heartbeat > 0 {
+		opts = append(opts, dps.WithCheckpoint(10*heartbeat))
+	}
+	app, err := dps.Connect(local.Transport("demo"), opts...)
 	if err != nil {
 		return err
 	}
 	defer app.Close()
+	if heartbeat > 0 {
+		local.OnFailover(func(peer string) {
+			if err := app.FailNode(peer); err != nil {
+				fmt.Printf("failover of %q: %v\n", peer, err)
+				return
+			}
+			fmt.Printf("kernel %q died; its threads were recovered (stats: %d failovers, %d replayed)\n",
+				peer, app.Stats().FailoversCompleted, app.Stats().TokensReplayed)
+		})
+		local.StartHeartbeat(heartbeat, 3)
+		fmt.Printf("heartbeating peers every %v\n", heartbeat)
+	}
 
 	main := dps.MustCollection[struct{}](app, "main")
 	if err := main.Map(local.Name()); err != nil {

@@ -176,6 +176,18 @@ func (a *App) MasterNode() string { return a.core.MasterNode() }
 // Stats aggregates the engine counters of every node runtime.
 func (a *App) Stats() *Stats { return a.core.Stats() }
 
+// FailNode declares a cluster node dead and synchronously recovers its
+// threads onto the surviving nodes (see WithCheckpoint): placements flip,
+// the newest committed checkpoints restore on survivors, retained
+// in-flight tokens replay, and duplicate deliveries are suppressed, so
+// executing calls complete with exactly-once semantics. It is the entry
+// point for external failure detectors — kernel heartbeats, deployment
+// tooling — and for fault injection in tests; the engine's own detectors
+// (transport send errors, WithFailureDetect probes) converge on the same
+// recovery. Fault tolerance must be enabled, and the master node cannot
+// be failed.
+func (a *App) FailNode(node string) error { return a.core.FailNode(node) }
+
 // Graph returns a registered flow graph by name (the paper's named graphs,
 // reusable as parallel services by other applications). Give it static
 // call types with Typed.

@@ -36,6 +36,9 @@ func buildConfig(opts []Option) (*config, error) {
 			return nil, err
 		}
 	}
+	if cfg.engine.FailureDetect > 0 && cfg.engine.Checkpoint == 0 {
+		return nil, fmt.Errorf("dps: WithFailureDetect requires WithCheckpoint (probing without the recovery layer would be inert)")
+	}
 	return cfg, nil
 }
 
@@ -119,6 +122,47 @@ func WithRebalance(drain time.Duration) Option {
 			return fmt.Errorf("dps: negative rebalance drain %v", drain)
 		}
 		c.engine.RemapDrain = drain
+		return nil
+	}
+}
+
+// WithCheckpoint enables the fault-tolerance layer and sets the interval
+// at which thread instances checkpoint their state. With it on, every
+// token is sequenced and retained by its sender until a checkpoint of its
+// destination makes it durable; a node declared dead (FailNode, transport
+// send errors, WithFailureDetect probes, kernel heartbeats) has its
+// threads restored from their newest checkpoints on the surviving nodes,
+// retained in-flight tokens are replayed, and receivers drop re-delivered
+// duplicates — executing calls complete with exactly-once semantics.
+//
+// Checkpointable state follows the live-migration rule: stateless, or a
+// registered fully-exported struct. Operations must be deterministic
+// functions of (state, input) for re-execution to converge, and collector
+// stages (merges, streams) should be placed on the master node, whose
+// death is unrecoverable (it hosts calls, the checkpoint store and the
+// recovery coordinator). Zero disables the layer entirely — the token hot
+// paths and wire formats are then untouched.
+func WithCheckpoint(interval time.Duration) Option {
+	return func(c *config) error {
+		if interval < 0 {
+			return fmt.Errorf("dps: negative checkpoint interval %v", interval)
+		}
+		c.engine.Checkpoint = interval
+		return nil
+	}
+}
+
+// WithFailureDetect adds active liveness probing to the fault-tolerance
+// layer: the master node probes every peer at this interval and a failing
+// probe declares the peer suspect, triggering automatic failover. Without
+// it, detection is passive (transport send errors of real traffic) or
+// external (kernel heartbeats calling FailNode). Requires WithCheckpoint.
+func WithFailureDetect(interval time.Duration) Option {
+	return func(c *config) error {
+		if interval < 0 {
+			return fmt.Errorf("dps: negative failure-detect interval %v", interval)
+		}
+		c.engine.FailureDetect = interval
 		return nil
 	}
 }

@@ -158,9 +158,8 @@ func Rebalance(opt Options) (*Report, error) {
 		return nil, fmt.Errorf("rebalance migrated run: %w", err)
 	}
 	agg.Add(moved.Stats)
-	if moved.TotalBytes != base.TotalBytes {
-		return nil, fmt.Errorf("rebalance: delivered %d bytes, baseline %d", moved.TotalBytes, base.TotalBytes)
-	}
+	// Delivery completeness is enforced inside the harness: the run fails
+	// outright when the merge's block count differs from the order.
 	t.AddRow("remap x2",
 		fmt.Sprintf("%.1f", moved.Throughput),
 		fmt.Sprint(moved.Stats.MigrationsCompleted),
@@ -172,8 +171,71 @@ func Rebalance(opt Options) (*Report, error) {
 		Table: t,
 		Stats: agg,
 		Notes: []string{
-			"check: both scenarios deliver identical byte counts (no token lost or duplicated across the migrations).",
+			"check: the migrated run delivers every block (the harness fails on any lost or duplicated token).",
 			"check: forwarded tokens stay bounded by the in-flight window per migration; throughput dips only during the handover.",
+		},
+	}, nil
+}
+
+// Failover prices the fault-tolerance subsystem (not an experiment of the
+// paper; the authors' follow-up line of work made DPS applications fault
+// tolerant): the Figure 6 ring runs three ways — fault tolerance off
+// (baseline), on (checkpoint + token-retention overhead), and on with one
+// forwarding node crashed mid-run (detection, checkpoint restore, token
+// replay). The crashed run must still deliver every block exactly once;
+// the throughput deltas price the overhead and the recovery column the
+// crash-to-restored latency.
+func Failover(opt Options) (*Report, error) {
+	total := 16 << 20
+	size := 64 << 10
+	ckpt := 10 * time.Millisecond
+	if opt.Quick {
+		total = 4 << 20
+	}
+	t := &trace.Table{
+		Title:  "Failover: 4-node ring, hop 2's node crashes mid-run (not in paper)",
+		Header: []string{"scenario", "MB/s", "recovery", "ckpts", "ckptBytes", "replayed", "failovers"},
+	}
+	agg := &core.Stats{}
+	base, err := ringbench.RunDPSConfig(gigabit(), 4, total, size, core.Config{Window: 64, Workers: opt.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("failover baseline: %w", err)
+	}
+	agg.Add(base.Stats)
+	t.AddRow("ft off", fmt.Sprintf("%.1f", base.Throughput), "-", "0", "0", "0", "0")
+
+	ftCfg := core.Config{Window: 64, Workers: opt.Workers, Checkpoint: ckpt}
+	ftOn, err := ringbench.RunDPSConfig(gigabit(), 4, total, size, ftCfg)
+	if err != nil {
+		return nil, fmt.Errorf("failover ft-on run: %w", err)
+	}
+	agg.Add(ftOn.Stats)
+	t.AddRow("ft on", fmt.Sprintf("%.1f", ftOn.Throughput), "-",
+		fmt.Sprint(ftOn.Stats.CheckpointsTaken), fmt.Sprint(ftOn.Stats.CheckpointBytes), "0", "0")
+
+	spec := ringbench.FailoverSpec{Hop: 2, After: base.Elapsed / 3}
+	crashed, err := ringbench.RunDPSFailover(gigabit(), 4, total, size, ftCfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("failover crashed run: %w", err)
+	}
+	agg.Add(crashed.Stats)
+	// Exactly-once is enforced inside the harness: RunDPSFailover fails
+	// outright when the merge's block count differs from the order.
+	t.AddRow("ft on + crash", fmt.Sprintf("%.1f", crashed.Throughput),
+		crashed.Recovery.Round(time.Millisecond).String(),
+		fmt.Sprint(crashed.Stats.CheckpointsTaken), fmt.Sprint(crashed.Stats.CheckpointBytes),
+		fmt.Sprint(crashed.Stats.TokensReplayed), fmt.Sprint(crashed.Stats.FailoversCompleted))
+	return &Report{
+		ID:    "failover",
+		Table: t,
+		Stats: agg,
+		Notes: []string{
+			"check: the crashed run delivers every block (the harness fails on any lost or duplicated token).",
+			"check: fault tolerance off stays at the baseline throughput (the hot path is untouched when disabled).",
+			"recovery = crash-to-restored latency (detection by failed sends, checkpoint restore, in-flight replay).",
+			"ft-on throughput prices message logging for bulk payloads: every token is retained and shipped once more",
+			"inside a checkpoint envelope until a commit truncates it — roughly 2x egress per hop on this fabric, the",
+			"classic durability tax; small-token workloads (parlife) pay far less.",
 		},
 	}, nil
 }

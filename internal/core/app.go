@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core/flowctl"
+	"repro/internal/core/ft"
 	"repro/internal/serial"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -42,6 +43,22 @@ type Config struct {
 	// (ThreadCollection.Remap) when the caller's context carries no
 	// deadline; zero waits indefinitely.
 	RemapDrain time.Duration
+	// Checkpoint enables the fault-tolerance layer (internal/core/ft) and
+	// sets the interval at which thread instances checkpoint their state:
+	// tokens are sequenced and retained for replay, receivers filter
+	// duplicates, and a node declared dead (FailNode, transport send
+	// errors, liveness probes, kernel heartbeats) has its threads restored
+	// from their newest checkpoints on the surviving nodes with
+	// exactly-once execution semantics. Zero disables the layer entirely;
+	// the token hot paths and wire formats are then untouched.
+	Checkpoint time.Duration
+	// FailureDetect adds active liveness probing to the fault-tolerance
+	// layer: the master node sends a tiny probe to every peer at this
+	// interval and a failing probe send declares the peer suspect. Zero
+	// relies on passive detection (send errors of real traffic) and
+	// external detectors (kernel heartbeats calling FailNode). Ignored
+	// unless Checkpoint is set (the dps façade rejects the combination).
+	FailureDetect time.Duration
 	// Registry is the token type registry; nil selects serial.DefaultRegistry.
 	Registry *serial.Registry
 }
@@ -111,6 +128,15 @@ type App struct {
 	migrateMu  sync.Mutex
 	migrActive atomic.Int32
 
+	// Fault-tolerance layer (Config.Checkpoint; see ftengine.go). ftOn is
+	// immutable after NewApp; the goroutines start lazily via ftOnce.
+	ftOn       bool
+	ftDead     ft.Detector
+	ftOnce     sync.Once
+	ftStop     chan struct{}
+	ftSuspects chan string
+	ftCkptSeq  atomic.Uint64
+
 	cleanup []func()
 }
 
@@ -140,6 +166,7 @@ func NewApp(cfg Config) *App {
 		collections: make(map[string]*ThreadCollection),
 		graphs:      make(map[string]*Flowgraph),
 		calls:       make(map[uint64]*callEntry),
+		ftOn:        cfg.Checkpoint > 0,
 	}
 	// Call IDs travel in token envelopes and are consulted on every
 	// receiving node (cancellation drops). In a multi-process deployment
@@ -257,6 +284,7 @@ func (app *App) Close() {
 	if app.closed.Swap(true) {
 		return
 	}
+	app.ftStopAll()
 	app.fail(fmt.Errorf("dps: application closed"))
 	app.mu.Lock()
 	rts := make([]*Runtime, 0, len(app.runtimes))
@@ -352,13 +380,6 @@ func (app *App) allRuntimes() []*Runtime {
 		rts = append(rts, app.runtimes[name])
 	}
 	return rts
-}
-
-// activeCalls reports the number of flow-graph invocations in flight.
-func (app *App) activeCalls() int {
-	app.callMu.Lock()
-	defer app.callMu.Unlock()
-	return len(app.calls)
 }
 
 // replaceMapping swaps a collection's placement wholesale, rejecting the

@@ -68,6 +68,11 @@ func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token)
 	if err := app.Err(); err != nil {
 		return nil, err
 	}
+	if app.ftOn {
+		// Fault tolerance starts lazily with the first call, before its
+		// entry token posts: sequencing needs the serialized routing path.
+		app.ftOnce.Do(app.ftStart)
+	}
 	rt, ok := app.runtime(origin)
 	if !ok {
 		return nil, fmt.Errorf("dps: graph %q: unknown origin node %q", g.name, origin)
@@ -106,6 +111,7 @@ func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token)
 	env.LastWorker = -1
 	env.CreditNode = -1
 	env.Token = tok
+	env.ftSender = rt.ftNode // nil unless fault tolerance is enabled
 	if err := rt.routeSafe(env, entryNode.tc, thread); err != nil {
 		app.completeCall(id, CallResult{Err: err})
 	}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core/place"
 )
@@ -28,6 +29,15 @@ type ThreadCollection struct {
 	newState  func() any
 
 	place place.Table
+
+	// Fault-tolerance hooks (ftengine.go): checkpoint eligibility is
+	// computed once (the state type never changes), and onRecover observes
+	// failover re-placements.
+	ckptOnce sync.Once
+	ckptOK   bool
+
+	recoverMu sync.Mutex
+	onRecover func(thread int, from, to string)
 }
 
 // NewCollection creates a thread collection whose threads each own a
@@ -209,6 +219,37 @@ func ParseMapping(spec string) ([]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// OnRecover installs a callback observing failover re-placements of this
+// collection's threads: after a node death, fn is invoked once per moved
+// thread with the dead node and the surviving node the thread was restored
+// on (from its newest checkpoint, with in-flight tokens replayed). The
+// callback runs on the recovery coordinator's goroutine after the thread
+// is live again; keep it brief.
+func (tc *ThreadCollection) OnRecover(fn func(thread int, from, to string)) {
+	tc.recoverMu.Lock()
+	tc.onRecover = fn
+	tc.recoverMu.Unlock()
+}
+
+func (tc *ThreadCollection) notifyRecover(thread int, from, to string) {
+	tc.recoverMu.Lock()
+	fn := tc.onRecover
+	tc.recoverMu.Unlock()
+	if fn != nil {
+		fn(thread, from, to)
+	}
+}
+
+// checkpointable reports whether the collection's instances can be
+// checkpointed and restored: stateless, or a registered fully-exported
+// struct state — the same constraint live migration imposes, computed once.
+func (tc *ThreadCollection) checkpointable() bool {
+	tc.ckptOnce.Do(func() {
+		tc.ckptOK = tc.app.validateMigratableState(tc) == nil
+	})
+	return tc.ckptOK
 }
 
 // StateOf returns the current thread's state as *S. It panics if the

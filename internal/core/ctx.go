@@ -40,14 +40,27 @@ type Ctx struct {
 // operation is about to block, first handing off the dispatch-drainer role
 // if this goroutine holds it. Every blocking point (flow-controlled posts,
 // merge next, nested graph calls) must use this instead of unlocking
-// directly; the matching reacquire is a plain inst.exec.Lock(), which
-// deliberately does not re-take the drainer role.
+// directly; the matching reacquire is relockInst, which deliberately does
+// not re-take the drainer role. With fault tolerance enabled the pair also
+// maintains the instance's parked-execution count, so a checkpoint item
+// never captures while an operation is suspended mid-body.
 func (c *Ctx) yieldInstLock() {
+	if c.rt.app.ftOn {
+		c.inst.yielded.Add(1)
+	}
 	if c.drainer {
 		c.drainer = false
 		c.inst.exec.Relinquish()
 	}
 	c.inst.exec.Unlock()
+}
+
+// relockInst reacquires the execution lock after a yieldInstLock.
+func (c *Ctx) relockInst() {
+	c.inst.exec.Lock()
+	if c.rt.app.ftOn {
+		c.inst.yielded.Add(-1)
+	}
 }
 
 // Node returns the cluster node name the operation is executing on.
@@ -97,7 +110,7 @@ func (c *Ctx) CallGraph(g *Flowgraph, tok Token) (Token, error) {
 	}
 	c.yieldInstLock()
 	res := <-ch
-	c.inst.exec.Lock()
+	c.relockInst()
 	return res.Value, res.Err
 }
 
@@ -207,6 +220,8 @@ func (c *Ctx) postOut(tok Token) {
 	env.CreditNode = creditNode
 	env.Frames = frames
 	env.Token = tok
+	env.ftSender = c.inst.ft        // nil unless fault tolerance is enabled
+	env.ftInStream = c.env.FTStream // the execution's input stream (determinant)
 	c.rt.routeToken(env, succNode.tc, thread)
 }
 
@@ -277,7 +292,7 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 		if stalled {
 			// Reacquire so the execution continues (or unwinds) holding
 			// its lock, balancing the deferred unlock.
-			c.inst.exec.Lock()
+			c.relockInst()
 		}
 		if err != nil {
 			panic(opError{err})
@@ -307,15 +322,16 @@ func (c *Ctx) nextIn() (Token, bool) {
 			mg.consumed++
 			mg.mu.Unlock()
 			if unlocked {
-				c.inst.exec.Lock()
+				c.relockInst()
 			}
 			c.rt.ackConsumed(bt)
+			c.rt.ftConsumed(bt, c.inst)
 			return bt.tok, true
 		}
 		if mg.total >= 0 && mg.consumed >= mg.total {
 			mg.mu.Unlock()
 			if unlocked {
-				c.inst.exec.Lock()
+				c.relockInst()
 			}
 			return nil, false
 		}
@@ -325,7 +341,7 @@ func (c *Ctx) nextIn() (Token, bool) {
 		if c.rt.app.callAborted(c.callID) {
 			mg.mu.Unlock()
 			if unlocked {
-				c.inst.exec.Lock()
+				c.relockInst()
 			}
 			panic(opError{context.Canceled})
 		}
@@ -338,7 +354,7 @@ func (c *Ctx) nextIn() (Token, bool) {
 			mg.mu.Unlock()
 			if unlocked {
 				// Keep the thread lock balanced for the deferred unlock.
-				c.inst.exec.Lock()
+				c.relockInst()
 			}
 			panic(opError{err})
 		}

@@ -1,0 +1,619 @@
+// Package ft is the fault-tolerance layer of the DPS engine: the
+// bookkeeping that lets an application survive the death of a cluster node
+// while flow graphs execute, following the checkpoint-and-message-logging
+// line of work that grew out of the DPS paper (checkpointed thread state,
+// replay of in-flight tokens, duplicate suppression).
+//
+// Like internal/core/place, the package is deliberately transport- and
+// token-agnostic: it stores engine-encoded messages as opaque byte slices
+// and only answers *bookkeeping* questions. Four cooperating pieces:
+//
+//   - State (one per sending thread instance, plus one per node for graph
+//     calls): assigns per-destination sequence numbers to outbound tokens,
+//     retains every sent message in a log until it is known to be
+//     durable, and filters inbound duplicates by remembering the highest
+//     sequence processed per sender stream. Because transports deliver
+//     FIFO per sender, the processed set of a stream is always a prefix,
+//     so one counter per stream is an exact duplicate filter.
+//
+//   - Record: one checkpoint of one thread instance — the serialized user
+//     state plus the State snapshot (inbound cursors, outbound counters,
+//     retained log). A restored instance re-executes replayed inputs with
+//     the same outbound sequence numbers the original execution used,
+//     which is what makes duplicate suppression work across re-execution.
+//
+//   - Store: the committed checkpoints, kept on the master node (the
+//     stand-in for replicated stable storage; the master also hosts graph
+//     calls and the recovery coordinator, so its death ends the
+//     application either way). Commits are ordered by checkpoint sequence
+//     so a delayed older checkpoint cannot overwrite a newer one.
+//
+//   - Detector: the once-only dead-node marks shared by the failure
+//     detection paths (transport send errors, kernel heartbeats, injected
+//     crashes), so concurrent reports of one death fold into one recovery.
+//
+// Log truncation is driven by checkpoint commits: an entry may be dropped
+// exactly when a committed checkpoint of its destination covers its
+// sequence number (the destination can never need it again — restores use
+// the newest checkpoint, and inbound cursors are monotonic). Consumption
+// acknowledgements of the flow-control layer provide an earlier hook for
+// the common case: a token consumed by a collector on the master node is
+// durable immediately (the master never restores), so its ack already
+// identifies it as safe to drop. The quiesce, serialization and sends live
+// in the runtime (internal/core/ftengine.go); this package is pure
+// bookkeeping and is unit-testable without an engine.
+package ft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core/place"
+)
+
+// Entry kinds: what the engine-encoded Bytes of a log entry contain.
+const (
+	// EntryToken is a token envelope (header + serialized payload).
+	EntryToken byte = 1
+	// EntryGroupEnd is a split's group-end announcement.
+	EntryGroupEnd byte = 2
+)
+
+// Entry is one logged send: an engine-encoded message retained until a
+// checkpoint of its destination covers it, replayable if the destination
+// node dies first.
+type Entry struct {
+	// Stream is the full (derived) sender stream the entry was sent on.
+	Stream string
+	// Dst is the destination thread instance.
+	Dst place.Key
+	// Seq is the entry's sequence number on the (Stream, Dst) pair.
+	Seq uint64
+	// CallID identifies the invocation, so replays skip canceled calls.
+	CallID uint64
+	// Kind says how to decode Bytes (EntryToken / EntryGroupEnd).
+	Kind byte
+	// Bytes is the engine-encoded message, opaque to this package.
+	Bytes []byte
+}
+
+// OutKey identifies one outbound cursor: a derived sender stream paired
+// with its destination instance.
+type OutKey struct {
+	Stream string
+	Dst    place.Key
+}
+
+// State is the fault-tolerance state of one sender: outbound sequencing
+// and retention, inbound duplicate filtering. The zero value is not usable;
+// create with NewState. All methods are safe for concurrent use.
+type State struct {
+	stream string
+
+	mu  sync.Mutex
+	in  map[string]uint64 // highest inbound seq processed, per sender stream
+	out map[OutKey]uint64 // last outbound seq assigned, per (stream, destination)
+	log []Entry
+}
+
+// NewState creates the fault-tolerance state of a sender identified by
+// stream (see StreamOf / NodeStream).
+func NewState(stream string) *State {
+	return &State{
+		stream: stream,
+		in:     make(map[string]uint64),
+		out:    make(map[OutKey]uint64),
+	}
+}
+
+// Stream returns the sender's base stream identity.
+func (s *State) Stream() string { return s.stream }
+
+// NextOut assigns the next outbound sequence number of stream toward dst.
+// stream is a derived stream of this sender (see DerivedStream).
+func (s *State) NextOut(stream string, dst place.Key) uint64 {
+	k := OutKey{Stream: stream, Dst: dst}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out[k]++
+	return s.out[k]
+}
+
+// CheckIn filters one inbound message: it reports whether (stream, seq) is
+// fresh, recording it if so. A false return means the message was already
+// processed (directly, or reflected through a restored checkpoint) and
+// must be dropped.
+func (s *State) CheckIn(stream string, seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.in[stream] {
+		return false
+	}
+	s.in[stream] = seq
+	return true
+}
+
+// Append retains one sent message for possible replay.
+func (s *State) Append(e Entry) {
+	s.mu.Lock()
+	s.log = append(s.log, e)
+	s.mu.Unlock()
+}
+
+// Cut drops retained entries of one (stream, dst) pair with sequence
+// numbers <= seq (they are covered by a committed checkpoint of dst, or
+// were consumed on a node that never restores). It returns the number of
+// entries dropped.
+func (s *State) Cut(stream string, dst place.Key, seq uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.log[:0]
+	dropped := 0
+	for _, e := range s.log {
+		if e.Stream == stream && e.Dst == dst && e.Seq <= seq {
+			dropped++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so dropped entries' byte slices are collectable.
+	for i := len(kept); i < len(s.log); i++ {
+		s.log[i] = Entry{}
+	}
+	s.log = kept
+	return dropped
+}
+
+// EntriesTo returns the retained entries destined for dst, in send order —
+// which is per-stream sequence order, the replay-order correctness
+// condition (seqs of distinct derived streams interleave and must not be
+// re-sorted against each other).
+func (s *State) EntriesTo(dst place.Key) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for _, e := range s.log {
+		if e.Dst == dst {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LogLen reports the number of retained entries (tests and stats).
+func (s *State) LogLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// Snapshot copies the state into a Record shell: inbound cursors, outbound
+// counters and the retained log. The caller fills Key, Seq and State.
+func (s *State) Snapshot() *Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &Record{
+		In:  make(map[string]uint64, len(s.in)),
+		Out: make(map[OutKey]uint64, len(s.out)),
+		Log: make([]Entry, len(s.log)),
+	}
+	for k, v := range s.in {
+		r.In[k] = v
+	}
+	for k, v := range s.out {
+		r.Out[k] = v
+	}
+	copy(r.Log, s.log)
+	return r
+}
+
+// Restore overwrites the state from a checkpoint record: the restored
+// instance re-executes replayed inputs with exactly the sequencing the
+// original execution used past this point.
+func (s *State) Restore(r *Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.in = make(map[string]uint64, len(r.In))
+	s.out = make(map[OutKey]uint64, len(r.Out))
+	for k, v := range r.In {
+		s.in[k] = v
+	}
+	for k, v := range r.Out {
+		s.out[k] = v
+	}
+	s.log = append([]Entry(nil), r.Log...)
+}
+
+// LastIn returns the inbound cursor of one stream (tests).
+func (s *State) LastIn(stream string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in[stream]
+}
+
+// StreamOf names the base sender stream of a thread instance. Stream
+// identity is logical (collection and thread index), not physical: after a
+// failover the re-executed sends of a restored instance must collide with
+// the originals in every receiver's duplicate filter, wherever both ran.
+func StreamOf(collection string, thread int) string {
+	return fmt.Sprintf("i/%s/%d", collection, thread)
+}
+
+// NodeStream names the sender stream of a node's graph-call entry posts,
+// which originate from no thread instance.
+func NodeStream(node string) string { return "n/" + node }
+
+// ParseInstStream splits a (possibly derived) instance stream back into
+// its collection and thread index, reporting ok=false for node streams
+// and malformed identities. The thread index is the suffix after the last
+// '/': collection names come from Go string literals and may themselves
+// contain slashes. This is the inverse of StreamOf and lives here so the
+// identity format has exactly one owner.
+func ParseInstStream(stream string) (coll string, thread int, ok bool) {
+	stream = BaseStream(stream)
+	if !strings.HasPrefix(stream, "i/") {
+		return "", 0, false
+	}
+	rest := stream[2:]
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(rest[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], n, true
+}
+
+// ParseNodeStream returns the node of a (possibly derived) node stream,
+// or ok=false for instance streams. The inverse of NodeStream.
+func ParseNodeStream(stream string) (node string, ok bool) {
+	stream = BaseStream(stream)
+	if !strings.HasPrefix(stream, "n/") {
+		return "", false
+	}
+	return stream[2:], true
+}
+
+// streamSep separates a base stream from its derivation suffix. A control
+// character cannot appear in collection or node names (Go string literals
+// in practice), so the suffix is unambiguous.
+const streamSep = "\x1f"
+
+// DerivedStream names the output stream of an instance executing an input
+// that arrived on inStream. Deriving the output stream from the input
+// stream is the layer's determinant: a restored instance re-executes each
+// input stream in sequence order, but the interleaving ACROSS streams is
+// not reproducible — per-(input-stream) output cursors make the
+// regenerated (sequence → content) binding independent of it. The suffix
+// is a hash, so identities stay short through deep pipelines.
+func DerivedStream(base, inStream string) string {
+	if inStream == "" {
+		return base
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(inStream))
+	return base + streamSep + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// BaseStream strips a stream's derivation suffix, recovering the sending
+// instance's identity.
+func BaseStream(stream string) string {
+	if i := strings.Index(stream, streamSep); i >= 0 {
+		return stream[:i]
+	}
+	return stream
+}
+
+// Record is one committed checkpoint of one thread instance.
+type Record struct {
+	// Key identifies the instance.
+	Key place.Key
+	// Seq is the application-wide checkpoint sequence number; commits are
+	// ordered by it.
+	Seq uint64
+	// State is the serialized user state (empty for stateless collections
+	// and instances that were never touched).
+	State []byte
+	// In / Out / Log are the State snapshot (see State.Snapshot).
+	In  map[string]uint64
+	Out map[OutKey]uint64
+	Log []Entry
+}
+
+// Encode appends the record's wire form to b.
+func (r *Record) Encode(b []byte) []byte {
+	b = appendString(b, r.Key.Collection)
+	b = binary.AppendVarint(b, int64(r.Key.Thread))
+	b = binary.AppendUvarint(b, r.Seq)
+	b = appendBytes(b, r.State)
+
+	b = binary.AppendUvarint(b, uint64(len(r.In)))
+	for _, k := range sortedStrings(r.In) {
+		b = appendString(b, k)
+		b = binary.AppendUvarint(b, r.In[k])
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Out)))
+	for _, k := range sortedOutKeys(r.Out) {
+		b = appendString(b, k.Stream)
+		b = appendString(b, k.Dst.Collection)
+		b = binary.AppendVarint(b, int64(k.Dst.Thread))
+		b = binary.AppendUvarint(b, r.Out[k])
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Log)))
+	for _, e := range r.Log {
+		b = appendString(b, e.Stream)
+		b = appendString(b, e.Dst.Collection)
+		b = binary.AppendVarint(b, int64(e.Dst.Thread))
+		b = binary.AppendUvarint(b, e.Seq)
+		b = binary.AppendUvarint(b, e.CallID)
+		b = append(b, e.Kind)
+		b = appendBytes(b, e.Bytes)
+	}
+	return b
+}
+
+// maxRecordItems rejects hostile length claims while decoding.
+const maxRecordItems = 1 << 24
+
+// DecodeRecord parses a record. Returned byte slices are copies; the
+// caller may recycle b.
+func DecodeRecord(b []byte) (*Record, error) {
+	r := &Record{}
+	var err error
+	var n int64
+	if r.Key.Collection, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if n, b, err = readVarint(b); err != nil {
+		return nil, err
+	}
+	r.Key.Thread = int(n)
+	var u uint64
+	if u, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	r.Seq = u
+	if r.State, b, err = readBytes(b); err != nil {
+		return nil, err
+	}
+
+	if u, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if u > maxRecordItems {
+		return nil, fmt.Errorf("ft: implausible map size %d", u)
+	}
+	r.In = make(map[string]uint64, u)
+	for i := uint64(0); i < u; i++ {
+		var k string
+		var v uint64
+		if k, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		r.In[k] = v
+	}
+	if u, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if u > maxRecordItems {
+		return nil, fmt.Errorf("ft: implausible map size %d", u)
+	}
+	r.Out = make(map[OutKey]uint64, u)
+	for i := uint64(0); i < u; i++ {
+		var k OutKey
+		var v uint64
+		if k.Stream, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if k.Dst.Collection, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if n, b, err = readVarint(b); err != nil {
+			return nil, err
+		}
+		k.Dst.Thread = int(n)
+		if v, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		r.Out[k] = v
+	}
+	if u, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if u > maxRecordItems {
+		return nil, fmt.Errorf("ft: implausible log size %d", u)
+	}
+	r.Log = make([]Entry, 0, min(int(u), 4096))
+	for i := uint64(0); i < u; i++ {
+		var e Entry
+		if e.Stream, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if e.Dst.Collection, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if n, b, err = readVarint(b); err != nil {
+			return nil, err
+		}
+		e.Dst.Thread = int(n)
+		if e.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if e.CallID, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, fmt.Errorf("ft: truncated entry kind")
+		}
+		e.Kind, b = b[0], b[1:]
+		if e.Bytes, b, err = readBytes(b); err != nil {
+			return nil, err
+		}
+		r.Log = append(r.Log, e)
+	}
+	return r, nil
+}
+
+// Store holds the committed checkpoints of an application, one latest
+// record per instance. It stands in for the replicated stable storage of a
+// production deployment and lives on the master node.
+type Store struct {
+	mu   sync.Mutex
+	recs map[place.Key]*Record
+}
+
+// Commit installs a checkpoint if it is newer than the stored one,
+// reporting whether it was installed (commits may arrive out of order when
+// a checkpoint envelope races a failover's traffic).
+func (st *Store) Commit(r *Record) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.recs == nil {
+		st.recs = make(map[place.Key]*Record)
+	}
+	if prev, ok := st.recs[r.Key]; ok && prev.Seq >= r.Seq {
+		return false
+	}
+	st.recs[r.Key] = r
+	return true
+}
+
+// Latest returns the newest committed checkpoint of one instance, or nil.
+func (st *Store) Latest(k place.Key) *Record {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recs[k]
+}
+
+// Len reports the number of instances with a committed checkpoint.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.recs)
+}
+
+// Detector folds concurrent death reports of one node into a single
+// recovery: the first MarkDead per node wins.
+type Detector struct {
+	mu   sync.Mutex
+	dead map[string]bool
+}
+
+// MarkDead records a node death, reporting whether this was the first
+// report (the caller then owns the recovery).
+func (d *Detector) MarkDead(node string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[node] {
+		return false
+	}
+	if d.dead == nil {
+		d.dead = make(map[string]bool)
+	}
+	d.dead[node] = true
+	return true
+}
+
+// IsDead reports whether a node has been declared dead.
+func (d *Detector) IsDead(node string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[node]
+}
+
+// Dead lists the declared-dead nodes.
+func (d *Detector) Dead() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.dead))
+	for n := range d.dead {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- encoding helpers -----------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", nil, fmt.Errorf("ft: truncated string")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func readBytes(b []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, nil, fmt.Errorf("ft: truncated bytes")
+	}
+	if l == 0 {
+		return nil, b[n:], nil
+	}
+	out := make([]byte, l)
+	copy(out, b[n:n+int(l)])
+	return out, b[n+int(l):], nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("ft: truncated varint")
+	}
+	return v, b[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("ft: truncated uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func sortedStrings(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedOutKeys(m map[OutKey]uint64) []OutKey {
+	out := make([]OutKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		if out[i].Dst.Collection != out[j].Dst.Collection {
+			return out[i].Dst.Collection < out[j].Dst.Collection
+		}
+		return out[i].Dst.Thread < out[j].Dst.Thread
+	})
+	return out
+}

@@ -1,0 +1,207 @@
+package ft
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core/place"
+)
+
+func key(c string, t int) place.Key { return place.Key{Collection: c, Thread: t} }
+
+func TestSeqAssignmentAndPrefixFilter(t *testing.T) {
+	s := NewState(StreamOf("workers", 3))
+	a, b := key("workers", 0), key("workers", 1)
+	st := DerivedStream(s.Stream(), "n/m")
+	if got := s.NextOut(st, a); got != 1 {
+		t.Fatalf("first seq = %d", got)
+	}
+	if got := s.NextOut(st, a); got != 2 {
+		t.Fatalf("second seq = %d", got)
+	}
+	if got := s.NextOut(st, b); got != 1 {
+		t.Fatalf("per-destination counters must be independent, got %d", got)
+	}
+
+	r := NewState(StreamOf("main", 0))
+	for _, seq := range []uint64{1, 2, 3} {
+		if !r.CheckIn(st, seq) {
+			t.Fatalf("fresh seq %d filtered", seq)
+		}
+	}
+	for _, seq := range []uint64{3, 2, 1} {
+		if r.CheckIn(st, seq) {
+			t.Fatalf("duplicate seq %d accepted", seq)
+		}
+	}
+	if !r.CheckIn(st, 4) {
+		t.Fatal("next fresh seq filtered")
+	}
+	if !r.CheckIn("other-stream", 1) {
+		t.Fatal("streams must be independent")
+	}
+}
+
+func TestLogRetentionCutAndReplayOrder(t *testing.T) {
+	s := NewState(StreamOf("w", 0))
+	a := key("c", 1)
+	s1 := DerivedStream(s.Stream(), "in1")
+	s2 := DerivedStream(s.Stream(), "in2")
+	// Interleave two derived streams toward one destination.
+	s.Append(Entry{Stream: s1, Dst: a, Seq: 1, Kind: EntryToken})
+	s.Append(Entry{Stream: s2, Dst: a, Seq: 1, Kind: EntryToken})
+	s.Append(Entry{Stream: s1, Dst: a, Seq: 2, Kind: EntryToken})
+	s.Append(Entry{Stream: s2, Dst: a, Seq: 2, Kind: EntryGroupEnd})
+	s.Append(Entry{Stream: s1, Dst: a, Seq: 3, Kind: EntryToken})
+	if s.LogLen() != 5 {
+		t.Fatalf("log length %d", s.LogLen())
+	}
+
+	// Cut is per (stream, dst): s1 <= 2 falls, s2 untouched.
+	if n := s.Cut(s1, a, 2); n != 2 {
+		t.Fatalf("cut dropped %d entries, want 2", n)
+	}
+	got := s.EntriesTo(a)
+	want := []struct {
+		stream string
+		seq    uint64
+	}{{s2, 1}, {s2, 2}, {s1, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("entries after cut: %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Stream != w.stream || got[i].Seq != w.seq {
+			t.Fatalf("entry %d = (%q, %d), want (%q, %d) — replay must keep send order",
+				i, got[i].Stream, got[i].Seq, w.stream, w.seq)
+		}
+	}
+	// A cut for another destination drops nothing.
+	if n := s.Cut(s2, key("c", 9), 99); n != 0 {
+		t.Fatalf("foreign cut dropped %d entries", n)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewState(StreamOf("w", 2))
+	a := key("c", 0)
+	st := DerivedStream(s.Stream(), "n/m")
+	s.NextOut(st, a)
+	s.NextOut(st, a)
+	s.CheckIn("up", 7)
+	s.Append(Entry{Stream: st, Dst: a, Seq: 1, CallID: 42, Kind: EntryToken, Bytes: []byte{1, 2, 3}})
+
+	rec := s.Snapshot()
+	rec.Key = key("w", 2)
+	rec.Seq = 9
+	rec.State = []byte("state")
+
+	// Wire round trip.
+	dec, err := DecodeRecord(rec.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, dec) {
+		t.Fatalf("record round trip:\n got %+v\nwant %+v", dec, rec)
+	}
+
+	// Restore regenerates the original sequencing.
+	r2 := NewState(StreamOf("w", 2))
+	r2.Restore(dec)
+	if got := r2.NextOut(st, a); got != 3 {
+		t.Fatalf("restored counter continues at %d, want 3", got)
+	}
+	if r2.CheckIn("up", 7) {
+		t.Fatal("restored filter forgot a processed seq")
+	}
+	if got := r2.EntriesTo(a); len(got) != 1 || got[0].CallID != 42 || string(got[0].Bytes) != "\x01\x02\x03" {
+		t.Fatalf("restored log: %+v", got)
+	}
+}
+
+func TestDecodeRecordHostile(t *testing.T) {
+	rec := &Record{Key: key("c", 1), Seq: 3, In: map[string]uint64{"s": 1}}
+	full := rec.Encode(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeRecord(full[:cut]); err == nil && cut < len(full)-1 {
+			// Some prefixes can decode if the cut lands between optional
+			// trailing sections; a crash is the only unacceptable outcome.
+			continue
+		}
+	}
+	// A hostile length claim must not allocate unboundedly.
+	hostile := append([]byte(nil), full...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := DecodeRecord(hostile); err == nil {
+		t.Log("trailing garbage accepted (tolerated: decoder stops at the log)")
+	}
+}
+
+func TestStoreCommitOrdering(t *testing.T) {
+	st := &Store{}
+	k := key("w", 0)
+	if !st.Commit(&Record{Key: k, Seq: 2}) {
+		t.Fatal("first commit rejected")
+	}
+	if st.Commit(&Record{Key: k, Seq: 1}) {
+		t.Fatal("stale commit accepted")
+	}
+	if st.Commit(&Record{Key: k, Seq: 2}) {
+		t.Fatal("same-seq commit accepted")
+	}
+	if !st.Commit(&Record{Key: k, Seq: 5}) {
+		t.Fatal("newer commit rejected")
+	}
+	if got := st.Latest(k); got == nil || got.Seq != 5 {
+		t.Fatalf("latest = %+v", got)
+	}
+	if st.Latest(key("w", 1)) != nil {
+		t.Fatal("phantom record")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store len %d", st.Len())
+	}
+}
+
+func TestDetectorFoldsReports(t *testing.T) {
+	d := &Detector{}
+	if d.IsDead("a") {
+		t.Fatal("fresh detector knows a death")
+	}
+	if !d.MarkDead("a") {
+		t.Fatal("first report must win")
+	}
+	if d.MarkDead("a") {
+		t.Fatal("second report must fold")
+	}
+	if !d.IsDead("a") || d.IsDead("b") {
+		t.Fatal("membership wrong")
+	}
+	d.MarkDead("b")
+	if got := d.Dead(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("dead list %v", got)
+	}
+}
+
+func TestDerivedStreamProperties(t *testing.T) {
+	base := StreamOf("workers", 1)
+	d1 := DerivedStream(base, "i/main/0")
+	d2 := DerivedStream(base, "i/main/1")
+	if d1 == d2 {
+		t.Fatal("distinct inputs must derive distinct streams")
+	}
+	if d1 != DerivedStream(base, "i/main/0") {
+		t.Fatal("derivation must be deterministic")
+	}
+	if BaseStream(d1) != base || BaseStream(base) != base {
+		t.Fatalf("base recovery failed: %q", BaseStream(d1))
+	}
+	if DerivedStream(base, "") != base {
+		t.Fatal("empty input stream must keep the base identity")
+	}
+	// Nested derivation stays bounded: deriving from a derived stream
+	// appends one suffix to the base each hop but hashes the whole input.
+	d3 := DerivedStream(StreamOf("next", 0), d1)
+	if BaseStream(d3) != StreamOf("next", 0) {
+		t.Fatalf("nested base recovery failed: %q", d3)
+	}
+}

@@ -119,6 +119,11 @@ type bufferedToken struct {
 	creditNode int
 	origin     string
 	groupID    uint64
+	// ftStream / ftSeq carry the token's sender-stream identity when fault
+	// tolerance is enabled, so consumption on the master node can truncate
+	// the sender's retention log (the ack-driven GC hook).
+	ftStream string
+	ftSeq    uint64
 }
 
 func newMergeGroup(callID uint64) *mergeGroup {
@@ -187,7 +192,7 @@ func (rt *Runtime) finishOpener(c *Ctx) {
 		Total:   posted,
 		CallID:  c.callID,
 	}
-	rt.routeGroupEnd(end, closerNode.tc, mergeThread)
+	rt.routeGroupEnd(end, closerNode.tc, mergeThread, c.inst.ft, c.env.FTStream)
 	rt.maybeReapSplit(sg)
 }
 
@@ -235,6 +240,8 @@ func (rt *Runtime) deliverToGroup(inst *threadInstance, g *Flowgraph, node *Grap
 		creditNode: env.CreditNode,
 		origin:     fr.Origin,
 		groupID:    fr.GroupID,
+		ftStream:   env.FTStream,
+		ftSeq:      env.FTSeq,
 	}
 	mg.mu.Lock()
 	if !mg.started {
@@ -258,7 +265,7 @@ func (rt *Runtime) ackConsumed(bt bufferedToken) {
 	rt.stats.acksSent.Add(1)
 	m := ackMsg{GroupID: bt.groupID, Worker: bt.lastWorker, RouteNode: bt.creditNode}
 	if err := rt.lnk.sendAck(bt.origin, m); err != nil {
-		rt.app.fail(err)
+		rt.failApp(err)
 	}
 }
 
@@ -323,7 +330,7 @@ func (rt *Runtime) handleAck(m ackMsg) {
 func (rt *Runtime) handleGroupEnd(m *groupEndMsg, src string) {
 	g, ok := rt.app.Graph(m.Graph)
 	if !ok {
-		rt.app.fail(fmt.Errorf("dps: group-end for unknown graph %q", m.Graph))
+		rt.failApp(fmt.Errorf("dps: group-end for unknown graph %q", m.Graph))
 		return
 	}
 	node := g.nodes[m.Node]
@@ -337,11 +344,16 @@ func (rt *Runtime) handleGroupEnd(m *groupEndMsg, src string) {
 }
 
 // applyGroupEnd delivers a group-end to its resolved destination node's
-// local merge-side state, past the placement intercepts.
+// local merge-side state, past the placement intercepts. Sequenced
+// announcements already processed are failover-replay duplicates and drop
+// here, mirroring dispatchToken.
 func (rt *Runtime) applyGroupEnd(node *GraphNode, m *groupEndMsg) {
 	inst, err := rt.instance(node.tc, m.Thread)
 	if err != nil {
-		rt.app.fail(err)
+		rt.failApp(err)
+		return
+	}
+	if m.FTSeq > 0 && inst.ft != nil && !inst.ft.CheckIn(m.FTStream, m.FTSeq) {
 		return
 	}
 	inst.mu.Lock()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/core/ft"
 	"repro/internal/serial"
 	"repro/internal/transport"
 )
@@ -20,6 +21,12 @@ import (
 // transport-level source node — the placement layer's fence gates are per
 // sender (fences themselves name their original sender in the message, as
 // forwarding rewrites the transport source).
+//
+// linkDown and linkSuspect are the fault-tolerance hooks: traffic to a
+// node declared dead is suppressed (retained copies replay during
+// recovery), and a transport send failure is offered to the failure
+// detector before it may surface as an application failure — a send error
+// to a dead or removed peer must never be dropped on the floor.
 type linkSink interface {
 	deliverToken(env *envelope, src string)
 	deliverGroupEnd(m *groupEndMsg, src string)
@@ -27,7 +34,13 @@ type linkSink interface {
 	deliverResult(callID uint64, tok Token)
 	deliverMigrate(m *migrateMsg)
 	deliverFence(m *fenceMsg)
+	deliverCheckpoint(rec *ft.Record)
+	deliverReplay(m *replayMsg, src string)
+	deliverCut(m cutMsg)
+	deliverDeath(m deathMsg, src string)
 	linkFail(err error)
+	linkDown(dst string) bool
+	linkSuspect(dst string, err error) bool
 }
 
 // link frames and serializes outbound messages and decodes inbound ones.
@@ -36,17 +49,33 @@ type link struct {
 	reg   *serial.Registry
 	name  string
 	force bool // ForceSerialize: marshal even same-node transfers
+	ftOn  bool // fault tolerance enabled: consult linkDown/linkSuspect
 	sink  linkSink
 	stats *statCounters
 }
 
-func (l *link) init(tr transport.Transport, reg *serial.Registry, force bool, sink linkSink, stats *statCounters) {
+func (l *link) init(tr transport.Transport, reg *serial.Registry, force, ftOn bool, sink linkSink, stats *statCounters) {
 	l.tr = tr
 	l.reg = reg
 	l.name = tr.Local()
 	l.force = force
+	l.ftOn = ftOn
 	l.sink = sink
 	l.stats = stats
+}
+
+// down reports whether traffic toward dst must be suppressed. It is a
+// no-op branch on a local bool while fault tolerance is off.
+func (l *link) down(dst string) bool {
+	return l.ftOn && l.sink.linkDown(dst)
+}
+
+// sendFailed routes one transport send failure: absorbed by the failure
+// detector (true) or left to the caller to surface (false). The payload
+// buffer's ownership returns to the caller either way (transports release
+// ownership on error).
+func (l *link) sendFailed(dst string, err error) bool {
+	return l.ftOn && l.sink.linkSuspect(dst, err)
 }
 
 // handle is the transport receive entry point. Per the transport ownership
@@ -121,6 +150,62 @@ func (l *link) handle(src string, payload []byte) {
 			return
 		}
 		l.sink.deliverFence(m)
+	case msgTokenFT:
+		env, err := decodeTokenFT(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad sequenced token from %q: %w", src, err))
+			return
+		}
+		tok, _, err := l.reg.Unmarshal(env.Payload)
+		if err != nil {
+			putEnvelope(env)
+			l.sink.linkFail(fmt.Errorf("dps: cannot deserialize token from %q: %w", src, err))
+			return
+		}
+		env.Token = tok
+		env.Payload = nil // aliases the wire buffer recycled below
+		putWireBuf(payload)
+		l.sink.deliverToken(env, src)
+		return
+	case msgGroupEndFT:
+		m, err := decodeGroupEndFT(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad sequenced group-end from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverGroupEnd(m, src)
+	case msgCheckpoint:
+		rec, err := ft.DecodeRecord(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad checkpoint from %q: %w", src, err))
+			return
+		}
+		// DecodeRecord copies every byte slice out of the wire buffer.
+		l.sink.deliverCheckpoint(rec)
+	case msgReplay:
+		m, err := decodeReplay(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad recovery envelope from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverReplay(m, src)
+	case msgCut:
+		m, err := decodeCut(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad log cut from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverCut(m)
+	case msgDeath:
+		m, err := decodeDeath(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad death notice from %q: %w", src, err))
+			return
+		}
+		l.sink.deliverDeath(m, src)
+	case msgPing:
+		// Liveness probe: receipt is the answer (detection is send-error
+		// driven); nothing to do.
 	default:
 		l.sink.linkFail(fmt.Errorf("dps: unknown message kind %d from %q", kind, src))
 		return
@@ -131,7 +216,9 @@ func (l *link) handle(src string, payload []byte) {
 // sendToken routes an envelope toward the node hosting its destination
 // thread: pointer handoff for same-node transfers (unless ForceSerialize),
 // single-copy serialization into a pooled wire buffer otherwise. Failures
-// propagate as opError panics, matching operation execution contexts.
+// propagate as opError panics, matching operation execution contexts —
+// unless the fault-tolerance layer absorbs them (dead destination: the
+// retained copy replays during recovery).
 func (l *link) sendToken(env *envelope, targetNode string) {
 	l.stats.tokensPosted.Add(1)
 	if targetNode == l.name && !l.force {
@@ -151,17 +238,40 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 		l.sink.deliverToken(env, l.name)
 		return
 	}
+	if l.down(targetNode) {
+		putEnvelope(env)
+		return
+	}
 	// The token is serialized straight into a pooled wire buffer after the
 	// envelope header (single copy); the receiving runtime recycles the
-	// buffer once decoded.
-	buf := appendEnvelopeHeader(getWireBuf(), env)
-	buf, err := l.reg.Append(buf, env.Token)
+	// buffer once decoded. Sequenced tokens use the msgTokenFT framing;
+	// freshly stamped ones reuse the retention log's encoding (the wire
+	// message byte for byte) instead of serializing the token again —
+	// copied, because the transport takes ownership of what it sends.
+	var buf []byte
+	var err error
+	switch {
+	case env.ftWire != nil:
+		buf = append(getWireBuf(), env.ftWire...)
+		env.ftWire = nil
+	case env.FTSeq > 0:
+		buf = appendTokenFT(getWireBuf(), env)
+		buf, err = l.reg.Append(buf, env.Token)
+	default:
+		buf = appendEnvelopeHeader(getWireBuf(), env)
+		buf, err = l.reg.Append(buf, env.Token)
+	}
 	if err != nil {
 		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
 	}
 	l.stats.tokensRemote.Add(1)
 	l.stats.bytesSent.Add(int64(len(buf)))
 	if err := l.tr.Send(targetNode, buf); err != nil {
+		if l.sendFailed(targetNode, err) {
+			putWireBuf(buf)
+			putEnvelope(env)
+			return
+		}
 		panic(opError{err})
 	}
 	putEnvelope(env)
@@ -169,13 +279,27 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 
 // sendGroupEnd announces a completed group's total to the paired merge's
 // node. Failures propagate as opError panics (the opener's execution
-// context is unwinding its group).
+// context is unwinding its group) unless the fault-tolerance layer absorbs
+// them.
 func (l *link) sendGroupEnd(target string, m *groupEndMsg) {
 	if target == l.name {
 		l.sink.deliverGroupEnd(m, l.name)
 		return
 	}
-	if err := l.tr.Send(target, appendGroupEnd(getWireBuf(), m)); err != nil {
+	if l.down(target) {
+		return
+	}
+	var buf []byte
+	if m.FTSeq > 0 {
+		buf = appendGroupEndFT(getWireBuf(), m)
+	} else {
+		buf = appendGroupEnd(getWireBuf(), m)
+	}
+	if err := l.tr.Send(target, buf); err != nil {
+		if l.sendFailed(target, err) {
+			putWireBuf(buf)
+			return
+		}
 		panic(opError{err})
 	}
 }
@@ -206,7 +330,20 @@ func (l *link) sendAck(target string, m ackMsg) error {
 		l.sink.deliverAck(m)
 		return nil
 	}
-	return l.tr.Send(target, appendAck(getWireBuf(), m))
+	if l.down(target) {
+		// The split side died; its window state is gone and the recovery
+		// replays the group from its origin's retained log.
+		return nil
+	}
+	buf := appendAck(getWireBuf(), m)
+	if err := l.tr.Send(target, buf); err != nil {
+		if l.sendFailed(target, err) {
+			putWireBuf(buf)
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // sendResult delivers a graph's final output to the calling node.
@@ -223,6 +360,10 @@ func (l *link) sendResult(env *envelope, tok Token) {
 		l.sink.deliverResult(env.CallID, tok)
 		return
 	}
+	if l.down(env.CallOrigin) {
+		// The caller's node died; nobody is waiting for this result.
+		return
+	}
 	// Serialize the result straight after the message header into a pooled
 	// buffer (single copy, mirroring the token path).
 	buf := appendResultHeader(getWireBuf(), env.CallID)
@@ -231,7 +372,80 @@ func (l *link) sendResult(env *envelope, tok Token) {
 		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
 	}
 	if err := l.tr.Send(env.CallOrigin, buf); err != nil {
+		if l.sendFailed(env.CallOrigin, err) {
+			putWireBuf(buf)
+			return
+		}
 		panic(opError{err})
+	}
+}
+
+// sendCheckpoint ships a checkpoint record to the store node. Failures
+// feed the detector; a lost checkpoint merely leaves the previous one
+// authoritative.
+func (l *link) sendCheckpoint(target string, rec *ft.Record) {
+	if target == l.name {
+		l.sink.deliverCheckpoint(rec)
+		return
+	}
+	if l.down(target) {
+		return
+	}
+	buf := appendCheckpoint(getWireBuf(), rec)
+	l.stats.bytesSent.Add(int64(len(buf)))
+	if err := l.tr.Send(target, buf); err != nil {
+		if !l.sendFailed(target, err) {
+			l.sink.linkFail(err)
+		}
+		putWireBuf(buf)
+	}
+}
+
+// sendReplay ships a recovery envelope to a failover survivor.
+func (l *link) sendReplay(target string, m *replayMsg) {
+	if target == l.name {
+		l.sink.deliverReplay(m, l.name)
+		return
+	}
+	buf := appendReplay(getWireBuf(), m)
+	l.stats.bytesSent.Add(int64(len(buf)))
+	if err := l.tr.Send(target, buf); err != nil {
+		if !l.sendFailed(target, err) {
+			l.sink.linkFail(err)
+		}
+		putWireBuf(buf)
+	}
+}
+
+// sendCut tells a sender stream's node that retained entries are durable.
+// Best effort: a lost cut only delays truncation until the next one.
+func (l *link) sendCut(target string, m cutMsg) {
+	if target == l.name {
+		l.sink.deliverCut(m)
+		return
+	}
+	if l.down(target) {
+		return
+	}
+	buf := appendCut(getWireBuf(), m)
+	if err := l.tr.Send(target, buf); err != nil {
+		if !l.sendFailed(target, err) {
+			l.sink.linkFail(err)
+		}
+		putWireBuf(buf)
+	}
+}
+
+// sendDeath broadcasts a death notice. Best effort.
+func (l *link) sendDeath(target string, m deathMsg) {
+	if target == l.name {
+		l.sink.deliverDeath(m, l.name)
+		return
+	}
+	buf := appendDeath(getWireBuf(), m)
+	if err := l.tr.Send(target, buf); err != nil {
+		_ = l.sendFailed(target, err)
+		putWireBuf(buf)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core/ft"
 	"repro/internal/core/place"
 )
 
@@ -129,11 +130,18 @@ func (rt *Runtime) routeToken(env *envelope, tc *ThreadCollection, thread int) {
 	if err != nil {
 		panic(opError{err})
 	}
+	if rt.app.ftOn {
+		// Stamp, retain and send atomically per destination: the receiver's
+		// duplicate filter needs sequence order to match send order.
+		rt.ftOutbound(env, tc.Name(), thread)
+	}
 	rt.lnk.sendToken(env, target)
 }
 
-// routeGroupEnd is routeToken for group-end announcements.
-func (rt *Runtime) routeGroupEnd(m *groupEndMsg, tc *ThreadCollection, thread int) {
+// routeGroupEnd is routeToken for group-end announcements; sender is the
+// opener instance's fault-tolerance state and inStream the opener's input
+// stream (both zero with the layer off).
+func (rt *Runtime) routeGroupEnd(m *groupEndMsg, tc *ThreadCollection, thread int, sender *ft.State, inStream string) {
 	if rt.routeFast() {
 		defer rt.routeFastDone()
 		target, err := tc.NodeOf(thread)
@@ -149,6 +157,9 @@ func (rt *Runtime) routeGroupEnd(m *groupEndMsg, tc *ThreadCollection, thread in
 	target, err := tc.NodeOf(thread)
 	if err != nil {
 		panic(opError{err})
+	}
+	if rt.app.ftOn {
+		rt.ftOutboundGroupEnd(m, sender, inStream, tc.Name(), thread)
 	}
 	rt.lnk.sendGroupEnd(target, m)
 }
@@ -196,7 +207,9 @@ func (rt *Runtime) routeLock(key place.Key) *sync.Mutex {
 // every post serializes on the route locks.
 func (rt *Runtime) routeFast() bool {
 	rt.place.fastRoutes.Add(1)
-	if rt.app.migrActive.Load() == 0 {
+	if rt.app.migrActive.Load() == 0 && !rt.app.ftOn {
+		// Fault tolerance serializes posts like migrations do (sequence
+		// stamping must be atomic with the send, per destination).
 		return true
 	}
 	rt.place.fastRoutes.Add(-1)
@@ -496,24 +509,34 @@ func (rt *Runtime) waitQuiesce(ctx context.Context, key place.Key) error {
 
 // captureState serializes and removes the quiesced local instance. A nil
 // payload means the new owner starts from a fresh zero state (stateless
-// collection, or the instance was never touched here).
-func (rt *Runtime) captureState(tc *ThreadCollection, thread int) ([]byte, error) {
+// collection, or the instance was never touched here). With fault
+// tolerance enabled the instance's sequencing cursors and retention log
+// travel too (ftRec), so the re-homed instance continues its streams
+// instead of restarting them — a restart would collide with every
+// receiver's duplicate filter.
+func (rt *Runtime) captureState(tc *ThreadCollection, thread int) (payload, ftRec []byte, err error) {
 	ik := instKey{collection: tc.Name(), index: thread}
 	rt.mu.Lock()
 	inst := rt.threads[ik]
 	delete(rt.threads, ik)
 	rt.mu.Unlock()
-	if inst == nil || !stateMigrates(tc.stateType) {
-		return nil, nil
+	if inst == nil {
+		return nil, nil, nil
 	}
-	payload, err := rt.app.reg.Marshal(inst.state)
+	if inst.ft != nil {
+		ftRec = inst.ft.Snapshot().Encode(nil)
+	}
+	if !stateMigrates(tc.stateType) {
+		return nil, ftRec, nil
+	}
+	payload, err = rt.app.reg.Marshal(inst.state)
 	if err != nil {
 		rt.mu.Lock()
 		rt.threads[ik] = inst
 		rt.mu.Unlock()
-		return nil, fmt.Errorf("dps: cannot serialize state of %s[%d]: %w", tc.Name(), thread, err)
+		return nil, nil, fmt.Errorf("dps: cannot serialize state of %s[%d]: %w", tc.Name(), thread, err)
 	}
-	return payload, nil
+	return payload, ftRec, nil
 }
 
 // lookupInstance returns the local instance, or nil, without creating it.
@@ -603,6 +626,17 @@ func (rt *Runtime) installMigrated(m *migrateMsg) {
 		index:  m.Thread,
 		state:  state,
 		groups: make(map[uint64]*mergeGroup),
+	}
+	if rt.app.ftOn {
+		inst.ft = ft.NewState(ft.StreamOf(m.Collection, m.Thread))
+		if len(m.FT) > 0 {
+			rec, err := ft.DecodeRecord(m.FT)
+			if err != nil {
+				rt.failApp(fmt.Errorf("dps: corrupt migrated ft record of %s[%d]: %w", m.Collection, m.Thread, err))
+				return
+			}
+			inst.ft.Restore(rec)
+		}
 	}
 	rt.sched.InitInstance(&inst.exec, shardKey(m.Collection, m.Thread))
 	rt.mu.Lock()
@@ -749,7 +783,7 @@ func (app *App) migrateThread(ctx context.Context, tc *ThreadCollection, thread 
 		rtOld.abortHold(key, re)
 		return err
 	}
-	payload, err := rtOld.captureState(tc, thread)
+	payload, ftRec, err := rtOld.captureState(tc, thread)
 	if err != nil {
 		rtOld.abortHold(key, re)
 		return err
@@ -782,12 +816,12 @@ func (app *App) migrateThread(ctx context.Context, tc *ThreadCollection, thread 
 
 	// Ship the state; the relay flushes its held arrivals behind it on the
 	// same channel, then forwards stale traffic from then on.
-	if err := rtOld.lnk.sendMigrate(to, &migrateMsg{Collection: key.Collection, Thread: thread, Epoch: epoch, Fences: len(rts), State: payload}); err != nil {
+	if err := rtOld.lnk.sendMigrate(to, &migrateMsg{Collection: key.Collection, Thread: thread, Epoch: epoch, Fences: len(rts), State: payload, FT: ftRec}); err != nil {
 		err = fmt.Errorf("dps: shipping state of %s to %q: %w", key, to, err)
 		app.fail(err)
 		return err
 	}
-	re.relay.Flush(to, epoch, func(item any) { rtOld.forwardItem(item.(placeItem), to) })
+	re.relay.Flush(to, func(item any) { rtOld.forwardItem(item.(placeItem), to) })
 
 	// The handover completes when the new owner has installed the state; a
 	// follow-up migration of the same thread must not observe a node that

@@ -139,7 +139,6 @@ type Relay struct {
 	mu     sync.Mutex
 	target string // "" while holding
 	held   []any
-	epoch  uint64
 }
 
 // Offer presents one arrival. While holding it is buffered and ok reports
@@ -157,11 +156,11 @@ func (r *Relay) Offer(item any) (target string, held bool) {
 	return r.target, false
 }
 
-// Flush transitions the relay to forwarding toward target at the given
-// epoch. send is invoked for every held item, in arrival order, while the
-// relay lock is held — so an arrival racing the flush cannot be re-sent
-// ahead of the buffer it logically follows.
-func (r *Relay) Flush(target string, epoch uint64, send func(item any)) {
+// Flush transitions the relay to forwarding toward target. send is
+// invoked for every held item, in arrival order, while the relay lock is
+// held — so an arrival racing the flush cannot be re-sent ahead of the
+// buffer it logically follows.
+func (r *Relay) Flush(target string, send func(item any)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, it := range r.held {
@@ -169,7 +168,6 @@ func (r *Relay) Flush(target string, epoch uint64, send func(item any)) {
 	}
 	r.held = nil
 	r.target = target
-	r.epoch = epoch
 }
 
 // Abort returns the held arrivals for local re-dispatch (the migration was
@@ -188,6 +186,17 @@ func (r *Relay) Target() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.target
+}
+
+// Retarget repoints a forwarding relay at a new destination. The failure
+// recovery uses it when the node a relay forwards to is declared dead and
+// the instance moves on to a survivor; a holding relay is left alone.
+func (r *Relay) Retarget(target string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.target != "" {
+		r.target = target
+	}
 }
 
 // HeldLen reports the current hold-buffer depth (tests and stats).

@@ -70,7 +70,7 @@ func TestRelayHoldFlushForward(t *testing.T) {
 		t.Fatalf("held %d", r.HeldLen())
 	}
 	var flushed []string
-	r.Flush("nodeB", 7, func(item any) { flushed = append(flushed, item.(string)) })
+	r.Flush("nodeB", func(item any) { flushed = append(flushed, item.(string)) })
 	if !reflect.DeepEqual(flushed, []string{"a", "b"}) {
 		t.Fatalf("flushed %v", flushed)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core/flowctl"
+	"repro/internal/core/ft"
 	"repro/internal/core/place"
 	"repro/internal/core/sched"
 	"repro/internal/transport"
@@ -39,6 +40,16 @@ type Runtime struct {
 
 	stats statCounters
 
+	// Fault-tolerance layer (nil / zero unless Config.Checkpoint is set):
+	// ftNode sequences and retains graph-call entry posts originating on
+	// this node; ftStore is the checkpoint store, used on the master node
+	// only; dead marks this runtime's node as declared dead — its
+	// in-process remnant keeps executing into the void but can no longer
+	// send or fail the application.
+	ftNode  *ft.State
+	ftStore ft.Store
+	dead    atomic.Bool
+
 	mu      sync.Mutex
 	threads map[instKey]*threadInstance
 	credits map[creditKey]*flowctl.Credits
@@ -71,6 +82,14 @@ type threadInstance struct {
 	// it to reach zero.
 	inflight atomic.Int64
 
+	// ft is the instance's fault-tolerance state (outbound sequencing and
+	// retention, inbound duplicate filter); nil unless Config.Checkpoint
+	// is set. yielded counts executions parked inside a blocking point
+	// after handing back the FIFO ticket — a checkpoint item must not
+	// capture while one exists (the parked execution is mid-body).
+	ft      *ft.State
+	yielded atomic.Int64
+
 	mu     sync.Mutex
 	groups map[uint64]*mergeGroup
 }
@@ -87,6 +106,9 @@ type workItem struct {
 	bt        bufferedToken
 	mg        *mergeGroup
 	collector bool
+	// ckpt marks a checkpoint item (ftengine.go): it rides the instance's
+	// dispatch queue so the capture serializes with operation executions.
+	ckpt bool
 }
 
 func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
@@ -98,8 +120,11 @@ func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
 		threads: make(map[instKey]*threadInstance),
 		credits: make(map[creditKey]*flowctl.Credits),
 	}
+	if app.ftOn {
+		rt.ftNode = ft.NewState(ft.NodeStream(rt.name))
+	}
 	rt.groups.init(idx)
-	rt.lnk.init(tr, app.reg, app.cfg.ForceSerialize, rt, &rt.stats)
+	rt.lnk.init(tr, app.reg, app.cfg.ForceSerialize, app.ftOn, rt, &rt.stats)
 	rt.sched.Init(sched.Config{Workers: app.cfg.Workers, QueueCap: app.cfg.Queue}, rt.runItem)
 	return rt
 }
@@ -129,6 +154,9 @@ func (rt *Runtime) instance(tc *ThreadCollection, index int) (*threadInstance, e
 		index:  index,
 		state:  tc.newState(),
 		groups: make(map[uint64]*mergeGroup),
+	}
+	if rt.app.ftOn {
+		inst.ft = ft.NewState(ft.StreamOf(tc.Name(), index))
 	}
 	rt.sched.InitInstance(&inst.exec, shardKey(tc.Name(), index))
 	rt.threads[key] = inst
@@ -174,11 +202,11 @@ func (rt *Runtime) deliverToken(env *envelope, src string) {
 	}
 	g, ok := rt.app.Graph(env.Graph)
 	if !ok {
-		rt.app.fail(fmt.Errorf("dps: unknown graph %q", env.Graph))
+		rt.failApp(fmt.Errorf("dps: unknown graph %q", env.Graph))
 		return
 	}
 	if env.Node < 0 || env.Node >= len(g.nodes) {
-		rt.app.fail(fmt.Errorf("dps: graph %q has no node %d", env.Graph, env.Node))
+		rt.failApp(fmt.Errorf("dps: graph %q has no node %d", env.Graph, env.Node))
 		return
 	}
 	node := g.nodes[env.Node]
@@ -192,11 +220,24 @@ func (rt *Runtime) deliverToken(env *envelope, src string) {
 }
 
 // dispatchToken delivers an envelope to its (possibly lazily created) local
-// thread instance, past the placement intercepts.
+// thread instance, past the placement intercepts. Sequenced envelopes the
+// instance has already processed — directly, or reflected through a
+// restored checkpoint — are duplicates of a failover replay and are
+// dropped without executing and without acknowledging (the original's
+// acknowledgement already flowed).
+//
+// WHERE the duplicate filter records matters: for leaves and splits it
+// runs at execution start (runSimple), under the same FIFO ticket that
+// serializes state mutations and checkpoint items — a cursor recorded at
+// dispatch could land in a checkpoint whose state does not yet reflect
+// the still-queued token, and the torn record would cut the sender's log
+// and shift every regenerated sequence number. Collector (merge/stream)
+// tokens record here at delivery: their effect is the buffer insertion
+// itself, and their receivers live on the master, which never restores.
 func (rt *Runtime) dispatchToken(g *Flowgraph, node *GraphNode, env *envelope) {
 	inst, err := rt.instance(node.tc, env.Thread)
 	if err != nil {
-		rt.app.fail(err)
+		rt.failApp(err)
 		return
 	}
 	switch node.op.kind {
@@ -204,6 +245,11 @@ func (rt *Runtime) dispatchToken(g *Flowgraph, node *GraphNode, env *envelope) {
 		inst.inflight.Add(1)
 		inst.exec.Enqueue(workItem{inst: inst, g: g, node: node, env: env})
 	case KindMerge, KindStream:
+		if env.FTSeq > 0 && inst.ft != nil && !inst.ft.CheckIn(env.FTStream, env.FTSeq) {
+			ftDebugf("dup-drop at %s[%d] on %q: stream=%q seq=%d call=%d", node.tc.Name(), env.Thread, rt.name, env.FTStream, env.FTSeq, env.CallID)
+			putEnvelope(env)
+			return
+		}
 		rt.deliverToGroup(inst, g, node, env)
 	}
 }
@@ -218,7 +264,53 @@ func (rt *Runtime) deliverResult(callID uint64, tok Token) {
 	rt.app.completeCall(callID, CallResult{Value: tok})
 }
 
-func (rt *Runtime) linkFail(err error) { rt.app.fail(err) }
+func (rt *Runtime) deliverCheckpoint(rec *ft.Record) { rt.commitCheckpoint(rec) }
+
+func (rt *Runtime) deliverReplay(m *replayMsg, src string) { rt.installRecovered(m, src) }
+
+func (rt *Runtime) deliverCut(m cutMsg) { rt.applyCut(m) }
+
+func (rt *Runtime) deliverDeath(m deathMsg, src string) {
+	// A peer (possibly in another process) declared a node dead: converge
+	// on the same recovery; the detector folds duplicate reports.
+	rt.app.suspect(m.Node, fmt.Errorf("dps: node %q declared dead by %q", m.Node, src))
+}
+
+func (rt *Runtime) linkFail(err error) { rt.failApp(err) }
+
+// linkDown reports whether traffic toward dst (or from this runtime at
+// all) must be suppressed because a node has been declared dead. Retained
+// copies of suppressed tokens replay during the failover.
+func (rt *Runtime) linkDown(dst string) bool {
+	return rt.dead.Load() || rt.app.ftDead.IsDead(dst)
+}
+
+// linkSuspect reports a transport send failure toward dst. It returns true
+// when the fault-tolerance layer absorbs the failure (recovery underway;
+// the sender drops the message, whose retained copy will replay) and false
+// when it must surface as an application failure.
+//
+// A send can fail for reasons the transport interface cannot tell apart:
+// the destination died, this node's own endpoint is gone (a crashed
+// node's in-process remnant keeps executing for a while), or the link
+// between the two is partitioned. A self-send disambiguates the second
+// case — if our own endpoint rejects traffic, we are the dead node and
+// must not blame the peer. For the third, the master is the authority:
+// a node that cannot reach the master is the isolated one and reports
+// itself, so a partition resolves the same way regardless of whose send
+// fails first.
+func (rt *Runtime) linkSuspect(dst string, err error) bool {
+	if rt.dead.Load() {
+		return true
+	}
+	if selfErr := rt.lnk.tr.Send(rt.name, []byte{msgPing}); selfErr != nil {
+		return rt.app.suspect(rt.name, selfErr)
+	}
+	if dst == rt.app.MasterNode() && rt.name != dst {
+		return rt.app.suspect(rt.name, fmt.Errorf("dps: node %q cannot reach the master: %w", rt.name, err))
+	}
+	return rt.app.suspect(dst, err)
+}
 
 // --- execution -----------------------------------------------------------
 
@@ -226,6 +318,9 @@ func (rt *Runtime) linkFail(err error) { rt.app.fail(err) }
 // holds the drainer role afterwards. It is the scheduler layer's RunFunc.
 func (rt *Runtime) runItem(it workItem, tk sched.Ticket, fromDrainer bool) bool {
 	defer it.inst.inflight.Add(-1)
+	if it.ckpt {
+		return rt.runCheckpoint(it, tk, fromDrainer)
+	}
 	if it.collector {
 		return rt.runCollector(it, tk, fromDrainer)
 	}
@@ -241,6 +336,16 @@ func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (st
 	tk.Wait()
 	defer inst.exec.Unlock()
 	defer rt.recoverOp(c)
+	if env.FTSeq > 0 && inst.ft != nil && !inst.ft.CheckIn(env.FTStream, env.FTSeq) {
+		// A failover-replay duplicate: the instance's state (directly, or
+		// through its restored checkpoint) already reflects this token.
+		// Recorded here, under the execution ticket, so cursors never run
+		// ahead of the state a checkpoint item in the same queue captures.
+		ftDebugf("dup-drop at %s[%d] on %q: stream=%q seq=%d call=%d", inst.tc.Name(), inst.index, rt.name, env.FTStream, env.FTSeq, env.CallID)
+		c.env = nil
+		putEnvelope(env)
+		return
+	}
 	if rt.app.callAborted(env.CallID) {
 		// The call was canceled while this token sat in the dispatch
 		// queue: drop it instead of running the operation.
@@ -294,6 +399,7 @@ func (rt *Runtime) runCollector(it workItem, tk sched.Ticket, fromDrainer bool) 
 	}
 	// The first token counts as consumed when the execution starts.
 	rt.ackConsumed(first)
+	rt.ftConsumed(first, inst)
 	mg.mu.Lock()
 	mg.consumed++
 	mg.mu.Unlock()
@@ -371,6 +477,12 @@ type opError struct{ err error }
 func (rt *Runtime) recoverOp(c *Ctx) {
 	r := recover()
 	if r == nil {
+		return
+	}
+	if rt.dead.Load() {
+		// A crashed node's in-process remnant: its executions unwind
+		// silently (their sends were suppressed; recovery re-executes the
+		// work on a survivor from replayed inputs).
 		return
 	}
 	g, node := c.graph, c.node

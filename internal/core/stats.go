@@ -39,6 +39,18 @@ type Stats struct {
 	// MigrationBytes counts serialized thread-state bytes shipped in
 	// migration envelopes by this node.
 	MigrationBytes int64
+	// CheckpointsTaken counts fault-tolerance checkpoints captured by this
+	// node's thread instances (Config.Checkpoint).
+	CheckpointsTaken int64
+	// CheckpointBytes counts serialized thread-state bytes captured into
+	// checkpoints by this node.
+	CheckpointBytes int64
+	// TokensReplayed counts retained tokens and group-ends re-sent during
+	// failure recovery (sender-side replay plus checkpoint-log re-sends).
+	TokensReplayed int64
+	// FailoversCompleted counts dead-node recoveries coordinated by this
+	// node (the master).
+	FailoversCompleted int64
 }
 
 // Add accumulates o into s. Every counter is a sum except QueueHighWater,
@@ -60,6 +72,10 @@ func (s *Stats) Add(o *Stats) {
 	s.MigrationsCompleted += o.MigrationsCompleted
 	s.TokensForwarded += o.TokensForwarded
 	s.MigrationBytes += o.MigrationBytes
+	s.CheckpointsTaken += o.CheckpointsTaken
+	s.CheckpointBytes += o.CheckpointBytes
+	s.TokensReplayed += o.TokensReplayed
+	s.FailoversCompleted += o.FailoversCompleted
 }
 
 // statCounters is the atomic backing store embedded in each Runtime.
@@ -77,6 +93,10 @@ type statCounters struct {
 	migrationsCompleted atomic.Int64
 	tokensForwarded     atomic.Int64
 	migrationBytes      atomic.Int64
+	checkpointsTaken    atomic.Int64
+	checkpointBytes     atomic.Int64
+	tokensReplayed      atomic.Int64
+	failoversCompleted  atomic.Int64
 }
 
 func (c *statCounters) snapshot() *Stats {
@@ -92,6 +112,10 @@ func (c *statCounters) snapshot() *Stats {
 		MigrationsCompleted: c.migrationsCompleted.Load(),
 		TokensForwarded:     c.tokensForwarded.Load(),
 		MigrationBytes:      c.migrationBytes.Load(),
+		CheckpointsTaken:    c.checkpointsTaken.Load(),
+		CheckpointBytes:     c.checkpointBytes.Load(),
+		TokensReplayed:      c.tokensReplayed.Load(),
+		FailoversCompleted:  c.failoversCompleted.Load(),
 	}
 }
 

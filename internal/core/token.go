@@ -85,6 +85,24 @@ type envelope struct {
 	Frames     []frame
 	Token      Token // set on the local fast path
 	Payload    []byte
+
+	// FTStream / FTSeq identify the token on its sender stream when the
+	// fault-tolerance layer is enabled (zero otherwise): the receiver's
+	// duplicate filter and the sender's retention log key on them. They
+	// travel in the msgTokenFT framing; plain msgToken stays byte-identical.
+	FTStream string
+	FTSeq    uint64
+	// ftSender is the sending instance's fault-tolerance state (set by the
+	// posting paths, consumed by the routing layer when it assigns FTSeq);
+	// nil on forwarded or replayed envelopes, whose sequencing is fixed.
+	// ftInStream is the stream the posting execution's input arrived on —
+	// the output stream derives from it (ft.DerivedStream), which makes
+	// re-executed sequence assignment deterministic. ftWire is the message
+	// encoding produced for the retention log; the link layer copies it
+	// instead of serializing the token a second time.
+	ftSender   *ftSender
+	ftInStream string
+	ftWire     []byte
 }
 
 func (e *envelope) topFrame() (*frame, bool) {

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/core/ft"
 )
 
 // Wire message kinds exchanged between node runtimes. Per-sender FIFO is
@@ -14,6 +16,17 @@ const (
 	msgResult   byte = 4 // final graph output returning to the caller
 	msgMigrate  byte = 5 // thread-instance state handoff (old owner -> new owner)
 	msgFence    byte = 6 // route-change fence of the live-remap protocol
+
+	// Fault-tolerance messages (internal/core/ft, ftengine.go). The plain
+	// kinds above stay byte-identical with the layer disabled: sequenced
+	// traffic uses the two *FT framings instead of growing msgToken.
+	msgCheckpoint byte = 7  // checkpoint record travelling to the store (master)
+	msgReplay     byte = 8  // failover restore: checkpoint record -> new owner
+	msgDeath      byte = 9  // failure broadcast: a node has been declared dead
+	msgTokenFT    byte = 10 // msgToken prefixed with its sender stream + sequence
+	msgGroupEndFT byte = 11 // msgGroupEnd prefixed with stream + sequence
+	msgCut        byte = 12 // log truncation: entries to an instance are durable
+	msgPing       byte = 13 // liveness probe; receivers discard it
 )
 
 type groupEndMsg struct {
@@ -26,6 +39,10 @@ type groupEndMsg struct {
 	// side can discard group-end announcements of canceled calls instead of
 	// materializing merge state nobody will consume.
 	CallID uint64
+	// FTStream / FTSeq sequence the announcement on its sender stream when
+	// fault tolerance is enabled (msgGroupEndFT framing); zero otherwise.
+	FTStream string
+	FTSeq    uint64
 }
 
 type ackMsg struct {
@@ -57,6 +74,11 @@ type migrateMsg struct {
 	Epoch      uint64
 	Fences     int
 	State      []byte
+	// FT is the instance's encoded fault-tolerance record (sequencing
+	// cursors and retained log; see internal/core/ft) when the layer is
+	// enabled. It is appended after State only when non-empty, keeping the
+	// envelope byte-identical with fault tolerance off.
+	FT []byte
 }
 
 // fenceMsg is one half of a sender's route-change handshake (see
@@ -115,6 +137,39 @@ func readUint64(b []byte) (uint64, []byte, error) {
 // intermediate copy of potentially large data objects.
 func appendEnvelopeHeader(b []byte, e *envelope) []byte {
 	b = append(b, msgToken)
+	return appendEnvelopeBody(b, e)
+}
+
+// appendTokenFT is the sequenced framing of a token envelope: the sender
+// stream and sequence number travel ahead of the standard header, leaving
+// msgToken byte-identical when fault tolerance is off.
+func appendTokenFT(b []byte, e *envelope) []byte {
+	b = append(b, msgTokenFT)
+	b = appendString(b, e.FTStream)
+	b = appendUint64(b, e.FTSeq)
+	return appendEnvelopeBody(b, e)
+}
+
+// decodeTokenFT parses a sequenced token message body (stream, sequence,
+// then the standard envelope header; Payload aliases b like decodeEnvelope).
+func decodeTokenFT(b []byte) (*envelope, error) {
+	stream, b, err := readString(b)
+	if err != nil {
+		return nil, err
+	}
+	seq, b, err := readUint64(b)
+	if err != nil {
+		return nil, err
+	}
+	e, err := decodeEnvelope(b)
+	if err != nil {
+		return nil, err
+	}
+	e.FTStream, e.FTSeq = stream, seq
+	return e, nil
+}
+
+func appendEnvelopeBody(b []byte, e *envelope) []byte {
 	b = appendString(b, e.Graph)
 	b = appendInt(b, e.Node)
 	b = appendInt(b, e.Thread)
@@ -201,6 +256,36 @@ func decodeEnvelopeInto(e *envelope, b []byte) error {
 
 func appendGroupEnd(b []byte, m *groupEndMsg) []byte {
 	b = append(b, msgGroupEnd)
+	return appendGroupEndBody(b, m)
+}
+
+// appendGroupEndFT is the sequenced framing of a group-end announcement
+// (see appendTokenFT).
+func appendGroupEndFT(b []byte, m *groupEndMsg) []byte {
+	b = append(b, msgGroupEndFT)
+	b = appendString(b, m.FTStream)
+	b = appendUint64(b, m.FTSeq)
+	return appendGroupEndBody(b, m)
+}
+
+func decodeGroupEndFT(b []byte) (*groupEndMsg, error) {
+	stream, b, err := readString(b)
+	if err != nil {
+		return nil, err
+	}
+	seq, b, err := readUint64(b)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeGroupEnd(b)
+	if err != nil {
+		return nil, err
+	}
+	m.FTStream, m.FTSeq = stream, seq
+	return m, nil
+}
+
+func appendGroupEndBody(b []byte, m *groupEndMsg) []byte {
 	b = appendString(b, m.Graph)
 	b = appendInt(b, m.Node)
 	b = appendInt(b, m.Thread)
@@ -299,7 +384,12 @@ func appendMigrate(b []byte, m *migrateMsg) []byte {
 	b = appendUint64(b, m.Epoch)
 	b = appendInt(b, m.Fences)
 	b = binary.AppendUvarint(b, uint64(len(m.State)))
-	return append(b, m.State...)
+	b = append(b, m.State...)
+	if len(m.FT) > 0 {
+		b = binary.AppendUvarint(b, uint64(len(m.FT)))
+		b = append(b, m.FT...)
+	}
+	return b
 }
 
 // decodeMigrate parses a migration envelope. State aliases b; the caller
@@ -324,6 +414,14 @@ func decodeMigrate(b []byte) (*migrateMsg, error) {
 		return nil, fmt.Errorf("dps: truncated migration state")
 	}
 	m.State = b[n : n+int(l)]
+	b = b[n+int(l):]
+	if len(b) > 0 {
+		l, n = binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return nil, fmt.Errorf("dps: truncated migration ft record")
+		}
+		m.FT = b[n : n+int(l)]
+	}
 	return m, nil
 }
 
@@ -355,5 +453,93 @@ func decodeFence(b []byte) (*fenceMsg, error) {
 		return nil, fmt.Errorf("dps: truncated fence")
 	}
 	m.Phase = b[0]
+	return m, nil
+}
+
+// --- fault-tolerance messages (ftengine.go) -------------------------------
+
+// replayMsg restores an instance on a failover survivor: the newest
+// committed checkpoint record plus the placement epoch of the failover
+// flip. An empty record (Rec with no state, cursors or log) restores a
+// fresh zero instance — recovery then rebuilds it by full replay.
+type replayMsg struct {
+	Epoch uint64
+	Rec   *ft.Record
+}
+
+func appendReplay(b []byte, m *replayMsg) []byte {
+	b = append(b, msgReplay)
+	b = appendUint64(b, m.Epoch)
+	return m.Rec.Encode(b)
+}
+
+func decodeReplay(b []byte) (*replayMsg, error) {
+	m := &replayMsg{}
+	var err error
+	if m.Epoch, b, err = readUint64(b); err != nil {
+		return nil, err
+	}
+	if m.Rec, err = ft.DecodeRecord(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func appendCheckpoint(b []byte, rec *ft.Record) []byte {
+	b = append(b, msgCheckpoint)
+	return rec.Encode(b)
+}
+
+// deathMsg broadcasts that a node has been declared dead, so every engine
+// process sharing the cluster starts (or deduplicates) its recovery.
+type deathMsg struct {
+	Node string
+}
+
+func appendDeath(b []byte, m deathMsg) []byte {
+	b = append(b, msgDeath)
+	return appendString(b, m.Node)
+}
+
+func decodeDeath(b []byte) (deathMsg, error) {
+	node, _, err := readString(b)
+	return deathMsg{Node: node}, err
+}
+
+// cutMsg tells the owner of the sender stream that its retained log
+// entries toward one instance are durable through Seq and may be dropped:
+// either a checkpoint of that instance committed (checkpoint-driven GC) or
+// the tokens were consumed on the master node, which never restores
+// (ack-driven GC via the flow-control consumption hook).
+type cutMsg struct {
+	Stream        string // sender stream whose log is truncated
+	DstCollection string // destination instance the entries were sent to
+	DstThread     int
+	Seq           uint64
+}
+
+func appendCut(b []byte, m cutMsg) []byte {
+	b = append(b, msgCut)
+	b = appendString(b, m.Stream)
+	b = appendString(b, m.DstCollection)
+	b = appendInt(b, m.DstThread)
+	return appendUint64(b, m.Seq)
+}
+
+func decodeCut(b []byte) (cutMsg, error) {
+	var m cutMsg
+	var err error
+	if m.Stream, b, err = readString(b); err != nil {
+		return cutMsg{}, err
+	}
+	if m.DstCollection, b, err = readString(b); err != nil {
+		return cutMsg{}, err
+	}
+	if m.DstThread, b, err = readInt(b); err != nil {
+		return cutMsg{}, err
+	}
+	if m.Seq, _, err = readUint64(b); err != nil {
+		return cutMsg{}, err
+	}
 	return m, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 	"repro/internal/transport/tcptransport"
@@ -25,14 +26,19 @@ type Kernel struct {
 	nsAddr string
 	node   *tcptransport.Node
 
-	mu        sync.Mutex
-	ports     map[string]*appPort
-	factories map[string]func(*Kernel) error
-	launched  map[string]bool
-	pending   map[string][]pendingMsg
-	resolved  map[string]string // kernel name -> addr cache
-	onRemap   func(RemapRequest) error
-	closed    bool
+	mu         sync.Mutex
+	ports      map[string]*appPort
+	factories  map[string]func(*Kernel) error
+	launched   map[string]bool
+	pending    map[string][]pendingMsg
+	resolved   map[string]string // kernel name -> addr cache
+	onRemap    func(RemapRequest) error
+	onFailover func(peer string)
+	lastSeen   map[string]time.Time // heartbeat: last pong (or discovery) per peer
+	deadPeers  map[string]bool
+	pinging    map[string]bool // one heartbeat send in flight per peer
+	hbStop     chan struct{}
+	closed     bool
 }
 
 // controlApp is the reserved application name carrying kernel control
@@ -42,7 +48,16 @@ type Kernel struct {
 const controlApp = "\x00dps-control"
 
 // Control message kinds multiplexed on the controlApp frame.
-const ctlRemap byte = 1
+const (
+	ctlRemap byte = 1
+	// Heartbeat protocol (StartHeartbeat): kernels ping their name-server
+	// peers, answer with pongs, and broadcast a death notice when a peer
+	// goes silent, so every kernel's OnFailover fires — typically feeding
+	// the engine's FailNode to recover the dead kernel's threads.
+	ctlPing  byte = 2
+	ctlPong  byte = 3
+	ctlDeath byte = 4
+)
 
 // RemapRequest asks a kernel to live-remap a thread collection of one of
 // its applications: the named collection is remapped to the placement
@@ -115,7 +130,7 @@ func decodeControlRemap(b []byte) (RemapRequest, error) {
 }
 
 // handleControl dispatches one kernel control message.
-func (k *Kernel) handleControl(payload []byte) {
+func (k *Kernel) handleControl(src string, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
@@ -134,6 +149,148 @@ func (k *Kernel) handleControl(payload []byte) {
 			// receive loop on it.
 			go func() { _ = fn(req) }()
 		}
+	case ctlPing:
+		// Answer so the prober can tell "alive" from "accepting but hung".
+		_ = k.node.Send(src, makeAppFrame(controlApp, []byte{ctlPong}))
+	case ctlPong:
+		k.mu.Lock()
+		if k.lastSeen != nil {
+			k.lastSeen[src] = time.Now()
+		}
+		k.mu.Unlock()
+	case ctlDeath:
+		peer, _, err := splitAppFrame(body) // length-prefixed name reuse
+		if err != nil {
+			return
+		}
+		k.peerDied(peer)
+	}
+}
+
+// OnFailover installs the handler invoked when a peer kernel is declared
+// dead — by this kernel's own heartbeat or by a death notice broadcast
+// from another kernel. The typical handler feeds the engine's recovery:
+// app.FailNode(peer). It runs on its own goroutine.
+func (k *Kernel) OnFailover(fn func(peer string)) {
+	k.mu.Lock()
+	k.onFailover = fn
+	k.mu.Unlock()
+}
+
+// StartHeartbeat begins probing every kernel registered with the name
+// server at the given interval. A peer that answers no ping for misses
+// consecutive intervals is declared dead: the kernel fires its OnFailover
+// handler and broadcasts a death notice so every other kernel converges.
+// Newly registered kernels are picked up on the next round. Heartbeats
+// stop when the kernel closes.
+func (k *Kernel) StartHeartbeat(interval time.Duration, misses int) {
+	if misses < 1 {
+		misses = 3
+	}
+	k.mu.Lock()
+	if k.hbStop != nil || k.closed {
+		k.mu.Unlock()
+		return
+	}
+	k.hbStop = make(chan struct{})
+	k.lastSeen = make(map[string]time.Time)
+	k.deadPeers = make(map[string]bool)
+	stop := k.hbStop
+	k.mu.Unlock()
+
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				k.heartbeatRound(time.Duration(misses) * interval)
+			}
+		}
+	}()
+}
+
+// heartbeatRound pings the current name-server peers and declares the
+// silent ones dead.
+func (k *Kernel) heartbeatRound(grace time.Duration) {
+	names, err := ListNames(k.nsAddr)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	var dead []string
+	k.mu.Lock()
+	for peer := range names {
+		if peer == k.name || k.deadPeers[peer] {
+			continue
+		}
+		if _, ok := k.lastSeen[peer]; !ok {
+			k.lastSeen[peer] = now // discovery grace period
+		}
+		if now.Sub(k.lastSeen[peer]) > grace {
+			dead = append(dead, peer)
+		}
+	}
+	k.mu.Unlock()
+	for _, peer := range dead {
+		k.peerDied(peer)
+	}
+	// Ping after the age check, so a peer has a full round to answer. A
+	// failing send is itself a strike: lastSeen simply stays old. Pings go
+	// out concurrently, one in flight per peer — a peer whose TCP dial
+	// blocks for seconds must not stall the round and starve the healthy
+	// peers' pings into false-positive deaths.
+	ping := makeAppFrame(controlApp, []byte{ctlPing})
+	k.mu.Lock()
+	if k.pinging == nil {
+		k.pinging = make(map[string]bool)
+	}
+	peers := make([]string, 0, len(names))
+	for peer := range names {
+		if peer != k.name && !k.deadPeers[peer] && !k.pinging[peer] {
+			k.pinging[peer] = true
+			peers = append(peers, peer)
+		}
+	}
+	k.mu.Unlock()
+	for _, peer := range peers {
+		go func(peer string) {
+			_ = k.node.Send(peer, append([]byte(nil), ping...))
+			k.mu.Lock()
+			delete(k.pinging, peer)
+			k.mu.Unlock()
+		}(peer)
+	}
+}
+
+// peerDied marks a peer dead once, fires the failover handler and
+// broadcasts the death notice.
+func (k *Kernel) peerDied(peer string) {
+	k.mu.Lock()
+	if k.deadPeers == nil {
+		k.deadPeers = make(map[string]bool)
+	}
+	if k.deadPeers[peer] || peer == k.name {
+		k.mu.Unlock()
+		return
+	}
+	k.deadPeers[peer] = true
+	fn := k.onFailover
+	alive := make([]string, 0, len(k.lastSeen))
+	for p := range k.lastSeen {
+		if p != peer && !k.deadPeers[p] {
+			alive = append(alive, p)
+		}
+	}
+	k.mu.Unlock()
+	if fn != nil {
+		go fn(peer)
+	}
+	notice := makeAppFrame(controlApp, append([]byte{ctlDeath}, makeAppFrame(peer, nil)...))
+	for _, p := range alive {
+		_ = k.node.Send(p, append([]byte(nil), notice...))
 	}
 }
 
@@ -185,6 +342,10 @@ func (k *Kernel) Close() error {
 		return nil
 	}
 	k.closed = true
+	if k.hbStop != nil {
+		close(k.hbStop)
+		k.hbStop = nil
+	}
 	k.mu.Unlock()
 	_ = UnregisterName(k.nsAddr, k.name)
 	return k.node.Close()
@@ -250,7 +411,7 @@ func (k *Kernel) demux(src string, payload []byte) {
 		return // malformed frame: drop (a real kernel would log)
 	}
 	if appName == controlApp {
-		k.handleControl(rest)
+		k.handleControl(src, rest)
 		return
 	}
 

@@ -51,6 +51,9 @@ type Result struct {
 	TotalBytes int64
 	Elapsed    time.Duration
 	Throughput float64 // MB/s of payload leaving the first node
+	// Recovery is the detection-to-restored latency of a mid-run node
+	// crash (RunDPSFailover); zero otherwise.
+	Recovery time.Duration
 	// Stats snapshots the application's engine counters at the end of the
 	// run (tokens, bytes, stalls, queue depths).
 	Stats *core.Stats
@@ -98,56 +101,11 @@ func RunDPSRebalance(cfg simnet.Config, ringNodes, totalBytes, blockSize int, ap
 	}
 	net := simnet.New(cfg)
 	defer net.Close()
-	names := make([]string, ringNodes)
-	for i := range names {
-		names[i] = fmt.Sprintf("ring%d", i)
-	}
-	app, err := core.NewSimApp(appCfg, net, names...)
+	app, g, names, single, err := buildRing(net, appCfg, ringNodes)
 	if err != nil {
 		return Result{}, err
 	}
 	defer app.Close()
-
-	single := make([]*core.ThreadCollection, ringNodes)
-	for i := range single {
-		tc, err := core.NewCollection[struct{}](app, fmt.Sprintf("hop%d", i))
-		if err != nil {
-			return Result{}, err
-		}
-		if err := tc.MapNodes(names[i]); err != nil {
-			return Result{}, err
-		}
-		single[i] = tc
-	}
-
-	split := core.Split[*RingOrder, *BlockToken]("ring-split",
-		func(c *core.Ctx, in *RingOrder, post func(*BlockToken)) {
-			for i := 0; i < in.Blocks; i++ {
-				post(&BlockToken{Seq: i, Data: make([]byte, in.BlockSize)})
-			}
-		})
-	forward := func(hop int) *core.OpDef {
-		return core.Leaf[*BlockToken, *BlockToken](fmt.Sprintf("ring-forward-%d", hop),
-			func(c *core.Ctx, in *BlockToken) *BlockToken { return in })
-	}
-	merge := core.Merge[*BlockToken, *RingDone]("ring-merge",
-		func(c *core.Ctx, first *BlockToken, next func() (*BlockToken, bool)) *RingDone {
-			n := 0
-			for _, ok := first, true; ok; _, ok = next() {
-				n++
-			}
-			return &RingDone{Blocks: n}
-		})
-
-	nodes := []*core.GraphNode{core.NewNode(split, single[0], core.MainRoute())}
-	for i := 1; i < ringNodes; i++ {
-		nodes = append(nodes, core.NewNode(forward(i), single[i], core.MainRoute()))
-	}
-	nodes = append(nodes, core.NewNode(merge, single[0], core.MainRoute()))
-	g, err := app.NewFlowgraph("ring", core.Path(nodes...))
-	if err != nil {
-		return Result{}, err
-	}
 
 	blocks := totalBytes / blockSize
 	if blocks == 0 {
@@ -198,6 +156,144 @@ func RunDPSRebalance(cfg simnet.Config, ringNodes, totalBytes, blockSize int, ap
 		TotalBytes: total,
 		Elapsed:    elapsed,
 		Throughput: trace.ThroughputMBs(total, elapsed),
+		Stats:      app.Stats(),
+	}, nil
+}
+
+// buildRing constructs the Figure 6 ring application on an existing
+// simulated network: a split on node 0 posting the blocks, forwarding
+// leaves on nodes 1..n-1, and the collecting merge back on node 0.
+func buildRing(net *simnet.Network, appCfg core.Config, ringNodes int) (*core.App, *core.Flowgraph, []string, []*core.ThreadCollection, error) {
+	names := make([]string, ringNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("ring%d", i)
+	}
+	app, err := core.NewSimApp(appCfg, net, names...)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	single := make([]*core.ThreadCollection, ringNodes)
+	for i := range single {
+		tc, err := core.NewCollection[struct{}](app, fmt.Sprintf("hop%d", i))
+		if err != nil {
+			app.Close()
+			return nil, nil, nil, nil, err
+		}
+		if err := tc.MapNodes(names[i]); err != nil {
+			app.Close()
+			return nil, nil, nil, nil, err
+		}
+		single[i] = tc
+	}
+
+	split := core.Split[*RingOrder, *BlockToken]("ring-split",
+		func(c *core.Ctx, in *RingOrder, post func(*BlockToken)) {
+			for i := 0; i < in.Blocks; i++ {
+				post(&BlockToken{Seq: i, Data: make([]byte, in.BlockSize)})
+			}
+		})
+	forward := func(hop int) *core.OpDef {
+		return core.Leaf[*BlockToken, *BlockToken](fmt.Sprintf("ring-forward-%d", hop),
+			func(c *core.Ctx, in *BlockToken) *BlockToken { return in })
+	}
+	merge := core.Merge[*BlockToken, *RingDone]("ring-merge",
+		func(c *core.Ctx, first *BlockToken, next func() (*BlockToken, bool)) *RingDone {
+			n := 0
+			for _, ok := first, true; ok; _, ok = next() {
+				n++
+			}
+			return &RingDone{Blocks: n}
+		})
+
+	nodes := []*core.GraphNode{core.NewNode(split, single[0], core.MainRoute())}
+	for i := 1; i < ringNodes; i++ {
+		nodes = append(nodes, core.NewNode(forward(i), single[i], core.MainRoute()))
+	}
+	nodes = append(nodes, core.NewNode(merge, single[0], core.MainRoute()))
+	g, err := app.NewFlowgraph("ring", core.Path(nodes...))
+	if err != nil {
+		app.Close()
+		return nil, nil, nil, nil, err
+	}
+	return app, g, names, single, nil
+}
+
+// FailoverSpec asks the DPS ring run to crash one forwarding hop's node
+// mid-benchmark (simnet power-failure semantics), exercising the
+// fault-tolerance layer's detection, checkpoint restore and token replay
+// under load. The engine configuration must enable checkpoints.
+type FailoverSpec struct {
+	// Hop is the forwarding hop whose node dies (1..ringNodes-1).
+	Hop int
+	// After is when to pull the plug, measured from the benchmark start.
+	After time.Duration
+}
+
+// RunDPSFailover measures the DPS ring with a mid-run node crash: the run
+// must still deliver every block exactly once (the merge total is checked
+// by the caller against the baseline), and Result.Recovery reports the
+// crash-to-restored latency.
+func RunDPSFailover(cfg simnet.Config, ringNodes, totalBytes, blockSize int, appCfg core.Config, spec FailoverSpec) (Result, error) {
+	if ringNodes < 2 || spec.Hop < 1 || spec.Hop >= ringNodes {
+		return Result{}, fmt.Errorf("ringbench: failover hop %d out of range", spec.Hop)
+	}
+	if appCfg.Checkpoint <= 0 {
+		return Result{}, fmt.Errorf("ringbench: failover run needs Config.Checkpoint")
+	}
+	net := simnet.New(cfg)
+	defer net.Close()
+	app, g, names, _, err := buildRing(net, appCfg, ringNodes)
+	if err != nil {
+		return Result{}, err
+	}
+	defer app.Close()
+
+	blocks := totalBytes / blockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	crashDone := make(chan time.Duration, 1)
+	go func() {
+		time.Sleep(spec.After)
+		crashAt := time.Now()
+		net.Crash(names[spec.Hop])
+		// Recovery completes when the failover counter moves; poll it with
+		// a deadline — if the crash landed after the run already finished,
+		// passive detection never fires and the poll would spin forever.
+		// A 1ms poll bounds the latency resolution without perturbing the
+		// measured run (Stats() snapshots every runtime's counters).
+		deadline := time.Now().Add(30 * time.Second)
+		for app.Stats().FailoversCompleted == 0 && app.Err() == nil {
+			if time.Now().After(deadline) {
+				crashDone <- -1
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		crashDone <- time.Since(crashAt)
+	}()
+
+	sw := trace.StartStopwatch()
+	out, err := g.Call(context.Background(), &RingOrder{Blocks: blocks, BlockSize: blockSize})
+	if err != nil {
+		<-crashDone // join the monitor before deferred teardown
+		return Result{}, err
+	}
+	elapsed := sw.Elapsed()
+	recovery := <-crashDone
+	if recovery < 0 {
+		return Result{}, fmt.Errorf("ringbench: crash after %v was never detected (did the run finish before it?)", spec.After)
+	}
+	if got := out.(*RingDone).Blocks; got != blocks {
+		return Result{}, fmt.Errorf("ringbench: %d of %d blocks arrived after the crash (exactly-once violated)", got, blocks)
+	}
+	total := int64(blocks) * int64(blockSize)
+	return Result{
+		BlockSize:  blockSize,
+		TotalBytes: total,
+		Elapsed:    elapsed,
+		Throughput: trace.ThroughputMBs(total, elapsed),
+		Recovery:   recovery,
 		Stats:      app.Stats(),
 	}, nil
 }

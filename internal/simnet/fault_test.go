@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func faultCfg() Config {
+	return Config{Latency: 100 * time.Microsecond, PerMessage: 10 * time.Microsecond}
+}
+
+// TestCrashDropsQueuedSuffix checks the power-failure semantics: a crashed
+// node's queued NIC messages are lost, delivered messages form a prefix of
+// the send order (never a middle gap), and subsequent sends to it fail.
+func TestCrashDropsQueuedSuffix(t *testing.T) {
+	net := New(faultCfg())
+	defer net.Close()
+	a, err := net.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the SENDER mid-train: some messages are on the wire, the rest
+	// die in its egress queue.
+	net.Crash("a")
+
+	if err := a.Send("b", []byte{0xff}); err == nil {
+		t.Fatal("send from a crashed node succeeded")
+	}
+
+	got := 0
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case m := <-b.Inbox():
+			if int(m.Payload[0]) != got {
+				t.Fatalf("message %d arrived at position %d: crash must drop a suffix, not reorder", m.Payload[0], got)
+			}
+			got++
+		case <-deadline:
+			t.Fatal("drain timed out")
+		case <-time.After(50 * time.Millisecond):
+			if got >= n {
+				t.Fatalf("crash dropped nothing (%d delivered)", got)
+			}
+			t.Logf("crash delivered prefix of %d/%d messages", got, n)
+			return
+		}
+	}
+}
+
+// TestCrashRejectsInboundSends checks the receiver side: sends addressed
+// to a crashed node fail with an engine-visible error.
+func TestCrashRejectsInboundSends(t *testing.T) {
+	net := New(faultCfg())
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	if _, err := net.AddNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Crash("b") {
+		t.Fatal("crash failed")
+	}
+	if net.Crash("b") {
+		t.Fatal("double crash reported success")
+	}
+	if err := a.Send("b", []byte{1}); err == nil {
+		t.Fatal("send to a crashed node succeeded silently")
+	}
+}
+
+// TestPartitionAndHeal cuts a link both ways and restores it.
+func TestPartitionAndHeal(t *testing.T) {
+	net := New(faultCfg())
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	b, _ := net.AddNode("b")
+	c, _ := net.AddNode("c")
+
+	net.Partition("a", "b")
+	if !net.Partitioned("b", "a") {
+		t.Fatal("partition not recorded symmetrically")
+	}
+	if err := a.Send("b", []byte{1}); err == nil {
+		t.Fatal("send across a partition succeeded")
+	}
+	if err := b.Send("a", []byte{1}); err == nil {
+		t.Fatal("reverse send across a partition succeeded")
+	}
+	// Third parties are unaffected.
+	if err := a.Send("c", []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-c.Inbox():
+		if m.Payload[0] != 7 {
+			t.Fatalf("wrong payload %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("partition leaked onto an unrelated link")
+	}
+
+	net.Heal("a", "b")
+	if net.Partitioned("a", "b") {
+		t.Fatal("heal did not remove the partition")
+	}
+	if err := a.Send("b", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if m.Payload[0] != 2 {
+			t.Fatalf("wrong payload %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("healed link delivered nothing")
+	}
+}
+
+// TestPartitionDropsInFlight: messages already past the NIC when the
+// partition cuts are dropped at delivery, not delivered stale.
+func TestPartitionDropsInFlight(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Latency = 20 * time.Millisecond // long flight time
+	net := New(cfg)
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	b, _ := net.AddNode("b")
+	for i := 0; i < 8; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Partition("a", "b")
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("in-flight message %v delivered across the partition", m.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+var _ = fmt.Sprint

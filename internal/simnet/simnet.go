@@ -86,7 +86,18 @@ type Network struct {
 
 	mu     sync.RWMutex
 	nodes  map[string]*Node
+	parts  map[partKey]bool
 	closed bool
+}
+
+// partKey is an unordered node pair with a partition between them.
+type partKey struct{ a, b string }
+
+func makePartKey(a, b string) partKey {
+	if a > b {
+		a, b = b, a
+	}
+	return partKey{a: a, b: b}
 }
 
 // Node is one virtual cluster machine attached to a Network.
@@ -99,6 +110,7 @@ type Node struct {
 	done    chan struct{}
 	stats   NodeStats
 	closing atomic.Bool
+	crashed atomic.Bool
 	wg      sync.WaitGroup
 }
 
@@ -180,6 +192,55 @@ func (n *Network) RemoveNode(name string) bool {
 	return true
 }
 
+// Crash kills a node the way a power failure would: messages still queued
+// on its NIC are discarded (a message that already paid its transmit cost
+// is on the wire and still arrives, so per-channel FIFO delivery loses a
+// suffix, never a middle), inbound delivery stops, and subsequent Sends
+// addressed to the node fail. The difference from RemoveNode — which
+// drains the egress queue gracefully — is the point: Crash is the fault
+// injector for the engine's failure-recovery protocol.
+func (n *Network) Crash(name string) bool {
+	n.mu.Lock()
+	nd, ok := n.nodes[name]
+	if ok {
+		delete(n.nodes, name)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	nd.crashed.Store(true)
+	nd.close()
+	return true
+}
+
+// Partition cuts the link between two nodes, in both directions: Sends
+// between them fail and in-flight messages are dropped. Heal restores the
+// link. Partitions model the asymmetric failures a crash cannot: both
+// sides stay alive but cannot reach each other.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	if n.parts == nil {
+		n.parts = make(map[partKey]bool)
+	}
+	n.parts[makePartKey(a, b)] = true
+	n.mu.Unlock()
+}
+
+// Heal removes the partition between two nodes.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.parts, makePartKey(a, b))
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether the link between two nodes is cut.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.parts[makePartKey(a, b)]
+}
+
 // Close shuts down all nodes and waits for in-flight deliveries to settle.
 func (n *Network) Close() {
 	n.mu.Lock()
@@ -222,9 +283,13 @@ func (nd *Node) Send(to string, payload []byte) error {
 	}
 	nd.net.mu.RLock()
 	_, ok := nd.net.nodes[to]
+	parted := nd.net.parts[makePartKey(nd.name, to)]
 	nd.net.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("simnet: unknown destination %q", to)
+	}
+	if parted {
+		return fmt.Errorf("simnet: %q and %q are partitioned", nd.name, to)
 	}
 	select {
 	case nd.egress <- outMsg{to: to, payload: payload, enqueued: time.Now()}:
@@ -282,7 +347,11 @@ func (nd *Node) egressLoop() {
 		case m := <-nd.egress:
 			nicFree = nd.transmit(m, gates, nicFree)
 		case <-nd.done:
-			// Drain whatever was already queued, then exit.
+			if nd.crashed.Load() {
+				// Power failure: whatever is still queued on the NIC is lost.
+				return
+			}
+			// Graceful detach: drain whatever was already queued, then exit.
 			for {
 				select {
 				case m := <-nd.egress:
@@ -321,6 +390,12 @@ func (nd *Node) transmit(m outMsg, gates map[string]chan struct{}, nicFree time.
 		if prev != nil {
 			<-prev
 		}
+		// The per-destination gate chain serializes these checks with the
+		// delivery order, so a crash or partition drops a suffix of each
+		// channel's stream, never a message in the middle.
+		if nd.crashed.Load() {
+			return
+		}
 		nd.net.deliver(Message{From: nd.name, To: m.to, Payload: m.payload})
 	}()
 	return done
@@ -336,8 +411,9 @@ func sleepUntil(t time.Time) {
 func (n *Network) deliver(m Message) {
 	n.mu.RLock()
 	dst, ok := n.nodes[m.To]
+	parted := n.parts[makePartKey(m.From, m.To)]
 	n.mu.RUnlock()
-	if !ok {
+	if !ok || parted {
 		return
 	}
 	if dst.closing.Load() {
