@@ -59,6 +59,15 @@ type Config struct {
 	// external detectors (kernel heartbeats calling FailNode). Ignored
 	// unless Checkpoint is set (the dps façade rejects the combination).
 	FailureDetect time.Duration
+	// SuspectGrace turns "first send error = death" into graceful
+	// degradation: a failing transport send (including liveness probes) is
+	// retried with capped exponential backoff and jitter for up to this
+	// window before the failure detector may declare the destination
+	// suspect. Transient faults — a peer restarting, a partition that
+	// heals, an injected send error — are absorbed by the retries; a real
+	// crash exhausts the window and fails over as before, delayed by at
+	// most the grace. Zero keeps the immediate-suspect behaviour.
+	SuspectGrace time.Duration
 	// Registry is the token type registry; nil selects serial.DefaultRegistry.
 	Registry *serial.Registry
 }

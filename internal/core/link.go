@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
+	"time"
 
 	"repro/internal/core/ft"
 	"repro/internal/serial"
@@ -48,20 +50,68 @@ type link struct {
 	tr    transport.Transport
 	reg   *serial.Registry
 	name  string
-	force bool // ForceSerialize: marshal even same-node transfers
-	ftOn  bool // fault tolerance enabled: consult linkDown/linkSuspect
+	force bool          // ForceSerialize: marshal even same-node transfers
+	ftOn  bool          // fault tolerance enabled: consult linkDown/linkSuspect
+	grace time.Duration // SuspectGrace: retry window for failing sends
 	sink  linkSink
 	stats *statCounters
 }
 
-func (l *link) init(tr transport.Transport, reg *serial.Registry, force, ftOn bool, sink linkSink, stats *statCounters) {
+func (l *link) init(tr transport.Transport, reg *serial.Registry, force, ftOn bool, grace time.Duration, sink linkSink, stats *statCounters) {
 	l.tr = tr
 	l.reg = reg
 	l.name = tr.Local()
 	l.force = force
 	l.ftOn = ftOn
+	l.grace = grace
 	l.sink = sink
 	l.stats = stats
+}
+
+// Grace retry tuning: first backoff and cap. The overall window is
+// Config.SuspectGrace.
+const (
+	graceRetryBase = time.Millisecond
+	graceRetryCap  = 50 * time.Millisecond
+)
+
+// trSend transmits one frame, retrying transient transport failures with
+// capped exponential backoff and jitter until the suspect-grace window
+// closes. On success the payload's ownership has transferred to the
+// transport; on error it remains with the caller (transports release
+// ownership on failure), which is what makes retrying the same buffer
+// sound. A destination declared dead mid-retry aborts the loop — the
+// failure detector already owns the fault, and the caller's sendFailed
+// path absorbs the error so the retained copy replays.
+//
+// Successful sends take the single branch on the error and pay nothing
+// else; the grace machinery only runs once a send has already failed.
+// Sequenced posts hold their route lock across the retries, so the grace
+// window also bounds how long one fault can stall a route.
+func (l *link) trSend(dst string, buf []byte) error {
+	err := l.tr.Send(dst, buf)
+	if err == nil || l.grace <= 0 {
+		return err
+	}
+	deadline := time.Now().Add(l.grace)
+	backoff := graceRetryBase
+	for {
+		if l.ftOn && l.sink.linkDown(dst) {
+			return err
+		}
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if time.Now().Add(d).After(deadline) {
+			return err
+		}
+		time.Sleep(d)
+		if backoff < graceRetryCap {
+			backoff *= 2
+		}
+		l.stats.sendRetries.Add(1)
+		if err = l.tr.Send(dst, buf); err == nil {
+			return nil
+		}
+	}
 }
 
 // down reports whether traffic toward dst must be suppressed. It is a
@@ -266,7 +316,7 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 	}
 	l.stats.tokensRemote.Add(1)
 	l.stats.bytesSent.Add(int64(len(buf)))
-	if err := l.tr.Send(targetNode, buf); err != nil {
+	if err := l.trSend(targetNode, buf); err != nil {
 		if l.sendFailed(targetNode, err) {
 			putWireBuf(buf)
 			putEnvelope(env)
@@ -295,7 +345,7 @@ func (l *link) sendGroupEnd(target string, m *groupEndMsg) {
 	} else {
 		buf = appendGroupEnd(getWireBuf(), m)
 	}
-	if err := l.tr.Send(target, buf); err != nil {
+	if err := l.trSend(target, buf); err != nil {
 		if l.sendFailed(target, err) {
 			putWireBuf(buf)
 			return
@@ -312,7 +362,7 @@ func (l *link) sendMigrate(target string, m *migrateMsg) error {
 	}
 	buf := appendMigrate(getWireBuf(), m)
 	l.stats.bytesSent.Add(int64(len(buf)))
-	return l.tr.Send(target, buf)
+	return l.trSend(target, buf)
 }
 
 // sendFence emits one fence half of the live-remap handshake.
@@ -321,7 +371,7 @@ func (l *link) sendFence(target string, m *fenceMsg) error {
 		l.sink.deliverFence(m)
 		return nil
 	}
-	return l.tr.Send(target, appendFence(getWireBuf(), m))
+	return l.trSend(target, appendFence(getWireBuf(), m))
 }
 
 // sendAck returns a consumption acknowledgement to the split-side node.
@@ -336,7 +386,7 @@ func (l *link) sendAck(target string, m ackMsg) error {
 		return nil
 	}
 	buf := appendAck(getWireBuf(), m)
-	if err := l.tr.Send(target, buf); err != nil {
+	if err := l.trSend(target, buf); err != nil {
 		if l.sendFailed(target, err) {
 			putWireBuf(buf)
 			return nil
@@ -371,7 +421,7 @@ func (l *link) sendResult(env *envelope, tok Token) {
 	if err != nil {
 		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
 	}
-	if err := l.tr.Send(env.CallOrigin, buf); err != nil {
+	if err := l.trSend(env.CallOrigin, buf); err != nil {
 		if l.sendFailed(env.CallOrigin, err) {
 			putWireBuf(buf)
 			return
@@ -393,7 +443,7 @@ func (l *link) sendCheckpoint(target string, rec *ft.Record) {
 	}
 	buf := appendCheckpoint(getWireBuf(), rec)
 	l.stats.bytesSent.Add(int64(len(buf)))
-	if err := l.tr.Send(target, buf); err != nil {
+	if err := l.trSend(target, buf); err != nil {
 		if !l.sendFailed(target, err) {
 			l.sink.linkFail(err)
 		}
@@ -409,7 +459,7 @@ func (l *link) sendReplay(target string, m *replayMsg) {
 	}
 	buf := appendReplay(getWireBuf(), m)
 	l.stats.bytesSent.Add(int64(len(buf)))
-	if err := l.tr.Send(target, buf); err != nil {
+	if err := l.trSend(target, buf); err != nil {
 		if !l.sendFailed(target, err) {
 			l.sink.linkFail(err)
 		}
@@ -428,7 +478,7 @@ func (l *link) sendCut(target string, m cutMsg) {
 		return
 	}
 	buf := appendCut(getWireBuf(), m)
-	if err := l.tr.Send(target, buf); err != nil {
+	if err := l.trSend(target, buf); err != nil {
 		if !l.sendFailed(target, err) {
 			l.sink.linkFail(err)
 		}

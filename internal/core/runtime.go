@@ -124,7 +124,7 @@ func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
 		rt.ftNode = ft.NewState(ft.NodeStream(rt.name))
 	}
 	rt.groups.init(idx)
-	rt.lnk.init(tr, app.reg, app.cfg.ForceSerialize, app.ftOn, rt, &rt.stats)
+	rt.lnk.init(tr, app.reg, app.cfg.ForceSerialize, app.ftOn, app.cfg.SuspectGrace, rt, &rt.stats)
 	rt.sched.Init(sched.Config{Workers: app.cfg.Workers, QueueCap: app.cfg.Queue}, rt.runItem)
 	return rt
 }

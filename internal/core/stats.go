@@ -51,6 +51,9 @@ type Stats struct {
 	// FailoversCompleted counts dead-node recoveries coordinated by this
 	// node (the master).
 	FailoversCompleted int64
+	// SendRetries counts transport send attempts repeated inside the
+	// suspect-grace window (Config.SuspectGrace) after a transient failure.
+	SendRetries int64
 }
 
 // Add accumulates o into s. Every counter is a sum except QueueHighWater,
@@ -76,6 +79,7 @@ func (s *Stats) Add(o *Stats) {
 	s.CheckpointBytes += o.CheckpointBytes
 	s.TokensReplayed += o.TokensReplayed
 	s.FailoversCompleted += o.FailoversCompleted
+	s.SendRetries += o.SendRetries
 }
 
 // statCounters is the atomic backing store embedded in each Runtime.
@@ -97,6 +101,7 @@ type statCounters struct {
 	checkpointBytes     atomic.Int64
 	tokensReplayed      atomic.Int64
 	failoversCompleted  atomic.Int64
+	sendRetries         atomic.Int64
 }
 
 func (c *statCounters) snapshot() *Stats {
@@ -116,6 +121,7 @@ func (c *statCounters) snapshot() *Stats {
 		CheckpointBytes:     c.checkpointBytes.Load(),
 		TokensReplayed:      c.tokensReplayed.Load(),
 		FailoversCompleted:  c.failoversCompleted.Load(),
+		SendRetries:         c.sendRetries.Load(),
 	}
 }
 

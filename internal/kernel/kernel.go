@@ -3,6 +3,7 @@ package kernel
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -37,8 +38,13 @@ type Kernel struct {
 	lastSeen   map[string]time.Time // heartbeat: last pong (or discovery) per peer
 	deadPeers  map[string]bool
 	pinging    map[string]bool // one heartbeat send in flight per peer
-	hbStop     chan struct{}
-	closed     bool
+	// Missed-pong backoff: pingSkip[peer] rounds are skipped before the
+	// next probe of a silent peer, doubling (pingBackoff) up to a cap below
+	// the death deadline — a restarting peer is probed gently, not hammered.
+	pingSkip    map[string]int
+	pingBackoff map[string]int
+	hbStop      chan struct{}
+	closed      bool
 }
 
 // controlApp is the reserved application name carrying kernel control
@@ -206,7 +212,7 @@ func (k *Kernel) StartHeartbeat(interval time.Duration, misses int) {
 			case <-stop:
 				return
 			case <-t.C:
-				k.heartbeatRound(time.Duration(misses) * interval)
+				k.heartbeatRound(interval, misses)
 			}
 		}
 	}()
@@ -214,7 +220,8 @@ func (k *Kernel) StartHeartbeat(interval time.Duration, misses int) {
 
 // heartbeatRound pings the current name-server peers and declares the
 // silent ones dead.
-func (k *Kernel) heartbeatRound(grace time.Duration) {
+func (k *Kernel) heartbeatRound(interval time.Duration, misses int) {
+	grace := time.Duration(misses) * interval
 	names, err := ListNames(k.nsAddr)
 	if err != nil {
 		return
@@ -241,28 +248,75 @@ func (k *Kernel) heartbeatRound(grace time.Duration) {
 	// failing send is itself a strike: lastSeen simply stays old. Pings go
 	// out concurrently, one in flight per peer — a peer whose TCP dial
 	// blocks for seconds must not stall the round and starve the healthy
-	// peers' pings into false-positive deaths.
+	// peers' pings into false-positive deaths. A peer that missed its last
+	// pong is backed off (doubling rounds skipped, capped below the death
+	// deadline) instead of hammered while it restarts.
 	ping := makeAppFrame(controlApp, []byte{ctlPing})
 	k.mu.Lock()
 	if k.pinging == nil {
 		k.pinging = make(map[string]bool)
 	}
+	if k.pingSkip == nil {
+		k.pingSkip = make(map[string]int)
+		k.pingBackoff = make(map[string]int)
+	}
 	peers := make([]string, 0, len(names))
 	for peer := range names {
-		if peer != k.name && !k.deadPeers[peer] && !k.pinging[peer] {
-			k.pinging[peer] = true
-			peers = append(peers, peer)
+		if peer == k.name || k.deadPeers[peer] || k.pinging[peer] {
+			continue
 		}
+		if now.Sub(k.lastSeen[peer]) <= interval {
+			// Answering within a round: probe normally again.
+			delete(k.pingSkip, peer)
+			delete(k.pingBackoff, peer)
+		} else if k.pingSkip[peer] > 0 {
+			k.pingSkip[peer]--
+			continue
+		} else {
+			k.pingBackoff[peer] = nextPingBackoff(k.pingBackoff[peer], misses)
+			k.pingSkip[peer] = k.pingBackoff[peer]
+		}
+		k.pinging[peer] = true
+		peers = append(peers, peer)
 	}
 	k.mu.Unlock()
 	for _, peer := range peers {
-		go func(peer string) {
+		// Per-peer jitter staggers the probes inside the round, so a fleet
+		// of kernels does not synchronize its pings into periodic bursts.
+		go func(peer string, delay time.Duration) {
+			time.Sleep(delay)
 			_ = k.node.Send(peer, append([]byte(nil), ping...))
 			k.mu.Lock()
 			delete(k.pinging, peer)
 			k.mu.Unlock()
-		}(peer)
+		}(peer, heartbeatJitter(interval))
 	}
+}
+
+// nextPingBackoff doubles the rounds skipped between probes of a silent
+// peer, capped so the peer is still probed before the misses*interval
+// death deadline can expire without a single probe in between.
+func nextPingBackoff(prev, misses int) int {
+	next := prev * 2
+	if next == 0 {
+		next = 1
+	}
+	max := misses - 1
+	if max < 1 {
+		max = 1
+	}
+	if next > max {
+		next = max
+	}
+	return next
+}
+
+// heartbeatJitter draws a per-peer probe delay in [0, interval/4).
+func heartbeatJitter(interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(interval / 4)))
 }
 
 // peerDied marks a peer dead once, fires the failover handler and

@@ -364,3 +364,37 @@ func TestRemapControlMessage(t *testing.T) {
 		t.Fatalf("call after control remap: %v", err)
 	}
 }
+
+func TestPingBackoffDoublesAndCaps(t *testing.T) {
+	// 1 -> 2 -> 4, capped at misses-1 so a silent peer is always probed
+	// again before the misses*interval death deadline.
+	b := 0
+	var got []int
+	for i := 0; i < 5; i++ {
+		b = nextPingBackoff(b, 5)
+		got = append(got, b)
+	}
+	want := []int{1, 2, 4, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff sequence %v, want %v", got, want)
+		}
+	}
+	// Degenerate configs still probe every other round at worst.
+	if nextPingBackoff(0, 1) != 1 || nextPingBackoff(8, 1) != 1 {
+		t.Fatalf("misses=1 must cap backoff at 1")
+	}
+}
+
+func TestHeartbeatJitterBounded(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := heartbeatJitter(interval)
+		if d < 0 || d >= interval/4 {
+			t.Fatalf("jitter %v outside [0, %v)", d, interval/4)
+		}
+	}
+	if heartbeatJitter(0) != 0 {
+		t.Fatalf("zero interval must yield zero jitter")
+	}
+}

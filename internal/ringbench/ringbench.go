@@ -298,6 +298,55 @@ func RunDPSFailover(cfg simnet.Config, ringNodes, totalBytes, blockSize int, app
 	}, nil
 }
 
+// RunDPSChaos drives the DPS ring with repeated calls for at least span,
+// while a caller-provided hook injects faults into the simulated network
+// underneath. The hook runs once the application is up and returns a stop
+// function joined before teardown (a nil hook just soaks the ring). Every
+// call's merge total is checked against blocksPerCall — a lost or
+// duplicated block fails the run. Returns the aggregate result and the
+// number of completed calls.
+func RunDPSChaos(cfg simnet.Config, ringNodes, blocksPerCall, blockSize int, appCfg core.Config, span time.Duration, hook func(*simnet.Network, *core.App) (stop func())) (Result, int, error) {
+	if ringNodes < 2 {
+		return Result{}, 0, fmt.Errorf("ringbench: need at least 2 nodes")
+	}
+	net := simnet.New(cfg)
+	defer net.Close()
+	app, g, _, _, err := buildRing(net, appCfg, ringNodes)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	defer app.Close()
+
+	if hook != nil {
+		stop := hook(net, app)
+		if stop != nil {
+			defer stop()
+		}
+	}
+
+	calls := 0
+	sw := trace.StartStopwatch()
+	for calls == 0 || sw.Elapsed() < span {
+		out, err := g.Call(context.Background(), &RingOrder{Blocks: blocksPerCall, BlockSize: blockSize})
+		if err != nil {
+			return Result{}, calls, fmt.Errorf("ringbench: chaos call %d: %w", calls, err)
+		}
+		if got := out.(*RingDone).Blocks; got != blocksPerCall {
+			return Result{}, calls, fmt.Errorf("ringbench: chaos call %d delivered %d of %d blocks (exactly-once violated)", calls, got, blocksPerCall)
+		}
+		calls++
+	}
+	elapsed := sw.Elapsed()
+	total := int64(calls) * int64(blocksPerCall) * int64(blockSize)
+	return Result{
+		BlockSize:  blockSize,
+		TotalBytes: total,
+		Elapsed:    elapsed,
+		Throughput: trace.ThroughputMBs(total, elapsed),
+		Stats:      app.Stats(),
+	}, calls, nil
+}
+
 // RunRaw measures the same ring using direct sends on the simulated
 // network, without DPS envelopes or serialization — the paper's socket
 // baseline. Each node forwards each block as soon as it arrives.

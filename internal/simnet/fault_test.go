@@ -128,9 +128,12 @@ func TestPartitionAndHeal(t *testing.T) {
 	}
 }
 
-// TestPartitionDropsInFlight: messages already past the NIC when the
-// partition cuts are dropped at delivery, not delivered stale.
-func TestPartitionDropsInFlight(t *testing.T) {
+// TestPartitionStallsInFlight: messages already past the NIC when the
+// partition cuts are stalled — like TCP retransmitting into a dead route —
+// and delivered, in order, once the partition heals. A healed partition
+// must never leave a mid-stream gap: the fault-tolerance layer's prefix
+// filters assume any loss is a suffix ending at a node's death.
+func TestPartitionStallsInFlight(t *testing.T) {
 	cfg := faultCfg()
 	cfg.Latency = 20 * time.Millisecond // long flight time
 	net := New(cfg)
@@ -147,6 +150,42 @@ func TestPartitionDropsInFlight(t *testing.T) {
 	case m := <-b.Inbox():
 		t.Fatalf("in-flight message %v delivered across the partition", m.Payload)
 	case <-time.After(100 * time.Millisecond):
+	}
+	net.Heal("a", "b")
+	for i := 0; i < 8; i++ {
+		select {
+		case m := <-b.Inbox():
+			if m.Payload[0] != byte(i) {
+				t.Fatalf("message %d arrived as %v after the heal", i, m.Payload)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("message %d lost across a healed partition", i)
+		}
+	}
+}
+
+// TestPartitionCrashDropsInFlight: a sender that dies while its traffic is
+// stalled on a partition takes that traffic with it — the stall releases
+// by discarding, and the loss is a clean suffix.
+func TestPartitionCrashDropsInFlight(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Latency = 20 * time.Millisecond
+	net := New(cfg)
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	b, _ := net.AddNode("b")
+	for i := 0; i < 4; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Partition("a", "b")
+	net.Crash("a")
+	net.Heal("a", "b")
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("message %v from a crashed sender crossed the healed link", m.Payload)
+	case <-time.After(150 * time.Millisecond):
 	}
 }
 

@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJitterPreservesFIFO: jitter delays deliveries but never reorders
+// them — per-channel FIFO is a contract the FT layer's duplicate filters
+// depend on.
+func TestJitterPreservesFIFO(t *testing.T) {
+	net := New(faultCfg())
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	b, _ := net.AddNode("b")
+	net.SeedFaults(42)
+	net.SetJitter("a", "b", 500*time.Microsecond)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-b.Inbox():
+			if int(m.Payload[0]) != i {
+				t.Fatalf("message %d arrived at position %d: jitter reordered the channel", m.Payload[0], i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d/%d messages arrived under jitter", i, n)
+		}
+	}
+}
+
+// TestJitterDeterministicFromSeed: the same seed draws the same jitter
+// sequence, so a chaos schedule reproduces its delivery timings exactly.
+func TestJitterDeterministicFromSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		net := New(faultCfg())
+		defer net.Close()
+		net.SeedFaults(seed)
+		net.SetJitter("a", "b", time.Millisecond)
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = net.jitterFor("a", "b")
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs under the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical jitter sequences")
+	}
+	// Unrelated directions draw zero.
+	net := New(faultCfg())
+	defer net.Close()
+	net.SetJitter("a", "b", time.Millisecond)
+	if d := net.jitterFor("b", "a"); d != 0 {
+		t.Fatalf("reverse direction drew jitter %v", d)
+	}
+}
+
+// TestFailNextSends: exactly count sends fail with the transient
+// sentinel, then the link self-heals.
+func TestFailNextSends(t *testing.T) {
+	net := New(faultCfg())
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	b, _ := net.AddNode("b")
+	net.FailNextSends("a", "b", 2)
+
+	for i := 0; i < 2; i++ {
+		err := a.Send("b", []byte{byte(i)})
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("send %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if err := a.Send("b", []byte{9}); err != nil {
+		t.Fatalf("send after the burst cleared: %v", err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if m.Payload[0] != 9 {
+			t.Fatalf("an injected-failed payload %v was transmitted anyway", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving send never delivered")
+	}
+	if got := net.InjectedSendErrors(); got != 2 {
+		t.Fatalf("InjectedSendErrors = %d, want 2", got)
+	}
+	// The reverse direction is untouched.
+	net.FailNextSends("a", "b", 1)
+	if err := b.Send("a", []byte{1}); err != nil {
+		t.Fatalf("reverse direction hit the fault: %v", err)
+	}
+	// count <= 0 clears a pending burst.
+	net.FailNextSends("a", "b", 0)
+	if err := a.Send("b", []byte{2}); err != nil {
+		t.Fatalf("cleared burst still failing: %v", err)
+	}
+}
+
+// TestHealNeverPartitionedNoOp: healing a link that was never cut (or
+// involving unknown nodes) is a harmless no-op — the chaos injector may
+// heal after its partition target already crashed.
+func TestHealNeverPartitionedNoOp(t *testing.T) {
+	net := New(faultCfg())
+	defer net.Close()
+	a, _ := net.AddNode("a")
+	b, _ := net.AddNode("b")
+	net.Heal("a", "b")
+	net.Heal("a", "ghost")
+	net.Heal("ghost", "phantom")
+	if err := a.Send("b", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery broken after no-op heals")
+	}
+	// Heal is idempotent after a real partition too.
+	net.Partition("a", "b")
+	net.Heal("a", "b")
+	net.Heal("a", "b")
+	if net.Partitioned("a", "b") {
+		t.Fatal("double heal left the partition in place")
+	}
+}
+
+// TestRemoveNodeCrashSendRace hammers a victim node with concurrent sends
+// while other goroutines race RemoveNode and Crash against it: every send
+// must return (success or error) without panics, lost goroutines or a
+// wedged network — the engine calls Send from many runtimes exactly like
+// this when a node dies under load.
+func TestRemoveNodeCrashSendRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		net := New(faultCfg())
+		a, _ := net.AddNode("a")
+		victim := "v"
+		if _, err := net.AddNode(victim); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					_ = a.Send(victim, []byte{byte(i)}) // error after death is the contract
+				}
+			}()
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			net.Crash(victim)
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			net.RemoveNode(victim)
+		}()
+		close(start)
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("send/crash/remove race wedged the network")
+		}
+		// The network must still work for survivors.
+		if _, err := net.AddNode("w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send("w", []byte{1}); err != nil {
+			t.Fatalf("round %d: network broken after the race: %v", round, err)
+		}
+		net.Close()
+	}
+}

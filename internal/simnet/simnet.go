@@ -20,6 +20,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,16 @@ type Network struct {
 	nodes  map[string]*Node
 	parts  map[partKey]bool
 	closed bool
+
+	// Fault injection (faults.go): seeded delivery jitter and transient
+	// per-send errors, both directional. faultMu is separate from mu so the
+	// hot send path only ever takes it when faults are configured.
+	faultMu  sync.Mutex
+	rng      *rand.Rand
+	jitter   map[dirKey]time.Duration
+	failNext map[dirKey]int
+	faultsOn atomic.Bool
+	injected atomic.Int64
 }
 
 // partKey is an unordered node pair with a partition between them.
@@ -291,6 +302,9 @@ func (nd *Node) Send(to string, payload []byte) error {
 	if parted {
 		return fmt.Errorf("simnet: %q and %q are partitioned", nd.name, to)
 	}
+	if err := nd.net.injectSendFault(nd.name, to); err != nil {
+		return err
+	}
 	select {
 	case nd.egress <- outMsg{to: to, payload: payload, enqueued: time.Now()}:
 		return nil
@@ -381,7 +395,10 @@ func (nd *Node) transmit(m outMsg, gates map[string]chan struct{}, nicFree time.
 	prev := gates[m.to]
 	gate := make(chan struct{})
 	gates[m.to] = gate
-	deliverAt := done.Add(nd.latency())
+	// Injected jitter rides the delivery deadline; the per-destination gate
+	// chain still serializes actual deliveries, so FIFO survives a later
+	// message drawing a smaller jitter than an earlier one.
+	deliverAt := done.Add(nd.latency() + nd.net.jitterFor(nd.name, m.to))
 	nd.wg.Add(1)
 	go func() {
 		defer nd.wg.Done()
@@ -391,8 +408,9 @@ func (nd *Node) transmit(m outMsg, gates map[string]chan struct{}, nicFree time.
 			<-prev
 		}
 		// The per-destination gate chain serializes these checks with the
-		// delivery order, so a crash or partition drops a suffix of each
-		// channel's stream, never a message in the middle.
+		// delivery order, so a crash drops a suffix of each channel's
+		// stream, never a message in the middle. Partitions stall inside
+		// deliver instead of dropping, for the same reason.
 		if nd.crashed.Load() {
 			return
 		}
@@ -409,12 +427,31 @@ func sleepUntil(t time.Time) {
 }
 
 func (n *Network) deliver(m Message) {
-	n.mu.RLock()
-	dst, ok := n.nodes[m.To]
-	parted := n.parts[makePartKey(m.From, m.To)]
-	n.mu.RUnlock()
-	if !ok || parted {
-		return
+	var dst *Node
+	for {
+		n.mu.RLock()
+		d, ok := n.nodes[m.To]
+		src, srcOk := n.nodes[m.From]
+		parted := n.parts[makePartKey(m.From, m.To)]
+		n.mu.RUnlock()
+		if !ok {
+			return
+		}
+		if !parted {
+			dst = d
+			break
+		}
+		// A partition stalls in-flight traffic the way a real cut stalls
+		// TCP: the segment is retransmitted until the route heals, or the
+		// connection dies with its endpoint. Delivering after the heal —
+		// never dropping — keeps each channel's loss a pure suffix (the
+		// contract the fault-tolerance layer's prefix filters rely on);
+		// a partition that outlives the failure detector's patience ends
+		// in a crash or removal, which releases the stall by discarding.
+		if !srcOk || src.crashed.Load() || src.closing.Load() {
+			return
+		}
+		sleep(200 * time.Microsecond)
 	}
 	if dst.closing.Load() {
 		return

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every send error a Faulty wrapper
+// injects; errors.Is distinguishes injected faults from real transport
+// failures.
+var ErrInjected = errors.New("transport: injected transient send error")
+
+// Faulty wraps any Transport and injects faults on its send path: one-shot
+// transient error bursts per destination, a seeded random failure rate, and
+// random send delays. It is the fault hook for transports simnet cannot
+// stand in for — chiefly tcptransport, whose retry/backoff and session-epoch
+// machinery the chaos harness exercises through it. The receive path is
+// untouched, so FIFO delivery of whatever was actually sent is preserved.
+type Faulty struct {
+	inner Transport
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failRate float64
+	delayMax time.Duration
+	failNext map[string]int
+	injected atomic.Int64
+}
+
+// NewFaulty wraps a transport with a seeded fault injector. With no faults
+// configured it is a transparent proxy.
+func NewFaulty(inner Transport, seed int64) *Faulty {
+	return &Faulty{
+		inner:    inner,
+		rng:      rand.New(rand.NewSource(seed)),
+		failNext: make(map[string]int),
+	}
+}
+
+// SetFailRate makes each Send fail with probability p (0..1), drawn from
+// the seeded source.
+func (f *Faulty) SetFailRate(p float64) {
+	f.mu.Lock()
+	f.failRate = p
+	f.mu.Unlock()
+}
+
+// SetDelay adds up to max of random delay before each Send (the sender
+// blocks, so per-destination FIFO is preserved). max <= 0 clears it.
+func (f *Faulty) SetDelay(max time.Duration) {
+	f.mu.Lock()
+	f.delayMax = max
+	f.mu.Unlock()
+}
+
+// FailNextSends makes the next count Sends to dst fail with an injected
+// transient error.
+func (f *Faulty) FailNextSends(dst string, count int) {
+	f.mu.Lock()
+	if count <= 0 {
+		delete(f.failNext, dst)
+	} else {
+		f.failNext[dst] = count
+	}
+	f.mu.Unlock()
+}
+
+// Injected reports how many sends were failed by injection so far.
+func (f *Faulty) Injected() int64 { return f.injected.Load() }
+
+// Local implements Transport.
+func (f *Faulty) Local() string { return f.inner.Local() }
+
+// SetHandler implements Transport.
+func (f *Faulty) SetHandler(h Handler) { f.inner.SetHandler(h) }
+
+// Close implements Transport.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// Send implements Transport, consulting the fault schedule first. On an
+// injected failure the payload is not handed to the inner transport, so
+// ownership stays with the caller exactly as on a real send error.
+func (f *Faulty) Send(dst string, payload []byte) error {
+	f.mu.Lock()
+	inject := false
+	if left, ok := f.failNext[dst]; ok {
+		if left <= 1 {
+			delete(f.failNext, dst)
+		} else {
+			f.failNext[dst] = left - 1
+		}
+		inject = true
+	} else if f.failRate > 0 && f.rng.Float64() < f.failRate {
+		inject = true
+	}
+	var delay time.Duration
+	if !inject && f.delayMax > 0 {
+		delay = time.Duration(f.rng.Int63n(int64(f.delayMax) + 1))
+	}
+	f.mu.Unlock()
+	if inject {
+		f.injected.Add(1)
+		return fmt.Errorf("transport: send to %s: %w", dst, ErrInjected)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return f.inner.Send(dst, payload)
+}
+
+var _ Transport = (*Faulty)(nil)

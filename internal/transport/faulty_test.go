@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func faultyPair(t *testing.T, seed int64) (*Faulty, *InprocNode, *Inproc) {
+	t.Helper()
+	fab := NewInproc()
+	a, err := fab.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fab.Node("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaulty(a, seed), b, fab
+}
+
+// TestFaultyTransparent: with no faults configured the wrapper is a pure
+// proxy — every send arrives, in order.
+func TestFaultyTransparent(t *testing.T) {
+	fa, b, fab := faultyPair(t, 1)
+	defer fab.Close()
+	var mu sync.Mutex
+	var got []byte
+	done := make(chan struct{})
+	b.SetHandler(func(from string, payload []byte) {
+		mu.Lock()
+		got = append(got, payload[0])
+		if len(got) == 50 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 50; i++ {
+		if err := fa.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deliveries missing through a fault-free wrapper")
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("reordered at %d: %v", i, got)
+		}
+	}
+	if fa.Injected() != 0 {
+		t.Fatalf("injected %d errors with no faults configured", fa.Injected())
+	}
+}
+
+// TestFaultyFailNextSends: exactly count sends fail per destination, the
+// payload never reaches the inner transport, and the burst self-clears.
+func TestFaultyFailNextSends(t *testing.T) {
+	fa, b, fab := faultyPair(t, 1)
+	defer fab.Close()
+	delivered := make(chan byte, 16)
+	b.SetHandler(func(from string, payload []byte) { delivered <- payload[0] })
+
+	fa.FailNextSends("b", 2)
+	for i := 0; i < 2; i++ {
+		if err := fa.Send("b", []byte{byte(i)}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("send %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if err := fa.Send("b", []byte{7}); err != nil {
+		t.Fatalf("send after burst: %v", err)
+	}
+	select {
+	case v := <-delivered:
+		if v != 7 {
+			t.Fatalf("a failed payload %d leaked to the inner transport", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving send never delivered")
+	}
+	if fa.Injected() != 2 {
+		t.Fatalf("Injected = %d, want 2", fa.Injected())
+	}
+	// Clearing a burst.
+	fa.FailNextSends("b", 3)
+	fa.FailNextSends("b", 0)
+	if err := fa.Send("b", []byte{8}); err != nil {
+		t.Fatalf("cleared burst still failing: %v", err)
+	}
+	<-delivered
+}
+
+// TestFaultyFailRateDeterministic: the same seed injects the same failure
+// pattern, so a chaos run over TCP reproduces from its seed.
+func TestFaultyFailRateDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		fa, b, fab := faultyPair(t, seed)
+		defer fab.Close()
+		b.SetHandler(func(string, []byte) {})
+		fa.SetFailRate(0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = fa.Send("b", []byte{0}) != nil
+		}
+		return out
+	}
+	a, b := pattern(9), pattern(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("send %d differs under the same seed", i)
+		}
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("fail rate 0.5 produced %d/%d failures", fails, len(a))
+	}
+}
+
+// TestFaultyDelayPreservesOrder: random send delays slow the sender down
+// but cannot reorder, because the sender blocks through the delay.
+func TestFaultyDelayPreservesOrder(t *testing.T) {
+	fa, b, fab := faultyPair(t, 3)
+	defer fab.Close()
+	var mu sync.Mutex
+	var got []byte
+	done := make(chan struct{})
+	const n = 20
+	b.SetHandler(func(from string, payload []byte) {
+		mu.Lock()
+		got = append(got, payload[0])
+		if len(got) == n {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	fa.SetDelay(500 * time.Microsecond)
+	for i := 0; i < n; i++ {
+		if err := fa.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed sends never all arrived")
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("delay reordered deliveries at %d: %v", i, got)
+		}
+	}
+}
