@@ -11,9 +11,12 @@ import (
 // compareFiles diffs two -json outputs (old, new) experiment by experiment
 // and reports regressions beyond the noise threshold: ns/op and allocs/op
 // growing by more than threshold (a fraction, e.g. 0.10) fail the
-// comparison. Experiments present in only one file are reported but do not
-// fail it (the suite grows over time). CI uses this to gate on the ring
-// benchmark's trajectory without hand-reading artifacts.
+// comparison, and the throughput experiment additionally fails on its
+// primary metric — tokens/s per (size, mode) row dropping by more than the
+// threshold (direction inverted: lower is worse). Experiments present in
+// only one file are reported but do not fail it (the suite grows over
+// time). CI uses this to gate on the ring benchmark's trajectory without
+// hand-reading artifacts.
 func compareFiles(oldPath, newPath string, threshold float64, out *strings.Builder) (regressed bool, err error) {
 	oldDoc, err := readBenchFile(oldPath)
 	if err != nil {
@@ -51,11 +54,64 @@ func compareFiles(oldPath, newPath string, threshold float64, out *strings.Build
 		}
 		fmt.Fprintf(out, "%-12s %15d %15d %8.1f%%   %15d %15d %8.1f%%%s\n",
 			n.ID, o.NsOp, n.NsOp, nsDelta*100, o.AllocsOp, n.AllocsOp, allocDelta*100, mark)
+		if n.ID == "throughput" && compareThroughput(o, n, threshold, out) {
+			regressed = true
+		}
 	}
 	for id := range oldByID {
 		fmt.Fprintf(out, "%-12s (dropped from the new run)\n", id)
 	}
 	return regressed, nil
+}
+
+// compareThroughput gates the throughput experiment on its primary metric:
+// tokens/s per (size, mode) table row. The regression direction is inverted
+// relative to ns/op — new LOWER than old beyond the threshold fails. Rows
+// are matched by their size and mode columns, so reordering or adding
+// payload sizes does not fail the gate; only a measured rate falling does.
+func compareThroughput(o, n measurement, threshold float64, out *strings.Builder) (regressed bool) {
+	col := func(m measurement) int {
+		for i, h := range m.Header {
+			if h == "tokens/s" {
+				return i
+			}
+		}
+		return -1
+	}
+	oc, nc := col(o), col(n)
+	if oc < 0 || nc < 0 || oc < 2 || nc < 2 {
+		return false
+	}
+	oldRate := make(map[string]float64, len(o.Rows))
+	for _, r := range o.Rows {
+		if len(r) > oc {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(r[oc]), 64); err == nil {
+				oldRate[strings.TrimSpace(r[0])+"/"+strings.TrimSpace(r[1])] = v
+			}
+		}
+	}
+	for _, r := range n.Rows {
+		if len(r) <= nc {
+			continue
+		}
+		key := strings.TrimSpace(r[0]) + "/" + strings.TrimSpace(r[1])
+		ov, ok := oldRate[key]
+		if !ok || ov <= 0 {
+			continue
+		}
+		nv, err := strconv.ParseFloat(strings.TrimSpace(r[nc]), 64)
+		if err != nil {
+			continue
+		}
+		mark := ""
+		if (ov-nv)/ov > threshold {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(out, "  %-22s %12.0f -> %-12.0f tokens/s %+7.1f%%%s\n",
+			key, ov, nv, (nv-ov)/ov*100, mark)
+	}
+	return regressed
 }
 
 // ratio returns (new-old)/old, clamping a zero baseline to "no change" —

@@ -97,6 +97,75 @@ func TestCompareToleratesSuiteDrift(t *testing.T) {
 	}
 }
 
+// tpMeasurement builds a throughput measurement with one (size, mode) row
+// per rate; the header matches what bench.Throughput emits.
+func tpMeasurement(rates map[string]string) measurement {
+	m := measurement{
+		ID:     "throughput",
+		NsOp:   1000,
+		Header: []string{"size[B]", "mode", "tokens/s", "MB/s", "egress/payload", "vs plain"},
+	}
+	for _, key := range []string{"1024/plain", "1024/batch", "65536/plain", "65536/batch"} {
+		if rate, ok := rates[key]; ok {
+			size, mode, _ := strings.Cut(key, "/")
+			m.Rows = append(m.Rows, []string{size, mode, rate, "1.0", "1.000", "1.00x"})
+		}
+	}
+	return m
+}
+
+func TestCompareThroughputGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", []measurement{tpMeasurement(map[string]string{
+		"1024/plain": "30000", "1024/batch": "100000", "65536/plain": "2700", "65536/batch": "2600",
+	})})
+
+	// Within threshold (and ns/op stable): tokens/s may wobble 5% down.
+	okP := writeBench(t, dir, "ok.json", []measurement{tpMeasurement(map[string]string{
+		"1024/plain": "29000", "1024/batch": "95000", "65536/plain": "2700", "65536/batch": "2600",
+	})})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, okP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("5%% tokens/s wobble flagged:\n%s", sb.String())
+	}
+
+	// tokens/s dropping 40% on one row must fail even though ns/op and
+	// allocs are unchanged (the direction is inverted: lower rate = worse).
+	badP := writeBench(t, dir, "bad.json", []measurement{tpMeasurement(map[string]string{
+		"1024/plain": "30000", "1024/batch": "60000", "65536/plain": "2700", "65536/batch": "2600",
+	})})
+	sb.Reset()
+	regressed, err = compareFiles(oldP, badP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("40%% tokens/s drop not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "1024/batch") || !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("regressed row not reported:\n%s", sb.String())
+	}
+
+	// A new payload size with no baseline row must not fail the gate.
+	driftDoc := tpMeasurement(map[string]string{
+		"1024/plain": "30000", "1024/batch": "100000", "65536/plain": "2700", "65536/batch": "2600",
+	})
+	driftDoc.Rows = append(driftDoc.Rows, []string{"524288", "plain", "400", "200.0", "1.000", "1.00x"})
+	driftP := writeBench(t, dir, "drift.json", []measurement{driftDoc})
+	sb.Reset()
+	regressed, err = compareFiles(oldP, driftP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("new payload size without baseline failed the gate:\n%s", sb.String())
+	}
+}
+
 func TestCompareRejectsBadSchema(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

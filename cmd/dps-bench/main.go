@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|failover|all
+//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|failover|throughput|all
 //	          [-quick] [-workers N] [-stats] [-write EXPERIMENTS.md]
 //	          [-json results.json]
 //	dps-bench -exp chaos [-seed N] [-duration D] [-quick]
@@ -26,6 +26,12 @@
 //
 // The rebalance experiment is not in the paper: it prices the placement
 // layer's live thread migration by remapping a ring hop mid-benchmark.
+//
+// The throughput experiment (not in the paper) measures the wire path over
+// real loopback TCP — wall-clock tokens/sec and goodput at several payload
+// sizes, with wire batching and fault tolerance toggled — and is the
+// regression harness for the batched wire path (-compare gates on its
+// tokens/s trajectory).
 //
 // The chaos experiment (also not in the paper, and not part of -exp all)
 // soaks the ring and the Game of Life under seeded randomized fault
@@ -50,7 +56,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance, failover or all")
+	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance, failover, throughput, chaos or all (all = every experiment except chaos, which binds wall-clock minutes and must be requested explicitly)")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 	workers := flag.Int("workers", 0, "scheduler worker lanes per node (0 = per-instance drainers)")
 	stats := flag.Bool("stats", false, "dump aggregated engine counters per experiment")
@@ -68,18 +74,19 @@ func main() {
 
 	opt := bench.Options{Quick: *quick, Workers: *workers, Seed: *seed, Duration: *duration}
 	fns := map[string]func(bench.Options) (*bench.Report, error){
-		"figure6":   bench.Figure6,
-		"table1":    bench.Table1,
-		"figure9":   bench.Figure9,
-		"table2":    bench.Table2,
-		"figure15":  bench.Figure15,
-		"rebalance": bench.Rebalance,
-		"failover":  bench.Failover,
-		"chaos":     bench.Chaos,
+		"figure6":    bench.Figure6,
+		"table1":     bench.Table1,
+		"figure9":    bench.Figure9,
+		"table2":     bench.Table2,
+		"figure15":   bench.Figure15,
+		"rebalance":  bench.Rebalance,
+		"failover":   bench.Failover,
+		"throughput": bench.Throughput,
+		"chaos":      bench.Chaos,
 	}
 	var order []string
 	if *exp == "all" {
-		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance", "failover"}
+		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance", "failover", "throughput"}
 	} else {
 		if _, ok := fns[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -193,12 +200,16 @@ func formatStats(s *dps.Stats) string {
   calls completed   %d
   queue high-water  %d
   drainer handoffs  %d
+  frames batched    %d (max %d tokens/frame)
+  batch compression %d -> %d bytes
   migrations        %d (forwarded %d tokens, %d state bytes)
   fault tolerance   %d checkpoints (%d state bytes), %d replayed, %d failovers
   send retries      %d (transient faults absorbed in the grace window)
 `, s.TokensPosted, s.TokensLocal, s.TokensRemote, s.BytesSent,
 		s.GroupsOpened, s.AcksSent, s.WindowStalls, s.CallsCompleted,
 		s.QueueHighWater, s.DrainerHandoffs,
+		s.FramesBatched, s.TokensPerFrame,
+		s.UncompressedBytes, s.CompressedBytes,
 		s.MigrationsCompleted, s.TokensForwarded, s.MigrationBytes,
 		s.CheckpointsTaken, s.CheckpointBytes, s.TokensReplayed, s.FailoversCompleted,
 		s.SendRetries)
@@ -216,14 +227,15 @@ func renderMarkdown(reports []*bench.Report, opt bench.Options) string {
 	sb.WriteString("Absolute numbers are not comparable to the paper's 2003 testbed — the\n")
 	sb.WriteString("*shape* columns and the notes record what must (and does) hold.\n\n")
 	titles := map[string]string{
-		"figure6":   "Figure 6 — round-trip ring throughput, DPS vs raw transfers",
-		"table1":    "Table 1 — execution-time reduction from overlapping (block matmul)",
-		"figure9":   "Figure 9 — Game of Life speedup, simple vs improved flow graph",
-		"table2":    "Table 2 — world-read service calls during the simulation",
-		"figure15":  "Figure 15 — LU factorization speedup, pipelined vs non-pipelined",
-		"rebalance": "Rebalance — live thread remap of a ring hop mid-benchmark (not in paper)",
-		"failover":  "Failover — ring node crash mid-benchmark, checkpoint restore + replay (not in paper)",
-		"chaos":     "Chaos — seeded fault schedules over live workloads (not in paper)",
+		"figure6":    "Figure 6 — round-trip ring throughput, DPS vs raw transfers",
+		"table1":     "Table 1 — execution-time reduction from overlapping (block matmul)",
+		"figure9":    "Figure 9 — Game of Life speedup, simple vs improved flow graph",
+		"table2":     "Table 2 — world-read service calls during the simulation",
+		"figure15":   "Figure 15 — LU factorization speedup, pipelined vs non-pipelined",
+		"rebalance":  "Rebalance — live thread remap of a ring hop mid-benchmark (not in paper)",
+		"failover":   "Failover — ring node crash mid-benchmark, checkpoint restore + replay (not in paper)",
+		"throughput": "Throughput — batched wire path over real TCP loopback (not in paper)",
+		"chaos":      "Chaos — seeded fault schedules over live workloads (not in paper)",
 	}
 	for _, r := range reports {
 		sb.WriteString("## " + titles[r.ID] + "\n\n```\n")

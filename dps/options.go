@@ -42,6 +42,9 @@ func buildConfig(opts []Option) (*config, error) {
 	if cfg.engine.SuspectGrace > 0 && cfg.engine.Checkpoint == 0 {
 		return nil, fmt.Errorf("dps: WithSuspectGrace requires WithCheckpoint (there is no failure detector to grace without the recovery layer)")
 	}
+	if cfg.engine.Compress && !cfg.engine.Batch {
+		return nil, fmt.Errorf("dps: WithCompression requires WithBatch (only batch frame bodies are compressed)")
+	}
 	return cfg, nil
 }
 
@@ -185,6 +188,39 @@ func WithSuspectGrace(window time.Duration) Option {
 			return fmt.Errorf("dps: negative suspect grace %v", window)
 		}
 		c.engine.SuspectGrace = window
+		return nil
+	}
+}
+
+// WithBatch turns on per-destination token coalescing on the wire path:
+// outbound tokens and group-ends bound for the same node accumulate into
+// one batch frame, flushed when it fills (maxBytes payload bytes or
+// maxTokens entries), when delay elapses, or immediately when a
+// latency-sensitive message (call result, ack, fence, checkpoint) needs the
+// lane. With fault tolerance on, per-token sequence stamps fold into one
+// batch header, collapsing the per-token framing overhead of bulk streams.
+// Zero values select the engine defaults. Off by default: without this
+// option every wire frame is byte-identical to the unbatched engine.
+func WithBatch(maxBytes, maxTokens int, delay time.Duration) Option {
+	return func(c *config) error {
+		if maxBytes < 0 || maxTokens < 0 || delay < 0 {
+			return fmt.Errorf("dps: negative batch bound (%d bytes, %d tokens, %v)", maxBytes, maxTokens, delay)
+		}
+		c.engine.Batch = true
+		c.engine.BatchMaxBytes = maxBytes
+		c.engine.BatchMaxTokens = maxTokens
+		c.engine.BatchDelay = delay
+		return nil
+	}
+}
+
+// WithCompression DEFLATE-compresses batch frame bodies that shrink
+// (incompressible payloads ride raw). Requires WithBatch — unbatched frames
+// are never compressed by the engine; for transport-level compression of
+// every TCP frame see the tcptransport.WithCompression option instead.
+func WithCompression() Option {
+	return func(c *config) error {
+		c.engine.Compress = true
 		return nil
 	}
 }

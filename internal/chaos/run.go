@@ -26,6 +26,29 @@ type Spec struct {
 	// workload's victim count); zero gives a transient-only schedule that
 	// must end with zero failovers.
 	Crashes int
+	// Batch runs the workload with wire batching and batch-body compression
+	// on (Config.Batch/Config.Compress): the same invariants — exactly one
+	// failover per crash, zero failed calls, byte-identical replay — must
+	// hold when whole batch frames stall in partitions and replay after
+	// crashes.
+	Batch bool
+}
+
+// engineCfg applies the spec's wire-path toggles to a workload config.
+func (spec Spec) engineCfg(cfg core.Config) core.Config {
+	if spec.Batch {
+		cfg.Batch = true
+		cfg.Compress = true
+	}
+	return cfg
+}
+
+// workloadName tags results of batched runs.
+func (spec Spec) workloadName(base string) string {
+	if spec.Batch {
+		return base + "+batch"
+	}
+	return base
 }
 
 // Result is one completed chaos run with its invariants already checked.
@@ -144,7 +167,7 @@ func RunRing(spec Spec) (*Result, error) {
 		nodes[i] = fmt.Sprintf("ring%d", i)
 	}
 	sched := Random(spec.Seed, nodes, spec.Span, spec.Crashes)
-	appCfg := core.Config{Window: 64, Checkpoint: 2 * time.Millisecond, SuspectGrace: Grace}
+	appCfg := spec.engineCfg(core.Config{Window: 64, Checkpoint: 2 * time.Millisecond, SuspectGrace: Grace})
 
 	var (
 		inj      *injector
@@ -169,7 +192,7 @@ func RunRing(spec Spec) (*Result, error) {
 		return nil, injErr
 	}
 	out := &Result{
-		Workload:  "ring",
+		Workload:  spec.workloadName("ring"),
 		Schedule:  sched,
 		Calls:     calls,
 		Failovers: final.FailoversCompleted,
@@ -198,7 +221,7 @@ func RunParlife(spec Spec) (*Result, error) {
 	nodes := []string{"n0", "n1", "n2"}
 	workerNodes := []string{"n1", "n2", "n1", "n2"}
 	sched := Random(spec.Seed, nodes, spec.Span, spec.Crashes)
-	appCfg := core.Config{Window: 16, Checkpoint: 2 * time.Millisecond, SuspectGrace: Grace}
+	appCfg := spec.engineCfg(core.Config{Window: 16, Checkpoint: 2 * time.Millisecond, SuspectGrace: Grace})
 
 	seedWorld := life.NewWorld(width, height)
 	wrng := rand.New(rand.NewSource(spec.Seed))
@@ -273,7 +296,7 @@ func RunParlife(spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("chaos(life): world after %d iterations under faults differs from undisturbed run\n%s", iters, sched)
 	}
 	out := &Result{
-		Workload:  "life",
+		Workload:  spec.workloadName("life"),
 		Schedule:  sched,
 		Calls:     iters,
 		Failovers: stats.FailoversCompleted,

@@ -59,6 +59,28 @@ type Config struct {
 	// external detectors (kernel heartbeats calling FailNode). Ignored
 	// unless Checkpoint is set (the dps façade rejects the combination).
 	FailureDetect time.Duration
+	// Batch turns on per-destination token coalescing on the wire path:
+	// outbound tokens and group-ends bound for the same node accumulate
+	// into one batch frame (msgBatch), flushed when it reaches BatchMaxBytes
+	// or BatchMaxTokens, when BatchDelay elapses, or when a
+	// latency-sensitive message (result, ack, fence, checkpoint, ...) needs
+	// the lane. Off by default: with Batch false no msgBatch frame is ever
+	// emitted and every wire frame stays byte-identical to the unbatched
+	// engine.
+	Batch bool
+	// BatchMaxBytes bounds one batch frame's payload bytes; zero selects
+	// DefaultBatchMaxBytes.
+	BatchMaxBytes int
+	// BatchMaxTokens bounds the entries coalesced into one batch frame;
+	// zero selects DefaultBatchMaxTokens.
+	BatchMaxTokens int
+	// BatchDelay bounds how long a non-full batch may wait for more
+	// traffic; zero selects DefaultBatchDelay.
+	BatchDelay time.Duration
+	// Compress DEFLATE-compresses batch frame bodies that shrink (counted
+	// by Stats.CompressedBytes/UncompressedBytes). Requires Batch; it has
+	// no effect on unbatched frames.
+	Compress bool
 	// SuspectGrace turns "first send error = death" into graceful
 	// degradation: a failing transport send (including liveness probes) is
 	// retried with capped exponential backoff and jitter for up to this

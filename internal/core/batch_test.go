@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randEnvelope builds an envelope with pseudorandom routing fields and a
+// payload of the given size.
+func randEnvelope(rng *rand.Rand, payloadLen int) *envelope {
+	p := make([]byte, payloadLen)
+	rng.Read(p)
+	return &envelope{
+		Graph:      fmt.Sprintf("g%d", rng.Intn(3)),
+		Node:       rng.Intn(8),
+		Thread:     rng.Intn(16),
+		CallID:     rng.Uint64() >> 16,
+		CallOrigin: fmt.Sprintf("node%d", rng.Intn(4)),
+		LastWorker: rng.Intn(4) - 1,
+		CreditNode: rng.Intn(4) - 1,
+		Frames: []frame{{
+			GroupID:     rng.Uint64() >> 32,
+			Index:       rng.Intn(1 << 12),
+			Origin:      fmt.Sprintf("node%d", rng.Intn(4)),
+			MergeThread: rng.Intn(8),
+		}},
+		Payload: p,
+	}
+}
+
+type batchEntry struct {
+	kind   byte
+	stream string
+	seq    uint64
+	env    *envelope
+	end    *groupEndMsg
+}
+
+// encodeBatchOf runs the entries through a batchEncoder exactly as the
+// link-layer batcher does.
+func encodeBatchOf(entries []batchEntry, compress bool) []byte {
+	var be batchEncoder
+	for _, e := range entries {
+		var body []byte
+		switch e.kind {
+		case msgToken, msgTokenFT:
+			body = appendEnvelopeBody(nil, e.env)
+			body = append(body, e.env.Payload...)
+		case msgGroupEnd, msgGroupEndFT:
+			body = appendGroupEndBody(nil, e.end)
+		}
+		be.add(e.kind, e.stream, e.seq, body)
+	}
+	frame, _, _ := be.appendFrame(nil, compress)
+	return frame
+}
+
+// TestBatchRoundTripOracle: a batch of N entries must decode to exactly the
+// envelopes and group-ends that N individual frames would have produced —
+// same bodies byte for byte, same FT stamps.
+func TestBatchRoundTripOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		entries := make([]batchEntry, n)
+		for i := range entries {
+			e := batchEntry{stream: fmt.Sprintf("s%d", rng.Intn(3)), seq: rng.Uint64() >> 40}
+			switch rng.Intn(4) {
+			case 0:
+				e.kind = msgToken
+				e.env = randEnvelope(rng, rng.Intn(512))
+			case 1:
+				e.kind = msgTokenFT
+				e.env = randEnvelope(rng, rng.Intn(512))
+			case 2:
+				e.kind = msgGroupEnd
+				e.end = &groupEndMsg{Graph: "g", Node: rng.Intn(4), Thread: rng.Intn(4), GroupID: rng.Uint64() >> 32, Total: rng.Intn(100), CallID: rng.Uint64() >> 32}
+			case 3:
+				e.kind = msgGroupEndFT
+				e.end = &groupEndMsg{Graph: "g2", Node: 1, Thread: 2, GroupID: 7, Total: 3, CallID: 11}
+			}
+			entries[i] = e
+		}
+		frame := encodeBatchOf(entries, trial%2 == 1)
+		if frame[0] != msgBatch {
+			t.Fatalf("kind byte %d", frame[0])
+		}
+		body, _, err := decodeBatchFrame(frame[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		err = decodeBatch(body, func(kind byte, stream string, seq uint64, entryBody []byte) error {
+			want := entries[i]
+			i++
+			if kind != want.kind {
+				return fmt.Errorf("entry %d: kind %d want %d", i-1, kind, want.kind)
+			}
+			switch kind {
+			case msgToken, msgTokenFT:
+				if kind == msgTokenFT && (stream != want.stream || seq != want.seq) {
+					return fmt.Errorf("entry %d: stamp (%q,%d) want (%q,%d)", i-1, stream, seq, want.stream, want.seq)
+				}
+				// Oracle: the entry body must equal the single-frame encoding
+				// minus its prefix, and decode to the same envelope.
+				var single []byte
+				if kind == msgTokenFT {
+					env := *want.env
+					env.FTStream, env.FTSeq = want.stream, want.seq
+					single = appendTokenFT(nil, &env)
+					single = append(single, want.env.Payload...)
+					prefix := appendString([]byte{msgTokenFT}, want.stream)
+					prefix = appendUint64(prefix, want.seq)
+					single = single[len(prefix):]
+				} else {
+					single = encodeEnvelopeHeader(want.env)
+					single = append(single, want.env.Payload...)
+					single = single[1:] // kind byte
+				}
+				if !bytes.Equal(entryBody, single) {
+					return fmt.Errorf("entry %d: body differs from single-frame encoding", i-1)
+				}
+				got, derr := decodeEnvelope(entryBody)
+				if derr != nil {
+					return derr
+				}
+				wantEnv := *want.env
+				wantEnv.Token = nil
+				got.Token = nil
+				if len(got.Payload) == 0 && len(wantEnv.Payload) == 0 {
+					got.Payload, wantEnv.Payload = nil, nil
+				}
+				if !reflect.DeepEqual(got, &wantEnv) {
+					return fmt.Errorf("entry %d: envelope %+v want %+v", i-1, got, &wantEnv)
+				}
+			default:
+				single := appendGroupEndBody(nil, want.end)
+				if !bytes.Equal(entryBody, single) {
+					return fmt.Errorf("entry %d: group-end body differs", i-1)
+				}
+				got, derr := decodeGroupEnd(entryBody)
+				if derr != nil {
+					return derr
+				}
+				if !reflect.DeepEqual(got, want.end) {
+					return fmt.Errorf("entry %d: group-end %+v want %+v", i-1, got, want.end)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if i != n {
+			t.Fatalf("trial %d: decoded %d entries, want %d", trial, i, n)
+		}
+	}
+}
+
+// TestBatchCompressedFrame pins the compressed path: compressible bodies
+// shrink on the wire yet inflate to the identical body.
+func TestBatchCompressedFrame(t *testing.T) {
+	env := randEnvelope(rand.New(rand.NewSource(1)), 0)
+	env.Payload = bytes.Repeat([]byte("data"), 4096)
+	entries := []batchEntry{{kind: msgToken, env: env}}
+	raw := encodeBatchOf(entries, false)
+	packed := encodeBatchOf(entries, true)
+	if len(packed) >= len(raw) {
+		t.Fatalf("compressed frame did not shrink: %d >= %d", len(packed), len(raw))
+	}
+	if packed[1]&batchFlagCompressed == 0 {
+		t.Fatal("compressed frame not flagged")
+	}
+	rawBody, inflated1, err := decodeBatchFrame(raw[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedBody, inflated2, err := decodeBatchFrame(packed[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflated1 || !inflated2 {
+		t.Fatalf("inflated flags: raw %v, packed %v", inflated1, inflated2)
+	}
+	if !bytes.Equal(rawBody, packedBody) {
+		t.Fatal("compressed body inflates to different bytes")
+	}
+	// Incompressible bodies must ride raw even with compression requested.
+	rng := rand.New(rand.NewSource(2))
+	env2 := randEnvelope(rng, 16<<10)
+	frame := encodeBatchOf([]batchEntry{{kind: msgToken, env: env2}}, true)
+	if frame[1]&batchFlagCompressed != 0 {
+		t.Fatal("incompressible body was flagged compressed")
+	}
+}
+
+// TestBatchDecodeHostile hardens the decoder against frames that lie about
+// counts and lengths: nothing may allocate proportionally to a claimed
+// count, and every lie must surface as an error rather than a panic.
+func TestBatchDecodeHostile(t *testing.T) {
+	hostile := [][]byte{
+		{},     // empty frame
+		{0xff}, // unknown flags
+		// Giant claimed stream count with no bytes behind it.
+		binary.AppendUvarint(nil, 1<<40),
+		// Plausible stream count, truncated strings.
+		append(binary.AppendUvarint(nil, 3), 0x05, 'a'),
+		// Zero streams, giant entry count.
+		binary.AppendUvarint(binary.AppendUvarint(nil, 0), 1<<40),
+		// One entry claiming a body far past the frame end.
+		func() []byte {
+			b := binary.AppendUvarint(nil, 0) // no streams
+			b = binary.AppendUvarint(b, 1)    // one entry
+			b = append(b, msgToken)
+			b = binary.AppendUvarint(b, 1<<30) // body length lie
+			return append(b, 1, 2, 3)
+		}(),
+		// FT entry with out-of-range stream index.
+		func() []byte {
+			b := binary.AppendUvarint(nil, 1)
+			b = appendString(b, "s")
+			b = binary.AppendUvarint(b, 1)
+			b = append(b, msgTokenFT)
+			b = binary.AppendUvarint(b, 9) // index 9 of 1
+			b = binary.AppendUvarint(b, 1)
+			b = binary.AppendUvarint(b, 0)
+			return b
+		}(),
+		// Non-batchable kind inside a batch.
+		func() []byte {
+			b := binary.AppendUvarint(nil, 0)
+			b = binary.AppendUvarint(b, 1)
+			b = append(b, msgResult)
+			return binary.AppendUvarint(b, 0)
+		}(),
+		// Trailing garbage after the declared entries.
+		func() []byte {
+			b := binary.AppendUvarint(nil, 0)
+			b = binary.AppendUvarint(b, 0)
+			return append(b, 0xde, 0xad)
+		}(),
+	}
+	for i, h := range hostile {
+		if i == 0 {
+			if _, _, err := decodeBatchFrame(h); err == nil {
+				t.Errorf("case %d: empty frame accepted", i)
+			}
+			continue
+		}
+		if i == 1 {
+			if _, _, err := decodeBatchFrame(h); err == nil {
+				t.Errorf("case %d: unknown flags accepted", i)
+			}
+			continue
+		}
+		err := decodeBatch(h, func(byte, string, uint64, []byte) error { return nil })
+		if err == nil {
+			t.Errorf("case %d: hostile body accepted", i)
+		}
+	}
+
+	// Compressed-frame lies: giant claimed raw length, and a stream that
+	// inflates past its claim.
+	giant := append([]byte{batchFlagCompressed}, binary.AppendUvarint(nil, maxBatchRaw+1)...)
+	if _, _, err := decodeBatchFrame(append(giant, 1, 2, 3)); err == nil {
+		t.Error("giant claimed raw length accepted")
+	}
+	body := bytes.Repeat([]byte("x"), 8192)
+	packed, ok := deflateBatch(body)
+	if !ok {
+		t.Fatal("setup: body did not compress")
+	}
+	lie := append([]byte{batchFlagCompressed}, binary.AppendUvarint(nil, 16)...)
+	if _, _, err := decodeBatchFrame(append(lie, packed...)); err == nil {
+		t.Error("stream inflating past its claimed length accepted")
+	}
+	short := append([]byte{batchFlagCompressed}, binary.AppendUvarint(nil, uint64(len(body)))...)
+	if _, _, err := decodeBatchFrame(append(short, packed[:len(packed)/2]...)); err == nil {
+		t.Error("truncated flate stream accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// TestUppercaseBatched runs the tutorial graph with wire batching on over
+// serialized local lanes (ForceSerialize disables the colocated fast path,
+// so every inter-node token really rides a batch frame).
+func TestUppercaseBatched(t *testing.T) {
+	app := newLocalApp(t, core.Config{Batch: true, ForceSerialize: true}, "node0", "node1", "node2")
+	g := buildUppercase(t, app, "upper", "node1*2 node2")
+	in := "batched wire path throughput"
+	out, err := g.CallTimeout(app.MasterNode(), &StringToken{Str: in}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*StringToken).Str; got != strings.ToUpper(in) {
+		t.Fatalf("got %q", got)
+	}
+	st := app.Stats()
+	if st.FramesBatched == 0 {
+		t.Fatal("no batch frames flushed despite Config.Batch")
+	}
+	if st.TokensPerFrame < 1 {
+		t.Fatalf("TokensPerFrame = %d", st.TokensPerFrame)
+	}
+}
+
+// TestUppercaseBatchedCompressedFT stacks every wire-path feature: batching,
+// batch-body compression, and fault-tolerance sequence stamps folded into
+// the batch header.
+func TestUppercaseBatchedCompressedFT(t *testing.T) {
+	app := newLocalApp(t, core.Config{
+		Batch:          true,
+		Compress:       true,
+		ForceSerialize: true,
+		Checkpoint:     5 * time.Millisecond,
+	}, "node0", "node1")
+	g := buildUppercase(t, app, "upper", "node1")
+	in := "compressed and sequenced"
+	out, err := g.CallTimeout(app.MasterNode(), &StringToken{Str: in}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*StringToken).Str; got != strings.ToUpper(in) {
+		t.Fatalf("got %q", got)
+	}
+	st := app.Stats()
+	if st.FramesBatched == 0 {
+		t.Fatal("no batch frames flushed")
+	}
+	if st.UncompressedBytes == 0 {
+		t.Fatal("compression counters untouched despite Config.Compress")
+	}
+	if st.CompressedBytes > st.UncompressedBytes {
+		t.Fatalf("CompressedBytes %d > UncompressedBytes %d", st.CompressedBytes, st.UncompressedBytes)
+	}
+}
+
+// TestUppercaseBatchedOverSimnet sends batch frames through the modelled
+// network: whole batches must honor the simulated FIFO delivery.
+func TestUppercaseBatchedOverSimnet(t *testing.T) {
+	net := simnet.New(simnet.Config{Bandwidth: 100e6, Latency: 20 * time.Microsecond, TimeScale: 1})
+	defer net.Close()
+	app, err := core.NewSimApp(core.Config{Batch: true}, net, "n0", "n1", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	g := buildUppercase(t, app, "upper", "n1 n2")
+	out, err := g.CallTimeout(app.MasterNode(), &StringToken{Str: "simnet batch"}, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*StringToken).Str; got != "SIMNET BATCH" {
+		t.Fatalf("got %q", got)
+	}
+	if app.Stats().FramesBatched == 0 {
+		t.Fatal("no batch frames crossed the simulated network")
+	}
+}
+
+// TestColocatedFastPath: without ForceSerialize, co-located nodes of one
+// process hand tokens over by pointer — no serialization, no wire frames.
+func TestColocatedFastPath(t *testing.T) {
+	app := newLocalApp(t, core.Config{}, "node0", "node1", "node2")
+	g := buildUppercase(t, app, "upper", "node1*2 node2")
+	in := "colocated lanes"
+	out, err := g.CallTimeout(app.MasterNode(), &StringToken{Str: in}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*StringToken).Str; got != strings.ToUpper(in) {
+		t.Fatalf("got %q", got)
+	}
+	st := app.Stats()
+	if st.TokensRemote != 0 {
+		t.Fatalf("%d tokens serialized between co-located nodes", st.TokensRemote)
+	}
+	if st.TokensLocal == 0 {
+		t.Fatal("no pointer-handoff deliveries counted")
+	}
+}

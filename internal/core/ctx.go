@@ -222,6 +222,7 @@ func (c *Ctx) postOut(tok Token) {
 	env.Token = tok
 	env.ftSender = c.inst.ft        // nil unless fault tolerance is enabled
 	env.ftInStream = c.env.FTStream // the execution's input stream (determinant)
+	env.ftInSeq = c.env.FTSeq       // ...and its sequence there (regen attribution)
 	c.rt.routeToken(env, succNode.tc, thread)
 }
 

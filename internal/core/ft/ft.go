@@ -76,6 +76,13 @@ type Entry struct {
 	Seq uint64
 	// CallID identifies the invocation, so replays skip canceled calls.
 	CallID uint64
+	// InStream / InSeq attribute the entry to the input whose execution
+	// produced it: the sender stream the input arrived on and its sequence
+	// number there. They power regenerative checkpoints (SnapshotRegen) —
+	// knowing which input each retained output belongs to is what lets a
+	// checkpoint rewind its input cursors instead of shipping the log.
+	InStream string
+	InSeq    uint64
 	// Kind says how to decode Bytes (EntryToken / EntryGroupEnd).
 	Kind byte
 	// Bytes is the engine-encoded message, opaque to this package.
@@ -89,6 +96,27 @@ type OutKey struct {
 	Dst    place.Key
 }
 
+// ChanMark is the per-output-channel watermark that makes regenerative
+// checkpoints sound. Because an instance's output stream is derived from
+// the input stream that produced it (DerivedStream), each (stream, dst)
+// channel carries the outputs of exactly one input stream, in input order —
+// so sequence numbers on a channel are contiguous and cuts always remove a
+// prefix. Tracking how far that prefix reaches, in both output and input
+// coordinates, tells a checkpoint which inputs it may safely promise to
+// re-execute instead of logging their outputs.
+type ChanMark struct {
+	// InStream is the input stream whose executions feed this channel
+	// ("" poisons the channel: conflicting or unattributed entries were
+	// appended, and regeneration must not trust it).
+	InStream string
+	// CutIn is the highest input sequence whose output on this channel has
+	// been cut from the log.
+	CutIn uint64
+	// CutOut is the highest output sequence ever cut (monotone; cuts drop
+	// prefixes, so this is also the length of the fully-durable prefix).
+	CutOut uint64
+}
+
 // State is the fault-tolerance state of one sender: outbound sequencing
 // and retention, inbound duplicate filtering. The zero value is not usable;
 // create with NewState. All methods are safe for concurrent use.
@@ -99,15 +127,25 @@ type State struct {
 	in  map[string]uint64 // highest inbound seq processed, per sender stream
 	out map[OutKey]uint64 // last outbound seq assigned, per (stream, destination)
 	log []Entry
+
+	// chans holds the regeneration watermarks, one per output channel ever
+	// used; shipped is the highest In value per input stream ever placed in
+	// a record that left this state (checkpoint or migration) — a floor no
+	// later regenerative rewind may go below, because upstream logs may
+	// already be cut to it.
+	chans   map[OutKey]ChanMark
+	shipped map[string]uint64
 }
 
 // NewState creates the fault-tolerance state of a sender identified by
 // stream (see StreamOf / NodeStream).
 func NewState(stream string) *State {
 	return &State{
-		stream: stream,
-		in:     make(map[string]uint64),
-		out:    make(map[OutKey]uint64),
+		stream:  stream,
+		in:      make(map[string]uint64),
+		out:     make(map[OutKey]uint64),
+		chans:   make(map[OutKey]ChanMark),
+		shipped: make(map[string]uint64),
 	}
 }
 
@@ -142,6 +180,14 @@ func (s *State) CheckIn(stream string, seq uint64) bool {
 func (s *State) Append(e Entry) {
 	s.mu.Lock()
 	s.log = append(s.log, e)
+	k := OutKey{Stream: e.Stream, Dst: e.Dst}
+	cm, ok := s.chans[k]
+	if !ok {
+		cm.InStream = e.InStream
+	} else if cm.InStream != e.InStream {
+		cm.InStream = "" // poisoned: regeneration must not trust the channel
+	}
+	s.chans[k] = cm
 	s.mu.Unlock()
 }
 
@@ -152,14 +198,25 @@ func (s *State) Append(e Entry) {
 func (s *State) Cut(stream string, dst place.Key, seq uint64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	k := OutKey{Stream: stream, Dst: dst}
+	cm := s.chans[k]
 	kept := s.log[:0]
 	dropped := 0
 	for _, e := range s.log {
 		if e.Stream == stream && e.Dst == dst && e.Seq <= seq {
 			dropped++
+			if e.InSeq > cm.CutIn {
+				cm.CutIn = e.InSeq
+			}
+			if e.Seq > cm.CutOut {
+				cm.CutOut = e.Seq
+			}
 			continue
 		}
 		kept = append(kept, e)
+	}
+	if dropped > 0 {
+		s.chans[k] = cm
 	}
 	// Zero the tail so dropped entries' byte slices are collectable.
 	for i := len(kept); i < len(s.log); i++ {
@@ -193,7 +250,10 @@ func (s *State) LogLen() int {
 }
 
 // Snapshot copies the state into a Record shell: inbound cursors, outbound
-// counters and the retained log. The caller fills Key, Seq and State.
+// counters and the retained log. The caller fills Key, Seq and State. The
+// record is assumed to leave this state (checkpoint ship or migration), so
+// the shipped floors rise to its In cursors — a later regenerative rewind
+// must never promise inputs an earlier record may have truncated upstream.
 func (s *State) Snapshot() *Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -204,12 +264,108 @@ func (s *State) Snapshot() *Record {
 	}
 	for k, v := range s.in {
 		r.In[k] = v
+		if v > s.shipped[k] {
+			s.shipped[k] = v
+		}
 	}
 	for k, v := range s.out {
 		r.Out[k] = v
 	}
 	copy(r.Log, s.log)
+	s.fillMarks(r)
 	return r
+}
+
+// fillMarks copies the regeneration watermarks into r (mu held).
+func (s *State) fillMarks(r *Record) {
+	r.Chans = make(map[OutKey]ChanMark, len(s.chans))
+	for k, v := range s.chans {
+		r.Chans[k] = v
+	}
+	r.Shipped = make(map[string]uint64, len(s.shipped))
+	for k, v := range s.shipped {
+		r.Shipped[k] = v
+	}
+}
+
+// SnapshotRegen attempts a regenerative (log-free) checkpoint: instead of
+// shipping the retained log — the bulk payload bytes that make checkpoint
+// egress scale with traffic — it rewinds the inbound cursors to a point
+// from which deterministic re-execution regenerates every retained output
+// with its original sequence number. The record then carries only cursors
+// and counters. ok=false means no sound rewind exists right now (the
+// caller falls back to Snapshot); the caller must ensure the instance is
+// stateless and never ran a collector — re-execution from rewound cursors
+// replays state mutations and merge consumption the record cannot capture.
+//
+// Soundness: for input stream st the rewound cursor is
+//
+//	S(st) = min(in[st], min over channels fed by st of (minLiveInSeq − 1))
+//
+// so on every channel the live entries are exactly the outputs of inputs
+// above S — which re-execution regenerates in order, with Out restored to
+// CutOut so the regenerated sequence numbers collide with the originals in
+// every receiver's duplicate filter. Two conditions can break that and
+// veto the rewind: a channel that cut an output of an input above S (the
+// regenerated copy would be assigned a FRESH sequence number and slip past
+// the filters as a duplicate delivery), and a rewind below a shipped floor
+// (upstream logs may already be truncated to an earlier record's In, so
+// inputs below it can never be replayed to us).
+func (s *State) SnapshotRegen() (*Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rewound := make(map[string]uint64, len(s.in))
+	for st, v := range s.in {
+		rewound[st] = v
+	}
+	for _, e := range s.log {
+		cm, ok := s.chans[OutKey{Stream: e.Stream, Dst: e.Dst}]
+		if !ok || cm.InStream == "" || e.InSeq == 0 {
+			return nil, false // unattributed output: cannot rewind past it
+		}
+		cur, ok := rewound[cm.InStream]
+		if !ok {
+			return nil, false
+		}
+		if e.InSeq-1 < cur {
+			rewound[cm.InStream] = e.InSeq - 1
+		}
+	}
+	for k, cm := range s.chans {
+		if cm.InStream == "" {
+			return nil, false
+		}
+		S, ok := rewound[cm.InStream]
+		if !ok || cm.CutIn > S {
+			return nil, false
+		}
+		if _, ok := s.out[k]; !ok {
+			return nil, false
+		}
+	}
+	for st, S := range rewound {
+		if S < s.shipped[st] {
+			return nil, false
+		}
+	}
+	r := &Record{
+		In:  rewound,
+		Out: make(map[OutKey]uint64, len(s.chans)),
+	}
+	for k := range s.out {
+		cm, ok := s.chans[k]
+		if !ok {
+			return nil, false
+		}
+		r.Out[k] = cm.CutOut
+	}
+	for st, S := range rewound {
+		if S > s.shipped[st] {
+			s.shipped[st] = S
+		}
+	}
+	s.fillMarks(r)
+	return r, true
 }
 
 // Restore overwrites the state from a checkpoint record: the restored
@@ -227,6 +383,14 @@ func (s *State) Restore(r *Record) {
 		s.out[k] = v
 	}
 	s.log = append([]Entry(nil), r.Log...)
+	s.chans = make(map[OutKey]ChanMark, len(r.Chans))
+	for k, v := range r.Chans {
+		s.chans[k] = v
+	}
+	s.shipped = make(map[string]uint64, len(r.Shipped))
+	for k, v := range r.Shipped {
+		s.shipped[k] = v
+	}
 }
 
 // LastIn returns the inbound cursor of one stream (tests).
@@ -321,10 +485,16 @@ type Record struct {
 	// State is the serialized user state (empty for stateless collections
 	// and instances that were never touched).
 	State []byte
-	// In / Out / Log are the State snapshot (see State.Snapshot).
+	// In / Out / Log are the State snapshot (see State.Snapshot). A
+	// regenerative record (SnapshotRegen) carries rewound In cursors and an
+	// empty Log.
 	In  map[string]uint64
 	Out map[OutKey]uint64
 	Log []Entry
+	// Chans / Shipped are the regeneration watermarks, restored verbatim so
+	// a recovered instance keeps taking regenerative checkpoints.
+	Chans   map[OutKey]ChanMark
+	Shipped map[string]uint64
 }
 
 // Encode appends the record's wire form to b.
@@ -353,8 +523,25 @@ func (r *Record) Encode(b []byte) []byte {
 		b = binary.AppendVarint(b, int64(e.Dst.Thread))
 		b = binary.AppendUvarint(b, e.Seq)
 		b = binary.AppendUvarint(b, e.CallID)
+		b = appendString(b, e.InStream)
+		b = binary.AppendUvarint(b, e.InSeq)
 		b = append(b, e.Kind)
 		b = appendBytes(b, e.Bytes)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Chans)))
+	for _, k := range sortedChanKeys(r.Chans) {
+		cm := r.Chans[k]
+		b = appendString(b, k.Stream)
+		b = appendString(b, k.Dst.Collection)
+		b = binary.AppendVarint(b, int64(k.Dst.Thread))
+		b = appendString(b, cm.InStream)
+		b = binary.AppendUvarint(b, cm.CutIn)
+		b = binary.AppendUvarint(b, cm.CutOut)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Shipped)))
+	for _, k := range sortedStrings(r.Shipped) {
+		b = appendString(b, k)
+		b = binary.AppendUvarint(b, r.Shipped[k])
 	}
 	return b
 }
@@ -452,6 +639,12 @@ func DecodeRecord(b []byte) (*Record, error) {
 		if e.CallID, b, err = readUvarint(b); err != nil {
 			return nil, err
 		}
+		if e.InStream, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if e.InSeq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
 		if len(b) < 1 {
 			return nil, fmt.Errorf("ft: truncated entry kind")
 		}
@@ -460,6 +653,55 @@ func DecodeRecord(b []byte) (*Record, error) {
 			return nil, err
 		}
 		r.Log = append(r.Log, e)
+	}
+	if u, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if u > maxRecordItems {
+		return nil, fmt.Errorf("ft: implausible map size %d", u)
+	}
+	r.Chans = make(map[OutKey]ChanMark, u)
+	for i := uint64(0); i < u; i++ {
+		var k OutKey
+		var cm ChanMark
+		if k.Stream, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if k.Dst.Collection, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if n, b, err = readVarint(b); err != nil {
+			return nil, err
+		}
+		k.Dst.Thread = int(n)
+		if cm.InStream, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if cm.CutIn, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if cm.CutOut, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		r.Chans[k] = cm
+	}
+	if u, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if u > maxRecordItems {
+		return nil, fmt.Errorf("ft: implausible map size %d", u)
+	}
+	r.Shipped = make(map[string]uint64, u)
+	for i := uint64(0); i < u; i++ {
+		var k string
+		var v uint64
+		if k, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		r.Shipped[k] = v
 	}
 	return r, nil
 }
@@ -606,6 +848,20 @@ func sortedOutKeys(m map[OutKey]uint64) []OutKey {
 	for k := range m {
 		out = append(out, k)
 	}
+	sortOutKeys(out)
+	return out
+}
+
+func sortedChanKeys(m map[OutKey]ChanMark) []OutKey {
+	out := make([]OutKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortOutKeys(out)
+	return out
+}
+
+func sortOutKeys(out []OutKey) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Stream != out[j].Stream {
 			return out[i].Stream < out[j].Stream
@@ -615,5 +871,4 @@ func sortedOutKeys(m map[OutKey]uint64) []OutKey {
 		}
 		return out[i].Dst.Thread < out[j].Dst.Thread
 	})
-	return out
 }

@@ -192,7 +192,7 @@ func (rt *Runtime) finishOpener(c *Ctx) {
 		Total:   posted,
 		CallID:  c.callID,
 	}
-	rt.routeGroupEnd(end, closerNode.tc, mergeThread, c.inst.ft, c.env.FTStream)
+	rt.routeGroupEnd(end, closerNode.tc, mergeThread, c.inst.ft, c.env.FTStream, c.env.FTSeq)
 	rt.maybeReapSplit(sg)
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/core/ft"
@@ -55,17 +56,276 @@ type link struct {
 	grace time.Duration // SuspectGrace: retry window for failing sends
 	sink  linkSink
 	stats *statCounters
+
+	// Colocated fast path: peers resolves a destination node to the sink of
+	// a runtime sharing this address space (nil function, or nil result: no
+	// fast path — the destination is remote or the transport cannot tell).
+	// Positive resolutions are cached; negatives are not, because nodes
+	// attach over time.
+	peers  func(dst string) linkSink
+	coPeer sync.Map // dst -> linkSink
+
+	// Per-destination token coalescing (Config.Batch).
+	batch       bool
+	batchBytes  int
+	batchTokens int
+	batchLarge  int // token bodies this big skip coalescing (single frame)
+	batchDelay  time.Duration
+	compress    bool
+	bmu         sync.Mutex
+	batchers    map[string]*batcher
 }
 
-func (l *link) init(tr transport.Transport, reg *serial.Registry, force, ftOn bool, grace time.Duration, sink linkSink, stats *statCounters) {
+// Batching defaults, selected when Config.Batch is set and the matching
+// knob is zero: flush a destination's pending frame once it holds 64
+// tokens or 128 KiB of entries, or 500µs after its first entry — late
+// enough to coalesce a split's burst, early enough to stay invisible next
+// to real network latency. Latency-sensitive messages flush sooner
+// (preSend).
+const (
+	DefaultBatchMaxBytes  = 128 << 10
+	DefaultBatchMaxTokens = 64
+	DefaultBatchDelay     = 500 * time.Microsecond
+)
+
+func (l *link) init(tr transport.Transport, reg *serial.Registry, cfg *Config, ftOn bool, sink linkSink, stats *statCounters, peers func(dst string) linkSink) {
 	l.tr = tr
 	l.reg = reg
 	l.name = tr.Local()
-	l.force = force
+	l.force = cfg.ForceSerialize
 	l.ftOn = ftOn
-	l.grace = grace
+	l.grace = cfg.SuspectGrace
 	l.sink = sink
 	l.stats = stats
+	if !cfg.ForceSerialize {
+		l.peers = peers
+	}
+	if cfg.Batch {
+		l.batch = true
+		l.batchBytes = cfg.BatchMaxBytes
+		if l.batchBytes <= 0 {
+			l.batchBytes = DefaultBatchMaxBytes
+		}
+		l.batchTokens = cfg.BatchMaxTokens
+		if l.batchTokens <= 0 {
+			l.batchTokens = DefaultBatchMaxTokens
+		}
+		l.batchDelay = cfg.BatchDelay
+		if l.batchDelay <= 0 {
+			l.batchDelay = DefaultBatchDelay
+		}
+		// Bulk bypass cutoff: a body within a factor of 16 of the frame
+		// bound dwarfs the per-frame overhead batching saves, and staging
+		// it through the entries buffer would only add copies.
+		l.batchLarge = l.batchBytes / 16
+		l.compress = cfg.Compress
+		l.batchers = make(map[string]*batcher)
+	}
+}
+
+// peerSink resolves the fast-path delivery sink of a colocated destination:
+// a runtime in this process whose transport endpoint shares our address
+// space (transport.Colocated), so messages hand over as pointers with no
+// serialization. Disabled by ForceSerialize. Every message kind to a
+// colocated destination takes the fast path or none do — mixing would
+// reorder the wire stream against the direct deliveries.
+func (l *link) peerSink(dst string) linkSink {
+	if l.peers == nil {
+		return nil
+	}
+	if v, ok := l.coPeer.Load(dst); ok {
+		return v.(linkSink)
+	}
+	s := l.peers(dst)
+	if s != nil {
+		l.coPeer.Store(dst, s)
+	}
+	return s
+}
+
+// batcher coalesces the batchable traffic of one destination (Config.Batch).
+// Its mutex is the per-destination ordering domain of the batched wire
+// path: batchable sends append under it, and every non-batchable send to
+// the same destination flushes and transmits while holding it (preSend), so
+// wire order is exactly send order even though batched entries leave late.
+type batcher struct {
+	l   *link
+	dst string
+
+	mu      sync.Mutex
+	enc     batchEncoder
+	scratch []byte // entry-body staging, reused across appends
+	timer   *time.Timer
+	armed   bool
+}
+
+func (l *link) batcherFor(dst string) *batcher {
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	b := l.batchers[dst]
+	if b == nil {
+		b = &batcher{l: l, dst: dst}
+		l.batchers[dst] = b
+	}
+	return b
+}
+
+// preSend serializes a non-batchable send to dst with its pending batch:
+// the batch flushes first and the batcher lock is held across the caller's
+// own transmit (run the returned unlock after it), so a latency- or
+// order-sensitive message can never overtake — or be overtaken by — tokens
+// batched before it. Returns nil with batching off or for local targets.
+func (l *link) preSend(dst string) func() {
+	if !l.batch || dst == l.name {
+		return nil
+	}
+	b := l.batcherFor(dst)
+	b.mu.Lock()
+	b.flushLocked()
+	return b.mu.Unlock
+}
+
+func (b *batcher) timedFlush() {
+	b.mu.Lock()
+	b.armed = false
+	b.flushLocked()
+	b.mu.Unlock()
+}
+
+// addLocked appends one entry and flushes if a size bound tripped; the
+// first entry of a fresh frame arms the age timer.
+func (b *batcher) addLocked(kind byte, stream string, seq uint64, body []byte) {
+	b.enc.add(kind, stream, seq, body)
+	if b.enc.size() >= b.l.batchBytes || b.enc.tokens >= b.l.batchTokens {
+		b.flushLocked()
+		return
+	}
+	if !b.armed {
+		b.armed = true
+		if b.timer == nil {
+			b.timer = time.AfterFunc(b.l.batchDelay, b.timedFlush)
+		} else {
+			b.timer.Reset(b.l.batchDelay)
+		}
+	}
+}
+
+// flushLocked assembles and transmits the pending frame. It must not panic
+// — the age timer calls it from its own goroutine: a send failure is either
+// absorbed by the failure detector (the batched tokens' retained FT copies
+// replay during recovery) or surfaces through linkFail.
+func (b *batcher) flushLocked() {
+	if b.enc.empty() {
+		return
+	}
+	l := b.l
+	if b.armed {
+		b.armed = false
+		b.timer.Stop()
+	}
+	if l.down(b.dst) {
+		b.enc.reset()
+		return
+	}
+	tokens := int64(b.enc.tokens)
+	buf, rawLen, gotLen := b.enc.appendFrame(getWireBuf(), l.compress)
+	b.enc.reset()
+	l.stats.framesBatched.Add(1)
+	l.stats.maxTokensPerFrame(tokens)
+	if l.compress {
+		l.stats.uncompressedBytes.Add(int64(rawLen))
+		l.stats.compressedBytes.Add(int64(gotLen))
+	}
+	l.stats.bytesSent.Add(int64(len(buf)))
+	if err := l.trSend(b.dst, buf); err != nil {
+		putWireBuf(buf)
+		if !l.sendFailed(b.dst, err) {
+			l.sink.linkFail(err)
+		}
+	}
+}
+
+// batchToken coalesces one remote token into its destination's pending
+// frame. The entry body is the message encoding minus its kind/stream/seq
+// prefix — those fold into the frame header and stream dictionary — so a
+// batch of N entries decodes to exactly the envelopes N singles would.
+func (l *link) batchToken(env *envelope, dst string) {
+	b := l.batcherFor(dst)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var kind byte
+	var err error
+	body := b.scratch[:0]
+	switch {
+	case env.ftWire != nil:
+		// The retention log's encoding is [kind][stream][seq][body]; strip
+		// the prefix instead of serializing the token a second time.
+		rest := env.ftWire[1:]
+		if _, rest, err = readString(rest); err == nil {
+			_, rest, err = readUint64(rest)
+		}
+		if err != nil {
+			panic(opError{fmt.Errorf("dps: corrupt retained encoding of %T: %w", env.Token, err)})
+		}
+		kind = msgTokenFT
+		body = append(body, rest...)
+		env.ftWire = nil
+	case env.FTSeq > 0:
+		kind = msgTokenFT
+		body = appendEnvelopeBody(body, env)
+		body, err = l.reg.Append(body, env.Token)
+	default:
+		kind = msgToken
+		body = appendEnvelopeBody(body, env)
+		body, err = l.reg.Append(body, env.Token)
+	}
+	if err != nil {
+		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
+	}
+	b.scratch = body
+	l.stats.tokensRemote.Add(1)
+	if len(body) >= l.batchLarge {
+		// Bulk bypass: a body this size dwarfs what coalescing saves, so
+		// frame it alone — the pending batch flushes first and the send runs
+		// under the batcher lock, keeping wire order equal to send order.
+		b.flushLocked()
+		var buf []byte
+		if kind == msgTokenFT {
+			buf = appendString(append(getWireBuf(), msgTokenFT), env.FTStream)
+			buf = appendUint64(buf, env.FTSeq)
+		} else {
+			buf = append(getWireBuf(), msgToken)
+		}
+		buf = append(buf, body...)
+		l.stats.bytesSent.Add(int64(len(buf)))
+		if err := l.trSend(dst, buf); err != nil {
+			if l.sendFailed(dst, err) {
+				putWireBuf(buf)
+				putEnvelope(env)
+				return
+			}
+			panic(opError{err})
+		}
+		putEnvelope(env)
+		return
+	}
+	b.addLocked(kind, env.FTStream, env.FTSeq, body)
+	putEnvelope(env)
+}
+
+// batchGroupEnd coalesces a group-end announcement behind its group's
+// batched tokens.
+func (l *link) batchGroupEnd(m *groupEndMsg, dst string) {
+	b := l.batcherFor(dst)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kind := byte(msgGroupEnd)
+	if m.FTSeq > 0 {
+		kind = msgGroupEndFT
+	}
+	body := appendGroupEndBody(b.scratch[:0], m)
+	b.scratch = body
+	b.addLocked(kind, m.FTStream, m.FTSeq, body)
 }
 
 // Grace retry tuning: first backoff and cap. The overall window is
@@ -253,6 +513,9 @@ func (l *link) handle(src string, payload []byte) {
 			return
 		}
 		l.sink.deliverDeath(m, src)
+	case msgBatch:
+		l.handleBatch(src, payload, body)
+		return
 	case msgPing:
 		// Liveness probe: receipt is the answer (detection is send-error
 		// driven); nothing to do.
@@ -261,6 +524,58 @@ func (l *link) handle(src string, payload []byte) {
 		return
 	}
 	putWireBuf(payload)
+}
+
+// handleBatch decodes one batch frame and delivers its entries in frame
+// order — which is send order, so the receiver-side FIFO assumptions
+// (prefix duplicate filters, group-end-after-tokens) hold exactly as they
+// do for singles. body is payload minus the kind byte.
+func (l *link) handleBatch(src string, payload, body []byte) {
+	frame, inflated, err := decodeBatchFrame(body)
+	if err != nil {
+		l.sink.linkFail(fmt.Errorf("dps: bad batch frame from %q: %w", src, err))
+		return
+	}
+	if inflated {
+		// The frame body was inflated into a fresh buffer; the wire buffer
+		// has no further readers and recycles early.
+		putWireBuf(payload)
+	}
+	err = decodeBatch(frame, func(kind byte, stream string, seq uint64, eb []byte) error {
+		switch kind {
+		case msgToken, msgTokenFT:
+			env, err := decodeEnvelope(eb)
+			if err != nil {
+				return err
+			}
+			tok, _, err := l.reg.Unmarshal(env.Payload)
+			if err != nil {
+				putEnvelope(env)
+				return err
+			}
+			env.Token = tok
+			env.Payload = nil // aliases the frame buffer recycled below
+			env.FTStream, env.FTSeq = stream, seq
+			l.sink.deliverToken(env, src)
+		default: // msgGroupEnd, msgGroupEndFT (decodeBatch validated the kind)
+			m, err := decodeGroupEnd(eb)
+			if err != nil {
+				return err
+			}
+			m.FTStream, m.FTSeq = stream, seq
+			l.sink.deliverGroupEnd(m, src)
+		}
+		return nil
+	})
+	if err != nil {
+		l.sink.linkFail(fmt.Errorf("dps: bad batch frame from %q: %w", src, err))
+		return
+	}
+	if inflated {
+		putWireBuf(frame)
+	} else {
+		putWireBuf(payload)
+	}
 }
 
 // sendToken routes an envelope toward the node hosting its destination
@@ -290,6 +605,18 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 	}
 	if l.down(targetNode) {
 		putEnvelope(env)
+		return
+	}
+	if peer := l.peerSink(targetNode); peer != nil {
+		// Colocated destination: hand the pointer across address-space-wide,
+		// the paper's same-node shortcut extended to same-process lanes.
+		l.stats.tokensLocal.Add(1)
+		env.ftWire = nil // the retention log keeps its own copy
+		peer.deliverToken(env, l.name)
+		return
+	}
+	if l.batch {
+		l.batchToken(env, targetNode)
 		return
 	}
 	// The token is serialized straight into a pooled wire buffer after the
@@ -339,6 +666,14 @@ func (l *link) sendGroupEnd(target string, m *groupEndMsg) {
 	if l.down(target) {
 		return
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverGroupEnd(m, l.name)
+		return
+	}
+	if l.batch {
+		l.batchGroupEnd(m, target)
+		return
+	}
 	var buf []byte
 	if m.FTSeq > 0 {
 		buf = appendGroupEndFT(getWireBuf(), m)
@@ -360,8 +695,15 @@ func (l *link) sendMigrate(target string, m *migrateMsg) error {
 		l.sink.deliverMigrate(m)
 		return nil
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverMigrate(m)
+		return nil
+	}
 	buf := appendMigrate(getWireBuf(), m)
 	l.stats.bytesSent.Add(int64(len(buf)))
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
 	return l.trSend(target, buf)
 }
 
@@ -371,7 +713,15 @@ func (l *link) sendFence(target string, m *fenceMsg) error {
 		l.sink.deliverFence(m)
 		return nil
 	}
-	return l.trSend(target, appendFence(getWireBuf(), m))
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverFence(m)
+		return nil
+	}
+	buf := appendFence(getWireBuf(), m)
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
+	return l.trSend(target, buf)
 }
 
 // sendAck returns a consumption acknowledgement to the split-side node.
@@ -385,7 +735,14 @@ func (l *link) sendAck(target string, m ackMsg) error {
 		// replays the group from its origin's retained log.
 		return nil
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverAck(m)
+		return nil
+	}
 	buf := appendAck(getWireBuf(), m)
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
 	if err := l.trSend(target, buf); err != nil {
 		if l.sendFailed(target, err) {
 			putWireBuf(buf)
@@ -414,12 +771,22 @@ func (l *link) sendResult(env *envelope, tok Token) {
 		// The caller's node died; nobody is waiting for this result.
 		return
 	}
+	if peer := l.peerSink(env.CallOrigin); peer != nil {
+		l.stats.callsCompleted.Add(1)
+		peer.deliverResult(env.CallID, tok)
+		return
+	}
 	// Serialize the result straight after the message header into a pooled
-	// buffer (single copy, mirroring the token path).
+	// buffer (single copy, mirroring the token path). A result is the
+	// latency-sensitive message of the wire path — a caller is blocked on
+	// it — so it flushes the destination's pending batch rather than join it.
 	buf := appendResultHeader(getWireBuf(), env.CallID)
 	buf, err := l.reg.Append(buf, tok)
 	if err != nil {
 		panic(opError{fmt.Errorf("dps: cannot serialize result: %w", err)})
+	}
+	if unlock := l.preSend(env.CallOrigin); unlock != nil {
+		defer unlock()
 	}
 	if err := l.trSend(env.CallOrigin, buf); err != nil {
 		if l.sendFailed(env.CallOrigin, err) {
@@ -441,8 +808,15 @@ func (l *link) sendCheckpoint(target string, rec *ft.Record) {
 	if l.down(target) {
 		return
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverCheckpoint(rec)
+		return
+	}
 	buf := appendCheckpoint(getWireBuf(), rec)
 	l.stats.bytesSent.Add(int64(len(buf)))
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
 	if err := l.trSend(target, buf); err != nil {
 		if !l.sendFailed(target, err) {
 			l.sink.linkFail(err)
@@ -457,8 +831,15 @@ func (l *link) sendReplay(target string, m *replayMsg) {
 		l.sink.deliverReplay(m, l.name)
 		return
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverReplay(m, l.name)
+		return
+	}
 	buf := appendReplay(getWireBuf(), m)
 	l.stats.bytesSent.Add(int64(len(buf)))
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
 	if err := l.trSend(target, buf); err != nil {
 		if !l.sendFailed(target, err) {
 			l.sink.linkFail(err)
@@ -477,7 +858,14 @@ func (l *link) sendCut(target string, m cutMsg) {
 	if l.down(target) {
 		return
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverCut(m)
+		return
+	}
 	buf := appendCut(getWireBuf(), m)
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
 	if err := l.trSend(target, buf); err != nil {
 		if !l.sendFailed(target, err) {
 			l.sink.linkFail(err)
@@ -492,7 +880,14 @@ func (l *link) sendDeath(target string, m deathMsg) {
 		l.sink.deliverDeath(m, l.name)
 		return
 	}
+	if peer := l.peerSink(target); peer != nil {
+		peer.deliverDeath(m, l.name)
+		return
+	}
 	buf := appendDeath(getWireBuf(), m)
+	if unlock := l.preSend(target); unlock != nil {
+		defer unlock()
+	}
 	if err := l.tr.Send(target, buf); err != nil {
 		_ = l.sendFailed(target, err)
 		putWireBuf(buf)

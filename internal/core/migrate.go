@@ -139,9 +139,9 @@ func (rt *Runtime) routeToken(env *envelope, tc *ThreadCollection, thread int) {
 }
 
 // routeGroupEnd is routeToken for group-end announcements; sender is the
-// opener instance's fault-tolerance state and inStream the opener's input
-// stream (both zero with the layer off).
-func (rt *Runtime) routeGroupEnd(m *groupEndMsg, tc *ThreadCollection, thread int, sender *ft.State, inStream string) {
+// opener instance's fault-tolerance state and inStream/inSeq identify the
+// opener's input (all zero with the layer off).
+func (rt *Runtime) routeGroupEnd(m *groupEndMsg, tc *ThreadCollection, thread int, sender *ft.State, inStream string, inSeq uint64) {
 	if rt.routeFast() {
 		defer rt.routeFastDone()
 		target, err := tc.NodeOf(thread)
@@ -159,7 +159,7 @@ func (rt *Runtime) routeGroupEnd(m *groupEndMsg, tc *ThreadCollection, thread in
 		panic(opError{err})
 	}
 	if rt.app.ftOn {
-		rt.ftOutboundGroupEnd(m, sender, inStream, tc.Name(), thread)
+		rt.ftOutboundGroupEnd(m, sender, inStream, inSeq, tc.Name(), thread)
 	}
 	rt.lnk.sendGroupEnd(target, m)
 }

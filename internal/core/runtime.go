@@ -89,6 +89,11 @@ type threadInstance struct {
 	// capture while one exists (the parked execution is mid-body).
 	ft      *ft.State
 	yielded atomic.Int64
+	// ranCollector is set once the instance runs a merge/stream body and
+	// never cleared: collector consumption order is not reproducible by
+	// re-execution, so such an instance is permanently ineligible for
+	// regenerative checkpoints (ft.State.SnapshotRegen).
+	ranCollector atomic.Bool
 
 	mu     sync.Mutex
 	groups map[uint64]*mergeGroup
@@ -124,7 +129,23 @@ func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
 		rt.ftNode = ft.NewState(ft.NodeStream(rt.name))
 	}
 	rt.groups.init(idx)
-	rt.lnk.init(tr, app.reg, app.cfg.ForceSerialize, app.ftOn, app.cfg.SuspectGrace, rt, &rt.stats)
+	// Colocated fast path: when the transport can attest that a destination
+	// shares this process (Inproc fabric), resolve it to the peer runtime's
+	// linkSink so tokens skip serialization entirely. Cross-app fabrics are
+	// safe: an unknown name simply yields no fast path.
+	var peers func(dst string) linkSink
+	if co, ok := tr.(transport.Colocated); ok {
+		peers = func(dst string) linkSink {
+			if !co.Colocated(dst) {
+				return nil
+			}
+			if peer, ok := app.runtime(dst); ok {
+				return peer
+			}
+			return nil
+		}
+	}
+	rt.lnk.init(tr, app.reg, &app.cfg, app.ftOn, rt, &rt.stats, peers)
 	rt.sched.Init(sched.Config{Workers: app.cfg.Workers, QueueCap: app.cfg.Queue}, rt.runItem)
 	return rt
 }
@@ -380,6 +401,7 @@ func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (st
 // drainer role afterwards.
 func (rt *Runtime) runCollector(it workItem, tk sched.Ticket, fromDrainer bool) (still bool) {
 	inst, g, node, firstEnv, first, mg := it.inst, it.g, it.node, it.env, it.bt, it.mg
+	inst.ranCollector.Store(true)
 	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: firstEnv, callID: firstEnv.CallID, mg: mg, drainer: fromDrainer}
 	defer func() { still = c.drainer }()
 	tk.Wait()

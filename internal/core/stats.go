@@ -54,6 +54,18 @@ type Stats struct {
 	// SendRetries counts transport send attempts repeated inside the
 	// suspect-grace window (Config.SuspectGrace) after a transient failure.
 	SendRetries int64
+	// FramesBatched counts batch frames flushed by the wire-path coalescer
+	// (Config.Batch); zero with batching off.
+	FramesBatched int64
+	// TokensPerFrame is the largest number of tokens coalesced into one
+	// batch frame. Aggregation takes the maximum, like QueueHighWater.
+	TokensPerFrame int64
+	// CompressedBytes / UncompressedBytes count batch frame bodies before
+	// and after DEFLATE (Config.Compress): UncompressedBytes is what would
+	// have crossed the wire raw, CompressedBytes what actually did. Frames
+	// that did not shrink count equally in both.
+	CompressedBytes   int64
+	UncompressedBytes int64
 }
 
 // Add accumulates o into s. Every counter is a sum except QueueHighWater,
@@ -80,6 +92,12 @@ func (s *Stats) Add(o *Stats) {
 	s.TokensReplayed += o.TokensReplayed
 	s.FailoversCompleted += o.FailoversCompleted
 	s.SendRetries += o.SendRetries
+	s.FramesBatched += o.FramesBatched
+	if o.TokensPerFrame > s.TokensPerFrame {
+		s.TokensPerFrame = o.TokensPerFrame
+	}
+	s.CompressedBytes += o.CompressedBytes
+	s.UncompressedBytes += o.UncompressedBytes
 }
 
 // statCounters is the atomic backing store embedded in each Runtime.
@@ -102,6 +120,20 @@ type statCounters struct {
 	tokensReplayed      atomic.Int64
 	failoversCompleted  atomic.Int64
 	sendRetries         atomic.Int64
+	framesBatched       atomic.Int64
+	tokensPerFrame      atomic.Int64 // high-water mark, not a sum
+	compressedBytes     atomic.Int64
+	uncompressedBytes   atomic.Int64
+}
+
+// maxTokensPerFrame raises the tokens-per-frame high-water mark.
+func (c *statCounters) maxTokensPerFrame(n int64) {
+	for {
+		cur := c.tokensPerFrame.Load()
+		if n <= cur || c.tokensPerFrame.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 func (c *statCounters) snapshot() *Stats {
@@ -122,6 +154,10 @@ func (c *statCounters) snapshot() *Stats {
 		TokensReplayed:      c.tokensReplayed.Load(),
 		FailoversCompleted:  c.failoversCompleted.Load(),
 		SendRetries:         c.sendRetries.Load(),
+		FramesBatched:       c.framesBatched.Load(),
+		TokensPerFrame:      c.tokensPerFrame.Load(),
+		CompressedBytes:     c.compressedBytes.Load(),
+		UncompressedBytes:   c.uncompressedBytes.Load(),
 	}
 }
 

@@ -95,13 +95,17 @@ type envelope struct {
 	// ftSender is the sending instance's fault-tolerance state (set by the
 	// posting paths, consumed by the routing layer when it assigns FTSeq);
 	// nil on forwarded or replayed envelopes, whose sequencing is fixed.
-	// ftInStream is the stream the posting execution's input arrived on —
-	// the output stream derives from it (ft.DerivedStream), which makes
-	// re-executed sequence assignment deterministic. ftWire is the message
-	// encoding produced for the retention log; the link layer copies it
-	// instead of serializing the token a second time.
+	// ftInStream / ftInSeq are the stream the posting execution's input
+	// arrived on and its sequence number there — the output stream derives
+	// from the input stream (ft.DerivedStream), which makes re-executed
+	// sequence assignment deterministic, and the input sequence attributes
+	// each retained output to the input that produced it (regenerative
+	// checkpoints, ft.Entry.InSeq). ftWire is the message encoding produced
+	// for the retention log; the link layer copies it instead of serializing
+	// the token a second time.
 	ftSender   *ftSender
 	ftInStream string
+	ftInSeq    uint64
 	ftWire     []byte
 }
 

@@ -27,6 +27,12 @@ const (
 	msgGroupEndFT byte = 11 // msgGroupEnd prefixed with stream + sequence
 	msgCut        byte = 12 // log truncation: entries to an instance are durable
 	msgPing       byte = 13 // liveness probe; receivers discard it
+
+	// msgBatch coalesces tokens and group-ends bound for one destination
+	// node into a single transport frame (Config.Batch; see link.go). With
+	// batching off no msgBatch frame is ever emitted and every other kind
+	// stays byte-identical.
+	msgBatch byte = 14
 )
 
 type groupEndMsg struct {

@@ -1,0 +1,174 @@
+package tcptransport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// startPairOpts is startPair with per-node options.
+func startPairOpts(t *testing.T, aOpts, bOpts []Option) (*Node, *Node) {
+	t.Helper()
+	table := map[string]string{}
+	resolver := StaticResolver(table)
+	a, err := Listen("a", "127.0.0.1:0", resolver, aOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("b", "127.0.0.1:0", resolver, bOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table["a"] = a.Addr()
+	table["b"] = b.Addr()
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a, b
+}
+
+func roundTripPayloads(t *testing.T, a, b *Node, payloads [][]byte) {
+	t.Helper()
+	got := make(chan []byte, len(payloads))
+	b.SetHandler(func(src string, payload []byte) { got <- payload })
+	a.SetHandler(func(src string, payload []byte) {})
+	for _, p := range payloads {
+		if err := a.Send("b", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		select {
+		case m := <-got:
+			if !bytes.Equal(m, want) {
+				t.Fatalf("payload %d: got %d bytes, want %d", i, len(m), len(want))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("payload %d never arrived", i)
+		}
+	}
+}
+
+// testPayloads mixes tiny frames (below compressMin, sent raw even on a
+// compressing connection), highly compressible bulk, and incompressible
+// random bulk (where deflateFrame must fall back to raw framing).
+func testPayloads() [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 256<<10)
+	rng.Read(random)
+	return [][]byte{
+		[]byte("tiny"),
+		bytes.Repeat([]byte("abcdefgh"), 16<<10),
+		random,
+		{},
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	a, b := startPairOpts(t, []Option{WithCompression()}, []Option{WithCompression()})
+	roundTripPayloads(t, a, b, testPayloads())
+}
+
+// TestCompressionAsymmetric: only one side opted in. The dialer decides the
+// connection's framing; the other side must interoperate in both roles.
+func TestCompressionAsymmetric(t *testing.T) {
+	t.Run("compressing dialer, plain receiver", func(t *testing.T) {
+		a, b := startPairOpts(t, []Option{WithCompression()}, nil)
+		roundTripPayloads(t, a, b, testPayloads())
+	})
+	t.Run("plain dialer, compressing receiver", func(t *testing.T) {
+		a, b := startPairOpts(t, nil, []Option{WithCompression()})
+		roundTripPayloads(t, a, b, testPayloads())
+	})
+}
+
+// TestCompressionReplyPath: the receiver's replies ride the dialer's
+// negotiated connection, so they must use prefixed framing too.
+func TestCompressionReplyPath(t *testing.T) {
+	a, b := startPairOpts(t, []Option{WithCompression()}, []Option{WithCompression()})
+	fromB := make(chan []byte, 1)
+	a.SetHandler(func(src string, payload []byte) { fromB <- payload })
+	got := make(chan struct{}, 1)
+	b.SetHandler(func(src string, payload []byte) { got <- struct{}{} })
+	if err := a.Send("b", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	bulk := bytes.Repeat([]byte("reply-data"), 8<<10)
+	if err := b.Send("a", bulk); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-fromB:
+		if !bytes.Equal(m, bulk) {
+			t.Fatalf("reply corrupted: %d bytes, want %d", len(m), len(bulk))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reply never arrived")
+	}
+}
+
+func TestDeflateInflateFrame(t *testing.T) {
+	bulk := bytes.Repeat([]byte("wxyz"), 4096)
+	def, ok := deflateFrame(bulk)
+	if !ok {
+		t.Fatal("compressible payload did not compress")
+	}
+	if len(def) >= len(bulk) {
+		t.Fatalf("deflate grew the frame: %d >= %d", len(def), len(bulk))
+	}
+	raw, err := inflateFrame(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, bulk) {
+		t.Fatal("round trip corrupted payload")
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	random := make([]byte, 64<<10)
+	rng.Read(random)
+	if _, ok := deflateFrame(random); ok {
+		t.Fatal("incompressible payload claimed to compress")
+	}
+}
+
+// TestInflateHostileInputs hardens the decode path against frames that lie
+// about themselves.
+func TestInflateHostileInputs(t *testing.T) {
+	// Giant claimed raw length.
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(maxFrame)+1)
+	if _, err := inflateFrame(append(hdr[:n:n], 1, 2, 3)); err == nil {
+		t.Fatal("accepted frame claiming more than maxFrame raw bytes")
+	}
+	// Truncated varint header.
+	if _, err := inflateFrame([]byte{0x80}); err == nil {
+		t.Fatal("accepted truncated varint header")
+	}
+	// Stream shorter than declared (truncate deep enough to lose data, not
+	// just the end-of-stream marker).
+	def, ok := deflateFrame(bytes.Repeat([]byte("q"), 4096))
+	if !ok {
+		t.Fatal("setup: payload did not compress")
+	}
+	if _, err := inflateFrame(def[:len(def)/2]); err == nil {
+		t.Fatal("accepted truncated flate stream")
+	}
+	// Stream longer than declared: declare a shorter raw length over the
+	// same flate bytes.
+	rawLen, k := binary.Uvarint(def)
+	short := binary.AppendUvarint(nil, rawLen-1)
+	short = append(short, def[k:]...)
+	if _, err := inflateFrame(short); err == nil {
+		t.Fatal("accepted flate stream longer than declared length")
+	}
+	// Unknown prefix byte on a prefixed connection.
+	if _, err := decodePrefixed([]byte{42, 1, 2}); err == nil {
+		t.Fatal("accepted unknown frame prefix")
+	}
+	// Empty prefixed frame.
+	if _, err := decodePrefixed(nil); err == nil {
+		t.Fatal("accepted empty prefixed frame")
+	}
+}

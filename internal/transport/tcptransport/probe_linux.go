@@ -1,0 +1,43 @@
+//go:build linux
+
+package tcptransport
+
+import (
+	"net"
+	"syscall"
+)
+
+// connDead reports whether the peer has already shut down the connection
+// (a FIN or RST is pending in our kernel). The two-write framing this
+// transport used before vectored writes probed this implicitly: the header
+// write to a closed peer socket elicited an RST, failing the payload write,
+// so Send retried and no frame was silently lost. A single vectored write
+// has no second chance, so the probe is explicit now — a non-consuming
+// MSG_PEEK that never races the reader goroutine (peeking does not steal
+// bytes from a blocked recv). Any frame written after the peer's shutdown
+// was unreadable anyway, so failing the send here cannot duplicate a
+// delivered frame.
+func connDead(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	dead := false
+	cerr := rc.Control(func(fd uintptr) {
+		var b [1]byte
+		n, _, err := syscall.Recvfrom(int(fd), b[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR:
+			// Nothing pending: alive.
+		case err != nil:
+			dead = true // ECONNRESET and friends
+		case n == 0:
+			dead = true // orderly EOF pending
+		}
+	})
+	return dead || cerr != nil
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package tcptransport
+
+import "net"
+
+// connDead is a no-op where the MSG_PEEK probe is not implemented; the
+// retry loop then relies on write errors alone, as the pre-vectored-write
+// framing did.
+func connDead(net.Conn) bool { return false }

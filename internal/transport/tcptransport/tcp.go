@@ -22,6 +22,8 @@
 package tcptransport
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -108,6 +110,16 @@ func WithWriteTimeout(d time.Duration) Option {
 	return func(n *Node) { n.writeTimeout = d }
 }
 
+// WithCompression enables flate compression of outbound frames. The dialer
+// advertises it in the session handshake (a flags byte trailing the epoch),
+// switching that connection — both directions — to prefixed framing where
+// each frame carries a one-byte raw/compressed marker. Nodes without the
+// option still decode prefixed connections, so mixed clusters interoperate;
+// without it, the wire format is byte-identical to prior releases.
+func WithCompression() Option {
+	return func(n *Node) { n.compress = true }
+}
+
 // Node is one TCP-attached cluster endpoint.
 type Node struct {
 	name         string
@@ -115,6 +127,7 @@ type Node struct {
 	resolve      Resolver
 	retryBudget  time.Duration
 	writeTimeout time.Duration
+	compress     bool
 	retries      atomic.Int64
 
 	mu      sync.Mutex
@@ -137,6 +150,9 @@ type conn struct {
 	// from the same peer supersedes them.
 	inbound bool
 	epoch   uint64
+	// prefixed connections frame every payload (both directions) behind a
+	// one-byte raw/compressed marker, negotiated by the dialer's handshake.
+	prefixed bool
 }
 
 // Listen starts a node listening on addr (e.g. "127.0.0.1:0"). The returned
@@ -228,6 +244,9 @@ func (n *Node) serveConn(c net.Conn) {
 		_ = c.Close()
 		return
 	}
+	// A flags byte may trail the epoch varint; dialers without one are
+	// plain-framed (the old handshake, where nothing followed the varint).
+	prefixed := len(epochBuf) > k && epochBuf[k]&sessionFlagPrefixed != 0
 	peerName := string(peer)
 
 	n.mu.Lock()
@@ -248,7 +267,7 @@ func (n *Node) serveConn(c net.Conn) {
 	// connections) — unless an existing connection (outbound dial that won
 	// a race) already serves the peer.
 	if _, exists := n.conns[peerName]; !exists {
-		n.conns[peerName] = &conn{c: c, inbound: true, epoch: epoch}
+		n.conns[peerName] = &conn{c: c, inbound: true, epoch: epoch, prefixed: prefixed}
 	}
 	n.mu.Unlock()
 
@@ -257,6 +276,12 @@ func (n *Node) serveConn(c net.Conn) {
 		if err != nil {
 			n.dropConn(peerName, c)
 			return
+		}
+		if prefixed {
+			if payload, err = decodePrefixed(payload); err != nil {
+				n.dropConn(peerName, c)
+				return
+			}
 		}
 		n.mu.Lock()
 		stale := n.sessions[peerName] != epoch
@@ -317,17 +342,35 @@ func (n *Node) Send(dst string, payload []byte) error {
 	}
 }
 
-// trySend performs one connect-and-write attempt.
+// trySend performs one connect-and-write attempt. Header and payload go
+// out in a single vectored write (writev on TCP), so bulk frames cost one
+// syscall and never split the length prefix from its body across segments
+// gratuitously.
 func (n *Node) trySend(dst string, payload []byte) error {
 	cc, err := n.connTo(dst)
 	if err != nil {
 		return err
 	}
+	prefix := -1
+	body := payload
+	if cc.prefixed {
+		prefix = framePrefixRaw
+		if n.compress && len(payload) >= compressMin {
+			if def, ok := deflateFrame(payload); ok {
+				prefix, body = framePrefixFlate, def
+			}
+		}
+	}
 	cc.mu.Lock()
+	if connDead(cc.c) {
+		cc.mu.Unlock()
+		n.dropConn(dst, cc.c)
+		return fmt.Errorf("tcptransport: send to %s: connection already closed by peer", dst)
+	}
 	if n.writeTimeout > 0 {
 		_ = cc.c.SetWriteDeadline(time.Now().Add(n.writeTimeout))
 	}
-	err = writeFrame(cc.c, payload)
+	err = writeFrameVec(cc.c, prefix, body)
 	cc.mu.Unlock()
 	if err != nil {
 		n.dropConn(dst, cc.c)
@@ -376,12 +419,16 @@ func (n *Node) connTo(dst string) (*conn, error) {
 		return nil, fmt.Errorf("tcptransport: dial %s (%s): %w", dst, addr, err)
 	}
 	epoch := n.nextEpoch(dst)
-	var eb [binary.MaxVarintLen64]byte
+	var eb [binary.MaxVarintLen64 + 1]byte
 	if err := writeFrame(c, []byte(n.name)); err != nil {
 		_ = c.Close()
 		return nil, err
 	}
-	if err := writeFrame(c, eb[:binary.PutUvarint(eb[:], epoch)]); err != nil {
+	hello := eb[:binary.PutUvarint(eb[:], epoch)]
+	if n.compress {
+		hello = append(hello, sessionFlagPrefixed)
+	}
+	if err := writeFrame(c, hello); err != nil {
 		_ = c.Close()
 		return nil, err
 	}
@@ -398,7 +445,7 @@ func (n *Node) connTo(dst string) (*conn, error) {
 		_ = c.Close()
 		return existing, nil
 	}
-	cc := &conn{c: c, epoch: epoch}
+	cc := &conn{c: c, epoch: epoch, prefixed: n.compress}
 	n.conns[dst] = cc
 	n.mu.Unlock()
 
@@ -412,6 +459,12 @@ func (n *Node) connTo(dst string) (*conn, error) {
 			if err != nil {
 				n.dropConn(dst, c)
 				return
+			}
+			if cc.prefixed {
+				if payload, err = decodePrefixed(payload); err != nil {
+					n.dropConn(dst, c)
+					return
+				}
 			}
 			n.mu.Lock()
 			h := n.handler
@@ -450,6 +503,19 @@ var _ transport.Transport = (*Node)(nil)
 
 const maxFrame = 1 << 30
 
+// Prefixed-framing constants: the handshake flags byte and the per-frame
+// marker on negotiated connections.
+const (
+	sessionFlagPrefixed = 1
+
+	framePrefixRaw   = 0
+	framePrefixFlate = 1
+
+	// compressMin: frames below this are sent raw even on compressing
+	// connections — flate overhead dominates tiny frames.
+	compressMin = 512
+)
+
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [binary.MaxVarintLen64]byte
 	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
@@ -458,6 +524,96 @@ func writeFrame(w io.Writer, payload []byte) error {
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// writeFrameVec writes one frame with a single vectored write. prefix < 0
+// means plain framing ([len][payload]); otherwise the prefix byte is folded
+// into the frame body ([len+1][prefix][payload]) without copying the payload.
+func writeFrameVec(c net.Conn, prefix int, payload []byte) error {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	if prefix < 0 {
+		hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
+		bufs := net.Buffers{hdr[:hn], payload}
+		_, err := bufs.WriteTo(c)
+		return err
+	}
+	hn := binary.PutUvarint(hdr[:], uint64(len(payload))+1)
+	hdr[hn] = byte(prefix)
+	bufs := net.Buffers{hdr[:hn+1], payload}
+	_, err := bufs.WriteTo(c)
+	return err
+}
+
+// decodePrefixed unwraps one frame of a prefixed connection: a marker byte,
+// then the payload (flate-compressed behind a declared raw length when the
+// marker says so).
+func decodePrefixed(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("tcptransport: empty prefixed frame")
+	}
+	switch b[0] {
+	case framePrefixRaw:
+		return b[1:], nil
+	case framePrefixFlate:
+		return inflateFrame(b[1:])
+	default:
+		return nil, fmt.Errorf("tcptransport: unknown frame prefix %d", b[0])
+	}
+}
+
+var (
+	flateWriters sync.Pool // *flate.Writer
+	flateReaders sync.Pool // io.ReadCloser + flate.Resetter
+)
+
+// deflateFrame compresses a frame body into [uvarint rawLen][flate stream].
+// Reports ok=false when compression does not shrink the frame (the caller
+// then sends it raw).
+func deflateFrame(raw []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	buf.Grow(len(raw)/2 + binary.MaxVarintLen64)
+	var hdr [binary.MaxVarintLen64]byte
+	buf.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(raw)))])
+	fw, _ := flateWriters.Get().(*flate.Writer)
+	if fw == nil {
+		fw, _ = flate.NewWriter(&buf, flate.BestSpeed)
+	} else {
+		fw.Reset(&buf)
+	}
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	flateWriters.Put(fw)
+	if werr != nil || cerr != nil || buf.Len() >= len(raw) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// inflateFrame reverses deflateFrame, refusing hostile inputs: a claimed
+// raw length past the frame limit, a stream shorter than declared, or
+// trailing garbage after the declared length.
+func inflateFrame(b []byte) ([]byte, error) {
+	rawLen, k := binary.Uvarint(b)
+	if k <= 0 || rawLen > maxFrame {
+		return nil, errors.New("tcptransport: bad compressed frame header")
+	}
+	src := bytes.NewReader(b[k:])
+	fr, _ := flateReaders.Get().(io.ReadCloser)
+	if fr == nil {
+		fr = flate.NewReader(src)
+	} else if err := fr.(flate.Resetter).Reset(src, nil); err != nil {
+		return nil, err
+	}
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, err
+	}
+	var one [1]byte
+	if n, _ := fr.Read(one[:]); n != 0 {
+		return nil, errors.New("tcptransport: compressed frame longer than declared")
+	}
+	flateReaders.Put(fr)
+	return out, nil
 }
 
 func readFrame(r io.Reader) ([]byte, error) {

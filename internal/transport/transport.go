@@ -28,6 +28,18 @@ import (
 // buffer no other component references afterwards.
 type Handler func(src string, payload []byte)
 
+// Colocated is optionally implemented by transports whose endpoints can
+// share the sender's address space. When Colocated(dst) reports true, the
+// engine may bypass the transport entirely for traffic to dst and hand
+// pointers across directly (unless ForceSerialize is set) — the paper's
+// same-address-space shortcut, extended from "same node name" to "same
+// process". Only genuinely cost-free fabrics should implement it: the
+// simulated network deliberately does not, as bypassing it would skip the
+// modelled wire time and the fault injection that tests depend on.
+type Colocated interface {
+	Colocated(dst string) bool
+}
+
 // Transport is one node's attachment to the cluster fabric.
 type Transport interface {
 	// Local returns this node's cluster-unique name.
@@ -161,6 +173,15 @@ func (n *InprocNode) Send(dst string, payload []byte) error {
 	case <-peer.done:
 		return fmt.Errorf("transport: inproc node %q closed", dst)
 	}
+}
+
+// Colocated implements the engine's same-process fast-path probe: every
+// node of an Inproc fabric shares the sender's address space.
+func (n *InprocNode) Colocated(dst string) bool {
+	n.fabric.mu.RLock()
+	_, ok := n.fabric.nodes[dst]
+	n.fabric.mu.RUnlock()
+	return ok
 }
 
 // Close implements Transport.
