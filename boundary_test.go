@@ -1,64 +1,36 @@
 package repro
 
 // The public API boundary: internal/core is the engine, repro/dps is its
-// only sanctioned consumer outside internal/. Everything else — examples,
-// commands, and this root package — must program against repro/dps. This
-// test parses every Go file outside internal/ and fails on a direct
-// engine import, so the boundary cannot erode silently; CI runs it on
-// every push.
+// only sanctioned consumer outside internal/. The check itself lives in
+// internal/analysis as the dps-vet boundary rule (CI also runs the full
+// suite via cmd/dps-vet); this thin test keeps the guarantee wired into
+// `go test ./...` at the repository root so the boundary cannot erode even
+// where the linter is not run.
 
 import (
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
-const enginePrefix = "repro/internal/core"
-
 func TestImportBoundary(t *testing.T) {
-	var checked int
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			// internal/ may use the engine freely; dps/ is the façade and
-			// the single sanctioned consumer; skip VCS and tool dirs.
-			if path == "internal" || path == "dps" || strings.HasPrefix(name, ".") && path != "." {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		fset := token.NewFileSet()
-		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-		if err != nil {
-			return err
-		}
-		checked++
-		for _, imp := range f.Imports {
-			val, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
-				continue
-			}
-			if val == enginePrefix || strings.HasPrefix(val, enginePrefix+"/") {
-				t.Errorf("%s imports %s: packages outside internal/ must use repro/dps", path, val)
-			}
-		}
-		return nil
-	})
+	pkgs, err := analysis.Load(".", analysis.LoadConfig{SyntaxOnly: true, Tests: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if checked == 0 {
-		t.Fatal("boundary check walked no Go files; the test is broken")
+	var files int
+	sawEngine := false
+	for _, p := range pkgs {
+		files += len(p.Files)
+		if p.Path == "repro/internal/core" {
+			sawEngine = true
+		}
 	}
-	t.Logf("checked %d Go files outside internal/ and dps/", checked)
+	if files == 0 || !sawEngine {
+		t.Fatalf("boundary check loaded %d files (engine package seen: %v); the load is broken, not the boundary", files, sawEngine)
+	}
+	for _, f := range analysis.Run(pkgs, []*analysis.Rule{analysis.ProjectBoundary()}) {
+		t.Errorf("%s", f)
+	}
+	t.Logf("boundary-checked %d Go files across %d packages", files, len(pkgs))
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/dps"
+)
+
+// TestFormatStatsCoversEveryField perturbs each dps.Stats field in turn and
+// requires the rendered text to change: a counter the engine maintains but
+// -stats never prints is invisible to the person reading the experiment
+// output, which is how coverage gaps in the emitters went unnoticed before
+// this test existed.
+func TestFormatStatsCoversEveryField(t *testing.T) {
+	baseline := formatStats(&dps.Stats{})
+	typ := reflect.TypeOf(dps.Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		s := &dps.Stats{}
+		reflect.ValueOf(s).Elem().Field(i).SetInt(7919) // a value no format string embeds
+		if formatStats(s) == baseline {
+			t.Errorf("formatStats output does not change with Stats.%s: add the counter to the -stats rendering", typ.Field(i).Name)
+		}
+	}
+}
+
+// TestJSONStatsCoversEveryField pins that the -json emitter carries every
+// Stats field under its Go name (Stats marshals untagged, so this holds
+// automatically — until someone adds json tags that drop or rename fields
+// and silently breaks archived BENCH_<sha>.json comparability).
+func TestJSONStatsCoversEveryField(t *testing.T) {
+	s := &dps.Stats{}
+	typ := reflect.TypeOf(dps.Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		reflect.ValueOf(s).Elem().Field(i).SetInt(int64(1000 + i))
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		got, ok := m[name]
+		if !ok {
+			t.Errorf("JSON stats object has no %q key: archived benchmark files lose the counter", name)
+			continue
+		}
+		if int(got) != 1000+i {
+			t.Errorf("JSON stats %q = %v, want %d: field mapped to the wrong key", name, got, 1000+i)
+		}
+	}
+	if len(m) != typ.NumField() {
+		t.Errorf("JSON stats object has %d keys for %d fields", len(m), typ.NumField())
+	}
+}

@@ -1,0 +1,63 @@
+// Command dps-vet runs the project's static-analysis suite (see
+// internal/analysis) over the tree and exits non-zero on any finding.
+//
+// Usage:
+//
+//	dps-vet [flags] [packages]
+//
+// Packages default to ./... relative to -dir. Findings print one per line
+// as file:line: rule: message. Suppress a finding with a justified
+// directive on its line or the line above:
+//
+//	//dpsvet:ignore <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dps-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module directory to analyze from")
+	syntaxOnly := fs.Bool("syntax-only", false, "skip type-checking (faster, slightly less precise)")
+	tests := fs.Bool("tests", true, "include _test.go files")
+	list := fs.Bool("rules", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rules := analysis.ProjectRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, analysis.LoadConfig{SyntaxOnly: *syntaxOnly, Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "dps-vet: %v\n", err)
+		return 2
+	}
+	findings := analysis.Run(pkgs, rules)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "dps-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// BoundaryConfig seals a set of packages: only consumers under the allowed
+// prefixes may import them.
+type BoundaryConfig struct {
+	// Sealed lists the import-path prefixes that form the sealed engine
+	// (a prefix matches itself and any subpackage).
+	Sealed []string
+	// Allowed lists the import-path prefixes whose packages may import the
+	// sealed ones (the engine itself and its sanctioned façade).
+	Allowed []string
+	// Suggest names the public package the finding points consumers to.
+	Suggest string
+}
+
+// Boundary builds the import-boundary rule: an import of a sealed package
+// from anywhere outside the allowed prefixes is a finding. Purely
+// syntactic — it fires even in files that do not type-check, so a broken
+// tree cannot hide an eroding boundary.
+func Boundary(cfg BoundaryConfig) *Rule {
+	r := &Rule{
+		Name: "boundary",
+		Doc:  "sealed engine packages may only be imported from the allowed prefixes",
+	}
+	r.Run = func(p *Pass) {
+		if underAny(p.Pkg.Path, cfg.Allowed) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				val, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if underAny(val, cfg.Sealed) {
+					p.Reportf(imp.Pos(), "import of sealed package %s from %s: use %s instead", val, p.Pkg.Path, cfg.Suggest)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// underAny reports whether path equals one of the prefixes or lies beneath
+// it. A "_test" suffix on the last element is stripped first, so the
+// external test package of an allowed consumer stays allowed.
+func underAny(path string, prefixes []string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, pre := range prefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}

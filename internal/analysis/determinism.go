@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DeterminismScope configures the determinism rule for one package.
+type DeterminismScope struct {
+	// PkgSuffix selects the package by import-path suffix
+	// (e.g. "internal/chaos").
+	PkgSuffix string
+	// TimeFiles lists the base names of the files whose code must be free
+	// of wall-clock inputs and timer-driven selects — the schedule and
+	// generation paths. Global math/rand use is banned in every file of the
+	// package regardless (seeded components draw from their own *rand.Rand).
+	TimeFiles []string
+}
+
+// globalRandFuncs are the math/rand package-level functions that consume
+// the shared global source. Constructors of explicitly seeded generators
+// (New, NewSource, NewZipf) are the sanctioned alternative.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock or
+// start wall-clock timers.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// Determinism builds the seed-determinism rule: inside the configured
+// scopes, schedule generation must be a pure function of its seed. Faults
+// that cannot be reproduced from CHAOS_SEED are faults that cannot be
+// debugged — the chaos harness' one load-bearing property.
+func Determinism(scopes []DeterminismScope) *Rule {
+	r := &Rule{
+		Name: "determinism",
+		Doc:  "seeded schedule paths take no wall-clock or global-PRNG input",
+	}
+	r.Run = func(p *Pass) {
+		var scope *DeterminismScope
+		for i := range scopes {
+			if suffixMatch(p.Pkg.Path, scopes[i].PkgSuffix) {
+				scope = &scopes[i]
+				break
+			}
+		}
+		if scope == nil {
+			return
+		}
+		timeFiles := make(map[string]bool, len(scope.TimeFiles))
+		for _, f := range scope.TimeFiles {
+			timeFiles[f] = true
+		}
+		for _, f := range p.Pkg.Files {
+			base := filepath.Base(p.Pkg.Fset.Position(f.Pos()).Filename)
+			randName, randOk := importName(f, "math/rand")
+			timeName, timeOk := importName(f, "time")
+			checkTime := timeOk && timeFiles[base]
+			if !randOk && !checkTime {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					pkg, fn, ok := pkgCall(n)
+					if !ok {
+						return true
+					}
+					if randOk && pkg == randName && globalRandFuncs[fn] {
+						p.Reportf(n.Pos(), "rand.%s draws from the global source; derive from the schedule's seeded *rand.Rand so faults reproduce from CHAOS_SEED", fn)
+					}
+					if checkTime && pkg == timeName && wallClockFuncs[fn] {
+						p.Reportf(n.Pos(), "time.%s reads the wall clock in a schedule path; derive timings from the seed and modelled offsets", fn)
+					}
+				case *ast.SelectStmt:
+					if !checkTime {
+						return true
+					}
+					for _, cl := range n.Body.List {
+						cc, ok := cl.(*ast.CommClause)
+						if !ok || cc.Comm == nil {
+							continue
+						}
+						if timerRecv(cc.Comm, timeName) {
+							p.Reportf(cc.Pos(), "select over a wall-clock timer in a schedule path; schedule from seeded offsets instead")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return r
+}
+
+// pkgCall decomposes a call of the form pkg.Fn(...) into its package
+// qualifier and function name.
+func pkgCall(call *ast.CallExpr) (pkg, fn string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	return id.Name, sel.Sel.Name, true
+}
+
+// timerRecv reports whether a select case communicates on a wall-clock
+// timer: a receive from time.After(...)/time.Tick(...) or from a .C field.
+func timerRecv(stmt ast.Stmt, timeName string) bool {
+	var recv ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	ue, ok := recv.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	switch x := ue.X.(type) {
+	case *ast.CallExpr:
+		pkg, fn, ok := pkgCall(x)
+		return ok && pkg == timeName && (fn == "After" || fn == "Tick")
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "C"
+	}
+	return false
+}
+
+// importName returns the local name under which a file imports path.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		val, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || val != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		base := val
+		if j := strings.LastIndex(val, "/"); j >= 0 {
+			base = val[j+1:]
+		}
+		return base, true
+	}
+	return "", false
+}
+
+// suffixMatch reports whether path ends with suffix on a path-element
+// boundary.
+func suffixMatch(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe matches the expectation marker of golden fixtures: a trailing
+//
+//	// want "regexp" "regexp" ...
+//
+// comment on the line the finding must land on. Each quoted pattern is
+// matched against one finding's "rule: message" string.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+	wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type goldenKey struct {
+	file string
+	line int
+}
+
+// runGolden loads the fixture directory as a package with the given import
+// path, runs the rules through the full pipeline (including ignore-directive
+// resolution), and diffs the findings against the fixture's want markers.
+func runGolden(t *testing.T, dir, importPath string, rules ...*Rule) {
+	t.Helper()
+	pkg, err := LoadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	findings := Run([]*Package{pkg}, rules)
+
+	for _, f := range findings {
+		k := goldenKey{f.Pos.Filename, f.Pos.Line}
+		got := fmt.Sprintf("%s: %s", f.Rule, f.Msg)
+		matched := false
+		rest := wants[k][:0]
+		for _, re := range wants[k] {
+			if !matched && re.MatchString(got) {
+				matched = true
+				continue
+			}
+			rest = append(rest, re)
+		}
+		wants[k] = rest
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, got)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("missing finding at %s:%d matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// collectWants extracts the want markers of every fixture file, keyed by
+// position.
+func collectWants(t *testing.T, pkg *Package) map[goldenKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[goldenKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := goldenKey{pos.Filename, pos.Line}
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	return wants
+}

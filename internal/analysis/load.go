@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	Path  string // import path ("vettest/fixture" for fixtures)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Types and Info come from a lenient source type-check: stdlib imports
+	// resolve fully, module-internal imports resolve to empty stubs, and
+	// type errors are swallowed. Rules use Info opportunistically and must
+	// degrade to syntax when resolution failed; both may be nil when the
+	// loader ran syntax-only.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig tunes Load.
+type LoadConfig struct {
+	// SyntaxOnly skips type-checking; rules that only need the AST (the
+	// boundary rule, the root test) load the whole tree much faster.
+	SyntaxOnly bool
+	// Tests includes _test.go files (same-package and external test
+	// packages) in the loaded packages.
+	Tests bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load resolves patterns (e.g. "./...") through `go list -json` from dir
+// and returns the parsed packages. It uses -e so packages with unresolvable
+// imports still load — the boundary rule must see an import of a sealed
+// package even when nothing else about the file type-checks.
+func Load(dir string, cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	imp := newLenientImporter(fset)
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if lp.Standard || lp.Dir == "" {
+			continue
+		}
+		files := append([]string(nil), lp.GoFiles...)
+		if cfg.Tests {
+			files = append(files, lp.TestGoFiles...)
+		}
+		pkg, err := parseFiles(fset, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			if !cfg.SyntaxOnly {
+				typeCheck(pkg, imp)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if cfg.Tests && len(lp.XTestGoFiles) > 0 {
+			// The external test package is a distinct package; it shares the
+			// directory but never the identifiers, so it loads separately.
+			xpkg, err := parseFiles(fset, lp.ImportPath+"_test", lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			if xpkg != nil {
+				if !cfg.SyntaxOnly {
+					typeCheck(xpkg, imp)
+				}
+				pkgs = append(pkgs, xpkg)
+			}
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadFixture parses every .go file of one directory as a single package —
+// the golden-test loader for testdata fixtures, which live outside the
+// module's package graph. path is the import path the fixture simulates
+// (the boundary rule keys on it).
+func LoadFixture(dir, path string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	pkg, err := parseFilePaths(fset, path, dir, matches)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	typeCheck(pkg, newLenientImporter(fset))
+	return pkg, nil
+}
+
+func parseFiles(fset *token.FileSet, path, dir string, names []string) (*Package, error) {
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return parseFilePaths(fset, path, dir, paths)
+}
+
+func parseFilePaths(fset *token.FileSet, path, dir string, paths []string) (*Package, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", p, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// typeCheck runs a lenient source type-check: every error is swallowed and
+// the (possibly partial) result attached. Rules treat missing resolution as
+// "unknown" and fall back to syntax, so a half-typed package can only lose
+// precision, never correctness of the load.
+func typeCheck(pkg *Package, imp types.Importer) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    imp,
+		Error:       func(error) {}, // partial information is fine
+		FakeImportC: true,
+	}
+	tpkg, _ := conf.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// lenientImporter resolves standard-library imports from source (so
+// sync.Mutex, math/rand and friends carry real types) and everything else
+// to an empty stub package. Module-internal imports would need the whole
+// dependency graph type-checked; no rule requires cross-package types, so
+// stubs keep the load cheap and the fixtures self-contained.
+type lenientImporter struct {
+	std   types.Importer
+	stubs map[string]*types.Package
+}
+
+func newLenientImporter(fset *token.FileSet) *lenientImporter {
+	return &lenientImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		stubs: make(map[string]*types.Package),
+	}
+}
+
+func (li *lenientImporter) Import(path string) (*types.Package, error) {
+	if isStdlib(path) {
+		if pkg, err := li.std.Import(path); err == nil {
+			return pkg, nil
+		}
+	}
+	if pkg, ok := li.stubs[path]; ok {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	li.stubs[path] = pkg
+	return pkg, nil
+}
+
+// isStdlib reports whether an import path names a standard-library package
+// (first path element carries no dot and the path is not module-internal).
+func isStdlib(path string) bool {
+	first := path
+	if i := strings.Index(first, "/"); i >= 0 {
+		first = first[:i]
+	}
+	return !strings.Contains(first, ".") && !strings.HasPrefix(path, "repro/") && !strings.HasPrefix(path, "vettest/")
+}

@@ -1,0 +1,13 @@
+// Package outsider simulates an application package outside the allowed
+// prefixes reaching into the sealed engine.
+package outsider
+
+import (
+	"fmt"
+
+	_ "repro/dps"
+	_ "repro/internal/core"      // want "boundary: import of sealed package repro/internal/core from vettest/outsider: use repro/dps instead"
+	_ "repro/internal/core/deep" // want "boundary: import of sealed package repro/internal/core/deep"
+)
+
+var _ = fmt.Sprintf

@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// measure is measurement code outside the schedule files: wall clock is
+// allowed, the global PRNG still is not.
+func measure() time.Duration {
+	start := time.Now() // ok: not a schedule file
+	return time.Since(start)
+}
+
+func badOther() int {
+	return rand.Intn(3) // want "determinism: rand.Intn draws from the global source"
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the seed-determinism rule; sched.go is the
+// configured schedule file, so wall-clock input is banned here.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func schedule(seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed)) // ok: explicitly seeded generator
+	out := make([]time.Duration, 0, 4)
+	for i := 0; i < 4; i++ {
+		out = append(out, time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	return out
+}
+
+func badGlobal() int64 {
+	return rand.Int63n(10) // want "determinism: rand.Int63n draws from the global source"
+}
+
+func badClock() time.Time {
+	return time.Now() // want "determinism: time.Now reads the wall clock in a schedule path"
+}
+
+func badSelect(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Second): // want "determinism: select over a wall-clock timer in a schedule path" "determinism: time.After reads the wall clock"
+	}
+}

@@ -1,0 +1,10 @@
+// Package outsider exercises the //dpsvet:ignore escape hatch: a valid
+// directive on the line above a finding suppresses it; an undirected
+// sibling finding survives.
+package outsider
+
+import (
+	//dpsvet:ignore boundary migration shim until the facade exposes checkpoints
+	_ "repro/internal/core"
+	_ "repro/internal/core/deep" // want "boundary: import of sealed package repro/internal/core/deep"
+)

@@ -1,0 +1,10 @@
+// Package fixture carries only malformed //dpsvet:ignore directives; the
+// validation test asserts each becomes a finding of the pseudo-rule
+// "dpsvet".
+package fixture
+
+//dpsvet:ignore
+
+//dpsvet:ignore nosuchrule the rule name is not in the vocabulary
+
+//dpsvet:ignore boundary

@@ -1,0 +1,85 @@
+// Package fixture exercises the *Locked call discipline.
+package fixture
+
+import "sync"
+
+type batcher struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+func (b *batcher) addLocked(v int) { b.buf = append(b.buf, v) }
+
+func (b *batcher) flushLocked() []int {
+	b.addLocked(0) // ok: *Locked sibling on the same receiver
+	out := b.buf
+	b.buf = nil
+	return out
+}
+
+func (b *batcher) add(v int) {
+	b.mu.Lock()
+	b.addLocked(v) // ok: b.mu held
+	b.mu.Unlock()
+}
+
+func (b *batcher) addDeferred(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addLocked(v) // ok: the deferred unlock releases at return
+}
+
+func (b *batcher) addRacy(v int) {
+	b.addLocked(v) // want "lockheld: b.addLocked requires b's mutex held"
+}
+
+func (b *batcher) addAfterUnlock(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.addLocked(v) // want "lockheld: b.addLocked requires b's mutex held"
+}
+
+func (b *batcher) addOther(other *batcher, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	other.addLocked(v) // want "lockheld: other.addLocked requires other's mutex held"
+}
+
+func (b *batcher) spawn() {
+	go func() {
+		b.addLocked(1) // want "lockheld: b.addLocked requires b's mutex held"
+	}()
+}
+
+func (b *batcher) withLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	func() {
+		b.addLocked(2) // ok: literal created and run under the lock
+	}()
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (t *table) getLocked(k int) int { return t.m[k] }
+
+func (t *table) get(k int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getLocked(k) // ok: read lock held
+}
+
+func helperLocked() {}
+
+func callsHelperBare() {
+	helperLocked() // want "lockheld: helperLocked is only safe with the lock held"
+}
+
+func callsHelperHeld(b *batcher) {
+	b.mu.Lock()
+	helperLocked() // ok: a lock is held on the path
+	b.mu.Unlock()
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises the pooled-value ownership rule with a local
+// pool shaped like internal/core's buffer pools.
+package fixture
+
+type buf struct{ b []byte }
+
+func getBuf() *buf            { return &buf{} }
+func putBuf(*buf)             {}
+func decodeBuf(p []byte) *buf { return &buf{b: p} }
+func wrap(b *buf) *buf        { return b }
+
+type holder struct{ b *buf }
+
+func ok() {
+	b := getBuf()
+	b.b = append(b.b, 1)
+	putBuf(b)
+}
+
+func useAfterPut() {
+	b := getBuf()
+	putBuf(b)
+	b.b = nil // want "poolown: b used after putBuf\\(b\\) returned it to the pool"
+}
+
+func rebound() {
+	b := getBuf()
+	putBuf(b)
+	b = getBuf() // ok: rebound before any use
+	putBuf(b)
+}
+
+func branches(keep bool) {
+	b := getBuf()
+	if keep {
+		putBuf(b) // ok: puts on distinct branches never poison each other
+		return
+	}
+	putBuf(b)
+}
+
+func retainField(h *holder) {
+	b := getBuf()
+	h.b = b // want "poolown: pooled value b stored into h.b outlives its owner's frame"
+	putBuf(b)
+}
+
+func retainSlice(dst []*buf) {
+	b := getBuf()
+	dst[0] = b // want "poolown: pooled value b stored into dst\\[0\\] outlives its owner's frame"
+}
+
+func retainDecoded(h *holder) {
+	b := decodeBuf(nil)
+	h.b = b // want "poolown: pooled value b stored into h.b outlives its owner's frame"
+}
+
+func retainDerived(h *holder) {
+	b := wrap(getBuf())
+	h.b = b // want "poolown: pooled value b stored into h.b outlives its owner's frame"
+}
+
+func capture() {
+	b := getBuf()
+	go func() {
+		putBuf(b) // want "poolown: pooled value b captured by a spawned goroutine"
+	}()
+}
+
+func handoff() {
+	b := getBuf()
+	go func(b *buf) {
+		putBuf(b) // ok: ownership transferred through the parameter
+	}(b)
+}
+
+type pool struct{}
+
+func (pool) Get() interface{}  { return nil }
+func (pool) Put(interface{})   {}
+func (pool) Other(interface{}) {}
+
+var coders pool
+
+func syncPoolOK() {
+	c := coders.Get().(*buf)
+	c.b = nil
+	coders.Put(c)
+}
+
+func syncPoolUseAfterPut() {
+	c := coders.Get().(*buf)
+	coders.Put(c)
+	c.b = nil // want "poolown: c used after coders.Put\\(c\\) returned it to the pool"
+}
+
+func syncPoolRetain(h *holder) {
+	c, _ := coders.Get().(*buf)
+	h.b = c // want "poolown: pooled value c stored into h.b outlives its owner's frame"
+}
+
+func notAPoolMethod(h *holder, v *buf) {
+	coders.Other(v)
+	v.b = nil // ok: Other is not Put
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// WirekindsConfig configures the wire-kind coverage rule for one package.
+type WirekindsConfig struct {
+	// PkgSuffix selects the package by import-path suffix.
+	PkgSuffix string
+	// KindPrefix selects the kind constants by name prefix ("msg", "ctl").
+	KindPrefix string
+	// DispatchFuncs names the receive-side dispatch functions; every kind
+	// constant must appear as a switch case in at least one of them.
+	DispatchFuncs []string
+	// BatchKinds lists the kinds that may travel inside a batch frame; each
+	// must additionally appear as a case in one of BatchFuncs, so a
+	// batchable kind cannot silently fall out of the batch decoder.
+	BatchKinds []string
+	BatchFuncs []string
+	// PreSend configures the ordering half of the invariant: transmitting
+	// send methods must flush the destination's pending batch first. Nil
+	// disables the check (packages without a batcher).
+	PreSend *PreSendConfig
+}
+
+// PreSendConfig describes the batched wire path's ordering obligation.
+type PreSendConfig struct {
+	// RecvType is the receiver type whose send methods are checked ("link").
+	RecvType string
+	// MethodPrefix selects the checked methods by name ("send").
+	MethodPrefix string
+	// TransmitCalls are the callee names that put bytes on the wire; a
+	// method containing one must also contain one of FlushCalls.
+	TransmitCalls []string
+	// FlushCalls are the callee names that serialize against the pending
+	// batch (preSend, or the batcher's own locked flush).
+	FlushCalls []string
+	// Exempt lists methods that route through the batcher itself and so
+	// already order against it.
+	Exempt []string
+}
+
+// Wirekinds builds the wire-kind coverage rule: a kind constant someone can
+// send but no dispatch switch handles is dead on arrival at the receiver
+// (PR 5's replay and PR 7's batcher both grew kinds that every node must
+// understand), and a send path that skips the batcher flush reorders the
+// wire against send order, breaking the PR 7 ordering invariant.
+func Wirekinds(cfgs []WirekindsConfig) *Rule {
+	r := &Rule{
+		Name: "wirekinds",
+		Doc:  "every wire-kind constant is dispatched, batchable kinds are batch-decoded, and send paths flush the batcher",
+	}
+	r.Run = func(p *Pass) {
+		for i := range cfgs {
+			if suffixMatch(p.Pkg.Path, cfgs[i].PkgSuffix) {
+				runWirekinds(p, &cfgs[i])
+			}
+		}
+	}
+	return r
+}
+
+func runWirekinds(p *Pass, cfg *WirekindsConfig) {
+	kinds := kindConsts(p, cfg.KindPrefix)
+	if len(kinds) == 0 {
+		return
+	}
+	dispatched := caseIdents(p, cfg.DispatchFuncs)
+	batched := caseIdents(p, cfg.BatchFuncs)
+	batchable := make(map[string]bool, len(cfg.BatchKinds))
+	for _, k := range cfg.BatchKinds {
+		batchable[k] = true
+	}
+	for _, k := range kinds {
+		if !dispatched[k.name] {
+			p.Reportf(k.pos.Pos(), "wire kind %s is not a case in any dispatch switch (%s): receivers will reject it as unknown", k.name, strings.Join(cfg.DispatchFuncs, ", "))
+		}
+		if batchable[k.name] && !batched[k.name] {
+			p.Reportf(k.pos.Pos(), "batchable wire kind %s is not a case in the batch decoder (%s): it would be lost inside batch frames", k.name, strings.Join(cfg.BatchFuncs, ", "))
+		}
+	}
+	if cfg.PreSend != nil {
+		checkPreSend(p, cfg.PreSend)
+	}
+}
+
+// kindConst is one kind constant declaration.
+type kindConst struct {
+	name string
+	pos  ast.Node
+}
+
+// kindConsts collects the package's kind constants: prefix followed by an
+// upper-case letter, so "msg" matches msgToken but not a lower-case word
+// that merely starts with the same letters.
+func kindConsts(p *Pass, prefix string) []kindConst {
+	var out []kindConst
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, prefix) && len(name.Name) > len(prefix) &&
+						name.Name[len(prefix)] >= 'A' && name.Name[len(prefix)] <= 'Z' {
+						out = append(out, kindConst{name: name.Name, pos: name})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// caseIdents collects every identifier appearing in a switch case inside
+// the named functions.
+func caseIdents(p *Pass, funcs []string) map[string]bool {
+	want := make(map[string]bool, len(funcs))
+	for _, fn := range funcs {
+		want[fn] = true
+	}
+	out := make(map[string]bool)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !want[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, expr := range cc.List {
+					if id, ok := expr.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkPreSend verifies each transmitting send method orders itself against
+// the pending batch.
+func checkPreSend(p *Pass, cfg *PreSendConfig) {
+	exempt := make(map[string]bool, len(cfg.Exempt))
+	for _, e := range cfg.Exempt {
+		exempt[e] = true
+	}
+	transmit := make(map[string]bool, len(cfg.TransmitCalls))
+	for _, t := range cfg.TransmitCalls {
+		transmit[t] = true
+	}
+	flush := make(map[string]bool, len(cfg.FlushCalls))
+	for _, fl := range cfg.FlushCalls {
+		flush[fl] = true
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if recvTypeName(fd) != cfg.RecvType ||
+				!strings.HasPrefix(fd.Name.Name, cfg.MethodPrefix) ||
+				exempt[fd.Name.Name] {
+				continue
+			}
+			var transmits, flushes bool
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if transmit[name] {
+					transmits = true
+				}
+				if flush[name] {
+					flushes = true
+				}
+				return true
+			})
+			if transmits && !flushes {
+				p.Reportf(fd.Name.Pos(), "%s.%s transmits without flushing the pending batch (call %s first): batched tokens sent earlier would arrive after it", cfg.RecvType, fd.Name.Name, strings.Join(cfg.FlushCalls, " or "))
+			}
+		}
+	}
+}
+
+// recvTypeName returns the bare receiver type name of a method ("link" for
+// func (l *link) ...).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// calleeName returns the terminal name of a call's function expression
+// (trSend for l.trSend(...), preSend for l.preSend(...)).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// frozenWireKinds is the golden name→number table of the engine's wire
+// kinds. These numbers are the wire format: a mixed-version cluster during
+// a rolling restart decodes frames by them, and recorded checkpoint/replay
+// streams (PR 5) outlive any single binary. An existing kind must NEVER be
+// renumbered or reused; new kinds take fresh numbers and a new row here.
+var frozenWireKinds = map[string]byte{
+	"msgToken":      1,
+	"msgGroupEnd":   2,
+	"msgAck":        3,
+	"msgResult":     4,
+	"msgMigrate":    5,
+	"msgFence":      6,
+	"msgCheckpoint": 7,
+	"msgReplay":     8,
+	"msgDeath":      9,
+	"msgTokenFT":    10,
+	"msgGroupEndFT": 11,
+	"msgCut":        12,
+	"msgPing":       13,
+	"msgBatch":      14,
+}
+
+func TestWireKindNumbersFrozen(t *testing.T) {
+	got := map[string]byte{
+		"msgToken":      msgToken,
+		"msgGroupEnd":   msgGroupEnd,
+		"msgAck":        msgAck,
+		"msgResult":     msgResult,
+		"msgMigrate":    msgMigrate,
+		"msgFence":      msgFence,
+		"msgCheckpoint": msgCheckpoint,
+		"msgReplay":     msgReplay,
+		"msgDeath":      msgDeath,
+		"msgTokenFT":    msgTokenFT,
+		"msgGroupEndFT": msgGroupEndFT,
+		"msgCut":        msgCut,
+		"msgPing":       msgPing,
+		"msgBatch":      msgBatch,
+	}
+	for name, want := range frozenWireKinds {
+		if got[name] != want {
+			t.Errorf("%s = %d, frozen as %d: wire kind numbers are the wire format — peers of other versions and recorded replay streams decode by number. Revert the renumbering; a changed meaning needs a NEW kind number.", name, got[name], want)
+		}
+	}
+	byNum := make(map[byte]string, len(got))
+	for name, n := range got {
+		if other, dup := byNum[n]; dup {
+			t.Errorf("%s and %s share number %d: every wire kind needs a distinct number", name, other, n)
+		}
+		byNum[n] = name
+	}
+}
+
+// TestWireKindTableComplete parses wire.go and fails on any msg* constant
+// missing from the frozen table, so a new kind cannot ship unfrozen.
+func TestWireKindTableComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "wire.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				n := name.Name
+				if !strings.HasPrefix(n, "msg") || len(n) <= 3 || n[3] < 'A' || n[3] > 'Z' {
+					continue
+				}
+				found++
+				if _, ok := frozenWireKinds[n]; !ok {
+					t.Errorf("wire kind %s is not in frozenWireKinds: add it with its (new, never recycled) number so the wire format stays auditable", n)
+				}
+			}
+		}
+	}
+	if found != len(frozenWireKinds) {
+		t.Errorf("wire.go declares %d msg* kinds, frozen table has %d: keep them in lockstep (kinds may be added, never removed — old streams still carry them)", found, len(frozenWireKinds))
+	}
+}

@@ -1,0 +1,70 @@
+package kernel
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// frozenCtlKinds freezes the control-plane kind numbers. Like the engine's
+// msg* kinds they are decoded by number by whatever version sits on the
+// other end of a rolling restart; renumbering one desynchronizes the
+// control plane exactly when it is needed most (remap and death handling).
+var frozenCtlKinds = map[string]byte{
+	"ctlRemap": 1,
+	"ctlPing":  2,
+	"ctlPong":  3,
+	"ctlDeath": 4,
+}
+
+func TestCtlKindNumbersFrozen(t *testing.T) {
+	got := map[string]byte{
+		"ctlRemap": ctlRemap,
+		"ctlPing":  ctlPing,
+		"ctlPong":  ctlPong,
+		"ctlDeath": ctlDeath,
+	}
+	for name, want := range frozenCtlKinds {
+		if got[name] != want {
+			t.Errorf("%s = %d, frozen as %d: control kinds are decoded by number across versions; never renumber, add new kinds instead", name, got[name], want)
+		}
+	}
+}
+
+// TestCtlKindTableComplete parses kernel.go and fails on any ctl* constant
+// missing from the frozen table.
+func TestCtlKindTableComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "kernel.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				n := name.Name
+				if !strings.HasPrefix(n, "ctl") || len(n) <= 3 || n[3] < 'A' || n[3] > 'Z' {
+					continue
+				}
+				found++
+				if _, ok := frozenCtlKinds[n]; !ok {
+					t.Errorf("control kind %s is not in frozenCtlKinds: freeze its number before it ships", n)
+				}
+			}
+		}
+	}
+	if found != len(frozenCtlKinds) {
+		t.Errorf("kernel.go declares %d ctl* kinds, frozen table has %d: keep them in lockstep", found, len(frozenCtlKinds))
+	}
+}

@@ -1,0 +1,18 @@
+package tcptransport
+
+import "testing"
+
+// TestSessionWireBitsFrozen freezes the session-header flag bits and the
+// frame-prefix bytes of the batched wire path (PR 7). A node restarted into
+// a newer binary negotiates sessions with peers still running the old one:
+// flag bits are ORed into the hello byte and must keep their positions, and
+// the frame prefix selects the decompressor on the receiver — reassigning
+// either silently corrupts frames mid-rolling-restart.
+func TestSessionWireBitsFrozen(t *testing.T) {
+	if sessionFlagPrefixed != 1 {
+		t.Errorf("sessionFlagPrefixed = %d, frozen as 1: session flag bits are negotiated on the wire; add new flags as higher bits, never move existing ones", sessionFlagPrefixed)
+	}
+	if framePrefixRaw != 0 || framePrefixFlate != 1 {
+		t.Errorf("frame prefixes (raw=%d, flate=%d), frozen as (0, 1): the prefix byte selects the peer's decoder; new codings take new bytes", framePrefixRaw, framePrefixFlate)
+	}
+}
