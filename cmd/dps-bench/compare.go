@@ -57,6 +57,9 @@ func compareFiles(oldPath, newPath string, threshold float64, out *strings.Build
 		if n.ID == "throughput" && compareThroughput(o, n, threshold, out) {
 			regressed = true
 		}
+		if n.ID == "serve" && compareServe(o, n, threshold, out) {
+			regressed = true
+		}
 	}
 	for id := range oldByID {
 		fmt.Fprintf(out, "%-12s (dropped from the new run)\n", id)
@@ -110,6 +113,77 @@ func compareThroughput(o, n measurement, threshold float64, out *strings.Builder
 		}
 		fmt.Fprintf(out, "  %-22s %12.0f -> %-12.0f tokens/s %+7.1f%%%s\n",
 			key, ov, nv, (nv-ov)/ov*100, mark)
+	}
+	return regressed
+}
+
+// compareServe gates the serve experiment per (workload, mode) row on both
+// of its service-level metrics: calls/s falling by more than the threshold
+// (higher is better) and the p99 of completed calls rising by more than the
+// threshold (lower is better). Registry isolation rows carry "-" latency
+// cells, so they are gated on calls/s only; rows present in just one file
+// are skipped like compareThroughput's.
+func compareServe(o, n measurement, threshold float64, out *strings.Builder) (regressed bool) {
+	col := func(m measurement, name string) int {
+		for i, h := range m.Header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	type serveRow struct{ rate, p99 float64 }
+	parse := func(m measurement, rateCol, p99Col int) map[string]serveRow {
+		rows := make(map[string]serveRow, len(m.Rows))
+		for _, r := range m.Rows {
+			if len(r) <= rateCol || len(r) <= p99Col {
+				continue
+			}
+			rate, err := strconv.ParseFloat(strings.TrimSpace(r[rateCol]), 64)
+			if err != nil {
+				continue
+			}
+			// Latency is optional: registry rows print "-" there.
+			p99, err := strconv.ParseFloat(strings.TrimSpace(r[p99Col]), 64)
+			if err != nil {
+				p99 = 0
+			}
+			rows[strings.TrimSpace(r[0])+"/"+strings.TrimSpace(r[1])] = serveRow{rate: rate, p99: p99}
+		}
+		return rows
+	}
+	oRate, oP99 := col(o, "calls/s"), col(o, "p99[ms]")
+	nRate, nP99 := col(n, "calls/s"), col(n, "p99[ms]")
+	if oRate < 2 || oP99 < 0 || nRate < 2 || nP99 < 0 {
+		return false
+	}
+	oldRows := parse(o, oRate, oP99)
+	for _, r := range n.Rows {
+		if len(r) <= nRate || len(r) <= nP99 {
+			continue
+		}
+		key := strings.TrimSpace(r[0]) + "/" + strings.TrimSpace(r[1])
+		ov, ok := oldRows[key]
+		if !ok || ov.rate <= 0 {
+			continue
+		}
+		nv, err := strconv.ParseFloat(strings.TrimSpace(r[nRate]), 64)
+		if err != nil {
+			continue
+		}
+		p99, err := strconv.ParseFloat(strings.TrimSpace(r[nP99]), 64)
+		if err != nil {
+			p99 = 0
+		}
+		rateBad := (ov.rate-nv)/ov.rate > threshold
+		p99Bad := ov.p99 > 0 && p99 > 0 && (p99-ov.p99)/ov.p99 > threshold
+		mark := ""
+		if rateBad || p99Bad {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(out, "  %-22s %12.0f -> %-12.0f calls/s %+7.1f%%  p99 %7.2f -> %-7.2f ms%s\n",
+			key, ov.rate, nv, (nv-ov.rate)/ov.rate*100, ov.p99, p99, mark)
 	}
 	return regressed
 }

@@ -178,3 +178,84 @@ func TestCompareRejectsBadSchema(t *testing.T) {
 		t.Fatal("unknown schema accepted")
 	}
 }
+
+func svMeasurement(rows map[string][2]string) measurement {
+	m := measurement{
+		ID:     "serve",
+		NsOp:   1000,
+		Header: []string{"workload", "mode", "calls/s", "p50[ms]", "p99[ms]", "p999[ms]", "rejected", "expired"},
+	}
+	for _, key := range []string{"echo/mutex", "echo/sharded", "fan/sharded", "registry/sharded"} {
+		if v, ok := rows[key]; ok {
+			workload, mode, _ := strings.Cut(key, "/")
+			p50, p999 := "10.00", "90.00"
+			if v[1] == "-" {
+				p50, p999 = "-", "-"
+			}
+			m.Rows = append(m.Rows, []string{workload, mode, v[0], p50, v[1], p999, "0", "0"})
+		}
+	}
+	return m
+}
+
+func TestCompareServeGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", []measurement{svMeasurement(map[string][2]string{
+		"echo/mutex": {"20000", "60.00"}, "echo/sharded": {"45000", "55.00"},
+		"fan/sharded": {"12000", "150.00"}, "registry/sharded": {"5000000", "-"},
+	})})
+
+	// Wobble within the threshold on both metrics passes.
+	okP := writeBench(t, dir, "ok.json", []measurement{svMeasurement(map[string][2]string{
+		"echo/mutex": {"19000", "63.00"}, "echo/sharded": {"43000", "58.00"},
+		"fan/sharded": {"11500", "155.00"}, "registry/sharded": {"4800000", "-"},
+	})})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, okP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("serve wobble within threshold flagged:\n%s", sb.String())
+	}
+
+	// calls/s dropping 30% on one row fails (higher is better).
+	rateP := writeBench(t, dir, "rate.json", []measurement{svMeasurement(map[string][2]string{
+		"echo/mutex": {"20000", "60.00"}, "echo/sharded": {"31000", "55.00"},
+		"fan/sharded": {"12000", "150.00"}, "registry/sharded": {"5000000", "-"},
+	})})
+	sb.Reset()
+	if regressed, err = compareFiles(oldP, rateP, 0.10, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(sb.String(), "echo/sharded") {
+		t.Fatalf("30%% calls/s drop not flagged:\n%s", sb.String())
+	}
+
+	// p99 rising 50% fails even with calls/s holding (lower is better).
+	p99P := writeBench(t, dir, "p99.json", []measurement{svMeasurement(map[string][2]string{
+		"echo/mutex": {"20000", "60.00"}, "echo/sharded": {"45000", "85.00"},
+		"fan/sharded": {"12000", "150.00"}, "registry/sharded": {"5000000", "-"},
+	})})
+	sb.Reset()
+	if regressed, err = compareFiles(oldP, p99P, 0.10, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("p99 rise not flagged:\n%s", sb.String())
+	}
+
+	// Registry rows carry "-" latency cells: gated on ops/s only, and a
+	// 30% drop there still fails.
+	regP := writeBench(t, dir, "reg.json", []measurement{svMeasurement(map[string][2]string{
+		"echo/mutex": {"20000", "60.00"}, "echo/sharded": {"45000", "55.00"},
+		"fan/sharded": {"12000", "150.00"}, "registry/sharded": {"3400000", "-"},
+	})})
+	sb.Reset()
+	if regressed, err = compareFiles(oldP, regP, 0.10, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(sb.String(), "registry/sharded") {
+		t.Fatalf("registry ops/s drop not flagged:\n%s", sb.String())
+	}
+}

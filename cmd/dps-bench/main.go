@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|failover|throughput|all
+//	dps-bench -exp figure6|table1|figure9|table2|figure15|rebalance|failover|throughput|serve|all
 //	          [-quick] [-workers N] [-stats] [-write EXPERIMENTS.md]
 //	          [-json results.json]
 //	dps-bench -exp chaos [-seed N] [-duration D] [-quick]
@@ -33,6 +33,12 @@
 // regression harness for the batched wire path (-compare gates on its
 // tokens/s trajectory).
 //
+// The serve experiment (not in the paper) saturates a 3-node real-TCP
+// deployment with thousands of concurrent closed-loop callers and compares
+// the single-mutex pending-call table with the sharded registry under
+// admission control and the deadline-aware flow policy; -compare gates on
+// its calls/s and p99 trajectory.
+//
 // The chaos experiment (also not in the paper, and not part of -exp all)
 // soaks the ring and the Game of Life under seeded randomized fault
 // schedules — delivery jitter, transient send errors, healing partitions,
@@ -56,7 +62,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance, failover, throughput, chaos or all (all = every experiment except chaos, which binds wall-clock minutes and must be requested explicitly)")
+	exp := flag.String("exp", "all", "experiment to run: figure6, table1, figure9, table2, figure15, rebalance, failover, throughput, serve, chaos or all (all = every experiment except chaos, which binds wall-clock minutes and must be requested explicitly)")
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
 	workers := flag.Int("workers", 0, "scheduler worker lanes per node (0 = per-instance drainers)")
 	stats := flag.Bool("stats", false, "dump aggregated engine counters per experiment")
@@ -82,11 +88,12 @@ func main() {
 		"rebalance":  bench.Rebalance,
 		"failover":   bench.Failover,
 		"throughput": bench.Throughput,
+		"serve":      bench.Serve,
 		"chaos":      bench.Chaos,
 	}
 	var order []string
 	if *exp == "all" {
-		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance", "failover", "throughput"}
+		order = []string{"figure6", "table1", "figure9", "table2", "figure15", "rebalance", "failover", "throughput", "serve"}
 	} else {
 		if _, ok := fns[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -198,6 +205,7 @@ func formatStats(s *dps.Stats) string {
   acks sent         %d
   window stalls     %d
   calls completed   %d
+  calls admitted    %d (rejected %d at admission, expired %d at deadline)
   queue high-water  %d
   drainer handoffs  %d
   frames batched    %d (max %d tokens/frame)
@@ -207,6 +215,7 @@ func formatStats(s *dps.Stats) string {
   send retries      %d (transient faults absorbed in the grace window)
 `, s.TokensPosted, s.TokensLocal, s.TokensRemote, s.BytesSent,
 		s.GroupsOpened, s.AcksSent, s.WindowStalls, s.CallsCompleted,
+		s.CallsAdmitted, s.CallsRejected, s.CallsExpired,
 		s.QueueHighWater, s.DrainerHandoffs,
 		s.FramesBatched, s.TokensPerFrame,
 		s.UncompressedBytes, s.CompressedBytes,
@@ -235,6 +244,7 @@ func renderMarkdown(reports []*bench.Report, opt bench.Options) string {
 		"rebalance":  "Rebalance — live thread remap of a ring hop mid-benchmark (not in paper)",
 		"failover":   "Failover — ring node crash mid-benchmark, checkpoint restore + replay (not in paper)",
 		"throughput": "Throughput — batched wire path over real TCP loopback (not in paper)",
+		"serve":      "Serve — 10k-caller saturation, sharded call registry vs single mutex (not in paper)",
 		"chaos":      "Chaos — seeded fault schedules over live workloads (not in paper)",
 	}
 	for _, r := range reports {

@@ -61,6 +61,12 @@ import (
 // are serializable. Register token types with Register before use.
 type Token = core.Token
 
+// ErrOverload is wrapped by Call/CallAsync errors when the application's
+// in-flight call budget (WithMaxInFlightCalls) is exhausted: the call was
+// shed at admission, nothing was posted, and the caller should back off and
+// retry. Test with errors.Is.
+var ErrOverload = core.ErrOverload
+
 // Ctx is the execution context passed to every operation body.
 type Ctx = core.Ctx
 
@@ -175,6 +181,11 @@ func (a *App) MasterNode() string { return a.core.MasterNode() }
 
 // Stats aggregates the engine counters of every node runtime.
 func (a *App) Stats() *Stats { return a.core.Stats() }
+
+// PendingCalls reports the graph calls currently admitted and not yet
+// settled — the live in-flight population that WithMaxInFlightCalls
+// budgets. A drained application reports zero.
+func (a *App) PendingCalls() int { return a.core.PendingCalls() }
 
 // FailNode declares a cluster node dead and synchronously recovers its
 // threads onto the surviving nodes (see WithCheckpoint): placements flip,

@@ -21,6 +21,18 @@ func WindowPolicy(n int) FlowPolicy { return flowctl.Window{N: n} }
 // baseline and for workloads whose group sizes are intrinsically bounded.
 func UnboundedPolicy() FlowPolicy { return flowctl.Unbounded{} }
 
+// DeadlinePolicy is WindowPolicy with deadline-aware granting: when the
+// window is exhausted, queued posters are granted slots in
+// earliest-deadline-first order instead of wake-up order, so a saturated
+// graph spends its window on the calls closest to expiry and the p99 of
+// admitted calls stays bounded. Posters whose context carries no deadline
+// age with a virtual deadline of arrival + patience (<= 0 selects the
+// engine default) so urgent traffic cannot starve them. n <= 0 selects the
+// engine's default window.
+func DeadlinePolicy(n int, patience time.Duration) FlowPolicy {
+	return flowctl.Deadline{N: n, Patience: patience}
+}
+
 // Option configures an application at construction time.
 type Option func(*config) error
 
@@ -112,6 +124,34 @@ func WithQueue(n int) Option {
 			return fmt.Errorf("dps: negative queue bound %d", n)
 		}
 		c.engine.Queue = n
+		return nil
+	}
+}
+
+// WithCallShards sets the number of lock shards in the pending-call
+// registry; zero keeps the engine default, values are rounded up to a power
+// of two. One shard reproduces the historical single-mutex table — useful
+// only for measurement.
+func WithCallShards(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("dps: negative call shard count %d", n)
+		}
+		c.engine.CallShards = n
+		return nil
+	}
+}
+
+// WithMaxInFlightCalls bounds the graph calls admitted concurrently across
+// the application. Beyond the budget, Call/CallAsync shed at admission with
+// an error wrapping ErrOverload instead of queueing without bound — the
+// caller backs off and retries. Zero admits without bound.
+func WithMaxInFlightCalls(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("dps: negative in-flight call budget %d", n)
+		}
+		c.engine.MaxInFlightCalls = n
 		return nil
 	}
 }

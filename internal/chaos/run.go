@@ -59,9 +59,10 @@ type Result struct {
 	Failovers int64 // must equal Schedule.Crashes()
 	Retries   int64 // engine send retries absorbed inside the grace window
 	Injected  int64 // injected transient send errors actually consumed
-	// Recovery samples the crash-to-failover-completed latency, one sample
-	// per crash (detection is passive, so this is bounded below by Grace).
-	Recovery trace.Samples
+	// Recovery holds the crash-to-failover-completed latency, one sample
+	// per crash (detection is passive, so this is bounded below by Grace),
+	// as a mergeable percentile histogram.
+	Recovery trace.Hist
 	Stats    *core.Stats
 	Elapsed  time.Duration
 }
@@ -72,7 +73,7 @@ type injector struct {
 	sched    Schedule
 	net      *simnet.Network
 	app      *core.App
-	recovery trace.Samples
+	recovery trace.Hist
 	err      error
 	done     chan struct{}
 }
@@ -231,24 +232,24 @@ func RunParlife(spec Spec) (*Result, error) {
 		}
 	}
 
-	run := func(sched *Schedule, iters int) (*life.World, int, *core.Stats, int64, trace.Samples, time.Duration, error) {
+	run := func(sched *Schedule, iters int) (*life.World, int, *core.Stats, int64, trace.Hist, time.Duration, error) {
 		net := simnet.New(ringCfg)
 		defer net.Close()
 		app, err := core.NewSimApp(appCfg, net, nodes...)
 		if err != nil {
-			return nil, 0, nil, 0, trace.Samples{}, 0, err
+			return nil, 0, nil, 0, trace.Hist{}, 0, err
 		}
 		defer app.Close()
 		sim, err := parlife.New(app, width, height, parlife.Options{
 			Name: "chaos", Workers: workers, WorkerNodes: workerNodes,
 		})
 		if err != nil {
-			return nil, 0, nil, 0, trace.Samples{}, 0, err
+			return nil, 0, nil, 0, trace.Hist{}, 0, err
 		}
 		w := life.NewWorld(width, height)
 		copy(w.Cells, seedWorld.Cells)
 		if err := sim.Load(w); err != nil {
-			return nil, 0, nil, 0, trace.Samples{}, 0, err
+			return nil, 0, nil, 0, trace.Hist{}, 0, err
 		}
 		var inj *injector
 		if sched != nil {
@@ -260,24 +261,24 @@ func RunParlife(spec Spec) (*Result, error) {
 			// Disturbed run: iterate for the span, however far that gets.
 			for sim.Iter() == 0 || sw.Elapsed() < spec.Span {
 				if err := sim.Step(true); err != nil {
-					return nil, sim.Iter(), nil, 0, trace.Samples{}, 0, fmt.Errorf("step %d: %w", sim.Iter()+1, err)
+					return nil, sim.Iter(), nil, 0, trace.Hist{}, 0, fmt.Errorf("step %d: %w", sim.Iter()+1, err)
 				}
 			}
 		} else if err := sim.StepN(iters, true); err != nil {
-			return nil, sim.Iter(), nil, 0, trace.Samples{}, 0, err
+			return nil, sim.Iter(), nil, 0, trace.Hist{}, 0, err
 		}
 		elapsed := sw.Elapsed()
 		out, err := sim.Gather()
 		if err != nil {
-			return nil, sim.Iter(), nil, 0, trace.Samples{}, 0, fmt.Errorf("gather: %w", err)
+			return nil, sim.Iter(), nil, 0, trace.Hist{}, 0, fmt.Errorf("gather: %w", err)
 		}
 		if err := app.Err(); err != nil {
-			return nil, sim.Iter(), nil, 0, trace.Samples{}, 0, err
+			return nil, sim.Iter(), nil, 0, trace.Hist{}, 0, err
 		}
-		var recovery trace.Samples
+		var recovery trace.Hist
 		if inj != nil {
 			if err := inj.wait(); err != nil {
-				return nil, sim.Iter(), nil, 0, trace.Samples{}, 0, err
+				return nil, sim.Iter(), nil, 0, trace.Hist{}, 0, err
 			}
 			recovery = inj.recovery
 		}

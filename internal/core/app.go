@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,23 @@ type Config struct {
 	// by Stats.CompressedBytes/UncompressedBytes). Requires Batch; it has
 	// no effect on unbatched frames.
 	Compress bool
+	// CallShards is the lock striping of the pending-call registry: the
+	// table of in-flight graph calls is split over this many independently
+	// locked shards keyed by call ID, so saturated callers (an ingress
+	// multiplexing thousands of concurrent Graph.Calls) spread
+	// registration, completion and cancellation over independent locks.
+	// Zero selects DefaultCallShards; the value is rounded up to a power of
+	// two. One restores the historical single-mutex table, kept as a
+	// measurable baseline (dps-bench -exp serve compares the two).
+	CallShards int
+	// MaxInFlightCalls is the admission budget: the number of graph calls
+	// that may be pending (registered and unsettled) at any moment across
+	// the application. At the budget new calls are shed at admission with
+	// ErrOverload before any entry token posts — graceful degradation
+	// instead of unbounded queueing. It transitively bounds the engine's
+	// queues too: each admitted call contributes at most its flow-control
+	// window of tokens. Zero admits everything.
+	MaxInFlightCalls int
 	// SuspectGrace turns "first send error = death" into graceful
 	// degradation: a failing transport send (including liveness probes) is
 	// retried with capped exponential backoff and jitter for up to this
@@ -134,8 +152,10 @@ type App struct {
 	graphs      map[string]*Flowgraph
 
 	callSeq atomic.Uint64
-	callMu  sync.Mutex
-	calls   map[uint64]*callEntry
+	// callreg is the sharded pending-call table (callreg.go): registration,
+	// completion, cancellation and context lookups lock only the shard the
+	// call ID stripes to, so concurrent callers don't convoy on one mutex.
+	callreg callRegistry
 	// canceled holds the IDs of calls whose context fired before the result
 	// arrived (sync.Map: written once per cancellation, read lock-free on
 	// the token hot paths). In-flight tokens of these calls are dropped —
@@ -179,12 +199,15 @@ type CallResult struct {
 
 // callEntry is one pending flow-graph invocation: the channel the result is
 // delivered on, the caller's context (consulted by blocking engine points so
-// cancellation unwinds in-flight work), and the context watcher to detach
-// once the call settles.
+// cancellation unwinds in-flight work), the context watcher to detach once
+// the call settles, and the origin runtime (where admission and expiry are
+// attributed in Stats). Entries of synchronous calls are pooled; see
+// callEntries in callreg.go for the ownership argument.
 type callEntry struct {
 	ch   chan CallResult
 	ctx  context.Context
 	stop func() bool
+	rt   *Runtime
 }
 
 // NewApp creates an application with no nodes; attach transports with
@@ -196,9 +219,9 @@ func NewApp(cfg Config) *App {
 		runtimes:    make(map[string]*Runtime),
 		collections: make(map[string]*ThreadCollection),
 		graphs:      make(map[string]*Flowgraph),
-		calls:       make(map[uint64]*callEntry),
 		ftOn:        cfg.Checkpoint > 0,
 	}
+	app.callreg.initCallRegistry(cfg.CallShards)
 	// Call IDs travel in token envelopes and are consulted on every
 	// receiving node (cancellation drops). In a multi-process deployment
 	// (TCP kernels) each process runs its own App; sequential IDs starting
@@ -337,19 +360,14 @@ func (app *App) Close() {
 func (app *App) fail(err error) {
 	app.failErr.CompareAndSwap(nil, errBox{err: err})
 	first := app.Err()
-	app.callMu.Lock()
-	pending := app.calls
-	app.calls = make(map[uint64]*callEntry)
-	stops := make([]func() bool, 0, len(pending))
+	// ce.stop is written under the entry's shard lock (setCallStop);
+	// drainAll holds each shard lock while evicting, so the reads here — on
+	// entries no settler can reach any more — are ordered after the writes.
+	pending := app.callreg.drainAll()
 	for _, ce := range pending {
-		// ce.stop is written under callMu (setCallStop); read it here too.
 		if ce.stop != nil {
-			stops = append(stops, ce.stop)
+			ce.stop()
 		}
-	}
-	app.callMu.Unlock()
-	for _, stop := range stops {
-		stop()
 	}
 	for _, ce := range pending {
 		select {
@@ -414,61 +432,83 @@ func (app *App) allRuntimes() []*Runtime {
 }
 
 // replaceMapping swaps a collection's placement wholesale, rejecting the
-// swap while calls execute. The check and the swap happen under callMu —
-// the lock call registration takes — so a call racing the remap either
-// registers first (and the swap is rejected) or registers after the new
-// table is in place and routes consistently; no call can resolve half its
-// tokens against each placement.
+// swap while calls execute. The check and the swap happen with every
+// registry shard locked — the locks call registration takes — so a call
+// racing the remap either registers first (lands in its shard before the
+// sweep, and the swap is rejected) or registers after the new table is in
+// place and routes consistently; no call can resolve half its tokens
+// against each placement.
 func (app *App) replaceMapping(tc *ThreadCollection, nodes []string) error {
-	app.callMu.Lock()
-	defer app.callMu.Unlock()
-	if tc.place.Len() > 0 && len(app.calls) > 0 {
+	app.callreg.lockAll()
+	defer app.callreg.unlockAll()
+	//dpsvet:ignore lockheld lockAll above takes every shard lock; the rule cannot see through the loop
+	if tc.place.Len() > 0 && app.callreg.pendingLocked() > 0 {
 		return fmt.Errorf("dps: collection %q: cannot replace the mapping while calls are executing; use Remap for a live migration", tc.name)
 	}
 	tc.place.Set(nodes)
 	return nil
 }
 
-func (app *App) registerCall(ctx context.Context) (uint64, *callEntry) {
+// registerCall admits and registers a new pending call for the origin
+// runtime. Admission is a single atomic add against the in-flight budget
+// (Config.MaxInFlightCalls): over budget the add is rolled back and the
+// caller gets ErrOverload with nothing registered and nothing posted.
+func (app *App) registerCall(ctx context.Context, rt *Runtime) (uint64, *callEntry, error) {
+	if max := app.cfg.MaxInFlightCalls; max > 0 {
+		if app.callreg.pending.Add(1) > int64(max) {
+			app.callreg.pending.Add(-1)
+			rt.stats.callsRejected.Add(1)
+			return 0, nil, ErrOverload
+		}
+	} else {
+		app.callreg.pending.Add(1)
+	}
+	rt.stats.callsAdmitted.Add(1)
 	id := app.callSeq.Add(1)
-	ce := &callEntry{ch: make(chan CallResult, 1), ctx: ctx}
-	app.callMu.Lock()
-	app.calls[id] = ce
-	app.callMu.Unlock()
-	return id, ce
+	ce := getCallEntry(ctx, rt)
+	sh := app.callreg.shard(id)
+	sh.mu.Lock()
+	sh.calls[id] = ce //dpsvet:ignore poolown registration transfers ownership to the registry; the settler that removes the entry owns it
+	sh.mu.Unlock()
+	return id, ce, nil
 }
 
 // setCallStop attaches the context watcher to a pending call. If the call
 // settled (result, failure or cancellation) while the watcher was being
 // created, the watcher is detached immediately instead.
 func (app *App) setCallStop(id uint64, stop func() bool) {
-	app.callMu.Lock()
-	ce, ok := app.calls[id]
+	sh := app.callreg.shard(id)
+	sh.mu.Lock()
+	ce, ok := sh.calls[id]
 	if ok {
 		ce.stop = stop
 	}
-	app.callMu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		stop()
 	}
 }
 
 func (app *App) completeCall(id uint64, res CallResult) {
-	app.callMu.Lock()
-	ce, ok := app.calls[id]
-	delete(app.calls, id)
+	sh := app.callreg.shard(id)
+	sh.mu.Lock()
+	ce, ok := sh.calls[id]
+	delete(sh.calls, id)
 	var stop func() bool
 	if ok {
 		stop = ce.stop
 	} else {
 		// The orphaned result of a canceled call: reap the cancellation
-		// record — no further tokens of this call can be in flight.
+		// record — no further tokens of this call can be in flight. Under
+		// the shard lock, like cancelCall's record store, so the removal
+		// and the record appear atomically to this call's other settlers.
 		if _, wasCanceled := app.canceled.LoadAndDelete(id); wasCanceled {
 			app.cancelActive.Add(-1)
 		}
 	}
-	app.callMu.Unlock()
+	sh.mu.Unlock()
 	if ok {
+		app.callreg.pending.Add(-1)
 		if stop != nil {
 			stop()
 		}
@@ -483,19 +523,25 @@ func (app *App) completeCall(id uint64, res CallResult) {
 // Blocked executions of the call are woken so they observe the cancellation
 // and unwind.
 func (app *App) cancelCall(id uint64, cause error) {
-	app.callMu.Lock()
-	ce, ok := app.calls[id]
+	sh := app.callreg.shard(id)
+	sh.mu.Lock()
+	ce, ok := sh.calls[id]
 	if !ok {
 		// The result won the race; the call completed normally.
-		app.callMu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	delete(app.calls, id)
-	// Mutated under callMu (like completeCall's reap) so the entry removal
-	// and the cancellation record appear atomically to other settlers.
+	delete(sh.calls, id)
+	// Mutated under the shard lock (like completeCall's reap) so the entry
+	// removal and the cancellation record appear atomically to this call's
+	// other settlers — which, keyed by the same ID, use the same shard.
 	app.canceled.Store(id, struct{}{})
 	app.cancelActive.Add(1)
-	app.callMu.Unlock()
+	sh.mu.Unlock()
+	app.callreg.pending.Add(-1)
+	if ce.rt != nil && errors.Is(cause, context.DeadlineExceeded) {
+		ce.rt.stats.callsExpired.Add(1)
+	}
 	select {
 	case ce.ch <- CallResult{Err: cause}:
 	default:
@@ -513,7 +559,7 @@ func (app *App) cancelCall(id uint64, cause error) {
 
 // callAborted reports whether a call was canceled. The fast path is one
 // atomic load; the lock-free map is consulted only while canceled calls
-// are outstanding, so the token hot paths never serialize on callMu.
+// are outstanding, so the token hot paths never touch the registry shards.
 func (app *App) callAborted(id uint64) bool {
 	if app.cancelActive.Load() == 0 {
 		return false
@@ -525,11 +571,18 @@ func (app *App) callAborted(id uint64) bool {
 // callContext returns the context a pending call was registered with, or
 // nil when the call is no longer pending (completed or canceled).
 func (app *App) callContext(id uint64) context.Context {
-	app.callMu.Lock()
-	ce, ok := app.calls[id]
-	app.callMu.Unlock()
+	sh := app.callreg.shard(id)
+	sh.mu.Lock()
+	ce, ok := sh.calls[id]
+	var ctx context.Context
+	if ok {
+		// Read under the shard lock: a pooled entry's ctx is rewritten on
+		// reuse, so it must not be loaded after the entry leaves the table.
+		ctx = ce.ctx
+	}
+	sh.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	return ce.ctx
+	return ctx
 }

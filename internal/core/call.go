@@ -22,12 +22,18 @@ func (g *Flowgraph) Call(ctx context.Context, tok Token) (Token, error) {
 
 // CallFrom is Call with an explicit origin node; the result token is routed
 // back to that node.
+//
+// Unlike CallAsyncFrom, the synchronous path recycles the pending-call entry
+// once the single result has been received: nothing else can reach a settled
+// entry (settlement is keyed by the never-reused call ID), so saturated
+// callers don't allocate an entry and channel per call.
 func (g *Flowgraph) CallFrom(ctx context.Context, origin string, tok Token) (Token, error) {
-	ch, err := g.CallAsyncFrom(ctx, origin, tok)
+	ce, err := g.startCall(ctx, origin, tok)
 	if err != nil {
 		return nil, err
 	}
-	res := <-ch
+	res := <-ce.ch
+	recycleCallEntry(ce)
 	return res.Value, res.Err
 }
 
@@ -57,7 +63,21 @@ func (g *Flowgraph) CallAsync(ctx context.Context, tok Token) (<-chan CallResult
 // channel receives exactly one CallResult; pending calls fail when the
 // application fails or closes, and receive ctx's error when ctx is canceled
 // before the result arrives. A nil ctx is treated as context.Background().
+//
+// When Config.MaxInFlightCalls is set and the budget is exhausted, the call
+// is shed at admission: the error wraps ErrOverload and nothing was posted,
+// so the caller can back off and retry.
 func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token) (<-chan CallResult, error) {
+	ce, err := g.startCall(ctx, origin, tok)
+	if err != nil {
+		return nil, err
+	}
+	return ce.ch, nil
+}
+
+// startCall validates, admits, registers and posts one graph call, returning
+// the pending entry whose channel delivers the single result.
+func (g *Flowgraph) startCall(ctx context.Context, origin string, tok Token) (*callEntry, error) {
 	app := g.app
 	if ctx == nil {
 		ctx = context.Background()
@@ -96,7 +116,10 @@ func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token)
 	if thread < 0 || thread >= count {
 		return nil, fmt.Errorf("dps: graph %q: entry route %q returned thread %d of %d", g.name, entryNode.route.Name(), thread, count)
 	}
-	id, ce := app.registerCall(ctx)
+	id, ce, err := app.registerCall(ctx, rt)
+	if err != nil {
+		return nil, fmt.Errorf("dps: graph %q: %w", g.name, err)
+	}
 	if ctx.Done() != nil {
 		app.setCallStop(id, context.AfterFunc(ctx, func() {
 			app.cancelCall(id, context.Cause(ctx))
@@ -115,7 +138,7 @@ func (g *Flowgraph) CallAsyncFrom(ctx context.Context, origin string, tok Token)
 	if err := rt.routeSafe(env, entryNode.tc, thread); err != nil {
 		app.completeCall(id, CallResult{Err: err})
 	}
-	return ce.ch, nil
+	return ce, nil
 }
 
 // GraphCallOp wraps a flow graph as a leaf operation: the caller's graph

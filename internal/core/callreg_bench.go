@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BenchCallRegistry measures the pending-call registry in isolation: callers
+// goroutines register and settle calls back-to-back through the real
+// registerCall/completeCall path (admission counter, shard map store,
+// settlement send, entry recycling) with no graph, wire or timer work in the
+// loop, and the sustained ops/s is returned. One op is one full
+// register→complete→receive→recycle cycle.
+//
+// This is the seam the serve saturation experiment (dps-bench -exp serve)
+// uses to report the sharded registry against the historical single-mutex
+// table: end-to-end serve rows include the engine and TCP cost per call, so
+// their mutex-vs-sharded gap narrows on small hosts where the wire dominates;
+// this row isolates the data structure the tentpole replaced.
+func BenchCallRegistry(shards, callers int, span time.Duration) float64 {
+	app, err := NewLocalApp(Config{CallShards: shards}, "reg0")
+	if err != nil {
+		panic(err)
+	}
+	defer app.Close()
+	rt, _ := app.runtime("reg0")
+	ctx := context.Background()
+	var (
+		ops  atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				id, ce, err := app.registerCall(ctx, rt)
+				if err != nil {
+					// No admission budget is configured; registration
+					// cannot be refused.
+					continue
+				}
+				app.completeCall(id, CallResult{})
+				<-ce.ch
+				recycleCallEntry(ce)
+				ops.Add(1)
+			}
+		}()
+	}
+	time.Sleep(span)
+	stop.Store(true)
+	wg.Wait()
+	return float64(ops.Load()) / span.Seconds()
+}

@@ -1,0 +1,222 @@
+package flowctl
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultPatience is the virtual deadline horizon granted to waiters whose
+// context carries no deadline under the Deadline policy.
+const DefaultPatience = 250 * time.Millisecond
+
+// Deadline is a deadline-aware window policy: like Window it admits at most
+// N unacknowledged tokens per split group, but when the window is exhausted
+// the waiting posters are granted slots in earliest-deadline-first order
+// instead of wake-up order. A saturated graph then spends its window on the
+// calls closest to expiry — work that would otherwise time out after
+// consuming a slot — which bounds the p99 of admitted calls instead of
+// letting near-deadline calls languish behind fresh ones.
+//
+// Fairness for best-effort traffic: a waiter whose context has no deadline
+// is queued with a virtual deadline of arrival + Patience, so a steady
+// stream of urgent calls can overtake it for at most that long before it
+// becomes the earliest waiter itself. Equal deadlines tie-break by arrival
+// order.
+type Deadline struct {
+	// N bounds the tokens in flight per split group; <= 0 selects
+	// DefaultWindow.
+	N int
+	// Patience is the virtual deadline horizon of deadline-less waiters;
+	// <= 0 selects DefaultPatience.
+	Patience time.Duration
+}
+
+func (d Deadline) size() int {
+	if d.N > 0 {
+		return d.N
+	}
+	return DefaultWindow
+}
+
+func (d Deadline) patience() time.Duration {
+	if d.Patience > 0 {
+		return d.Patience
+	}
+	return DefaultPatience
+}
+
+// Name implements Policy.
+func (d Deadline) Name() string {
+	return fmt.Sprintf("deadline(%d,%v)", d.size(), d.patience())
+}
+
+// NewGate implements Policy.
+func (d Deadline) NewGate() Gate {
+	g := &deadlineGate{n: d.size(), patience: d.patience()}
+	g.cond.L = &g.mu
+	return g
+}
+
+// dlWaiter is one queued Acquire ordered by (due, seq).
+type dlWaiter struct {
+	due time.Time
+	seq uint64
+	idx int // position in the heap; -1 once removed
+}
+
+type deadlineGate struct {
+	mu       sync.Mutex
+	cond     sync.Cond
+	n        int
+	patience time.Duration
+	inflight int
+	seq      uint64
+	waiters  dlHeap
+}
+
+// TryAcquire takes a slot only when the window has room and nobody is
+// queued: a poster must not barge past waiters with earlier deadlines.
+func (g *deadlineGate) TryAcquire() bool {
+	g.mu.Lock()
+	if g.inflight < g.n && len(g.waiters) == 0 {
+		g.inflight++
+		g.mu.Unlock()
+		return true
+	}
+	g.mu.Unlock()
+	return false
+}
+
+func (g *deadlineGate) Acquire(ctx context.Context, onStall func(), failed func() error) (stalled bool, err error) {
+	// Same shape as windowGate.Acquire: the context wakes the gate when it
+	// fires and the loop consults aborted() alongside the grant condition —
+	// before every wait and once more before taking the slot.
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, g.Wake)
+		defer stop()
+	}
+	aborted := func() error {
+		if failed != nil {
+			if err := failed(); err != nil {
+				return err
+			}
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g.mu.Lock()
+	if g.inflight < g.n && len(g.waiters) == 0 {
+		if err := aborted(); err != nil {
+			g.mu.Unlock()
+			return false, err
+		}
+		g.inflight++
+		g.mu.Unlock()
+		return false, nil
+	}
+	w := &dlWaiter{seq: g.seq}
+	g.seq++
+	var hasDeadline bool
+	if ctx != nil {
+		w.due, hasDeadline = ctx.Deadline()
+	}
+	if !hasDeadline {
+		w.due = time.Now().Add(g.patience)
+	}
+	heap.Push(&g.waiters, w)
+	for {
+		if err := aborted(); err != nil {
+			g.remove(w)
+			// The departing waiter may have been the head the others were
+			// yielding to; let a successor re-evaluate.
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return stalled, err
+		}
+		if g.inflight < g.n && g.waiters[0] == w {
+			g.remove(w)
+			g.inflight++
+			if g.inflight < g.n && len(g.waiters) > 0 {
+				// Room remains for the next-earliest waiter.
+				g.cond.Broadcast()
+			}
+			g.mu.Unlock()
+			return stalled, nil
+		}
+		if !stalled {
+			stalled = true
+			if onStall != nil {
+				onStall()
+			}
+		}
+		g.cond.Wait()
+	}
+}
+
+// remove detaches a waiter from the heap; callers hold g.mu.
+func (g *deadlineGate) remove(w *dlWaiter) {
+	if w.idx >= 0 {
+		heap.Remove(&g.waiters, w.idx)
+	}
+}
+
+func (g *deadlineGate) Release() {
+	g.mu.Lock()
+	if g.inflight > 0 {
+		g.inflight--
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *deadlineGate) Quiescent() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight == 0
+}
+
+func (g *deadlineGate) Wake() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// dlHeap is a min-heap of waiters by (due, seq).
+type dlHeap []*dlWaiter
+
+func (h dlHeap) Len() int { return len(h) }
+
+func (h dlHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h dlHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *dlHeap) Push(x any) {
+	w := x.(*dlWaiter)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+
+func (h *dlHeap) Pop() any {
+	old := *h
+	w := old[len(old)-1]
+	old[len(old)-1] = nil
+	w.idx = -1
+	*h = old[:len(old)-1]
+	return w
+}

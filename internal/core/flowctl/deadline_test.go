@@ -1,0 +1,240 @@
+package flowctl
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDeadlineTryAcquireExhaustion(t *testing.T) {
+	g := Deadline{N: 3}.NewGate()
+	for i := 0; i < 3; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("slot %d refused below the window", i)
+		}
+	}
+	if g.TryAcquire() {
+		t.Fatal("slot granted beyond the window")
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestDeadlineGrantsEarliestFirst(t *testing.T) {
+	// Two posters queue on an exhausted window; the later arrival has the
+	// earlier deadline and must be granted the first released slot.
+	g := Deadline{N: 1}.NewGate()
+	if !g.TryAcquire() {
+		t.Fatal("first slot refused")
+	}
+	type waiter struct {
+		stalled chan struct{}
+		granted chan struct{}
+	}
+	start := func(d time.Duration) *waiter {
+		w := &waiter{stalled: make(chan struct{}), granted: make(chan struct{})}
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		go func() {
+			defer cancel()
+			if _, err := g.Acquire(ctx, func() { close(w.stalled) }, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			close(w.granted)
+		}()
+		select {
+		case <-w.stalled:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter did not stall on the exhausted window")
+		}
+		return w
+	}
+	far := start(time.Hour)
+	near := start(time.Minute) // later arrival, earlier deadline
+	g.Release()
+	select {
+	case <-near.granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("near-deadline waiter not granted the released slot")
+	}
+	select {
+	case <-far.granted:
+		t.Fatal("far-deadline waiter barged past the near one")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release()
+	select {
+	case <-far.granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("far-deadline waiter never granted")
+	}
+	g.Release()
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("gate not quiescent after all releases")
+	}
+}
+
+func TestDeadlinePatienceAgesBestEffortWaiters(t *testing.T) {
+	// A deadline-less waiter holds a virtual deadline of arrival+Patience:
+	// a later waiter with a far real deadline must not overtake it.
+	g := Deadline{N: 1, Patience: 10 * time.Millisecond}.NewGate()
+	g.TryAcquire()
+	stalledA := make(chan struct{})
+	grantedA := make(chan struct{})
+	go func() {
+		if _, err := g.Acquire(nil, func() { close(stalledA) }, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		close(grantedA)
+	}()
+	select {
+	case <-stalledA:
+	case <-time.After(5 * time.Second):
+		t.Fatal("best-effort waiter did not stall")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	stalledB := make(chan struct{})
+	grantedB := make(chan struct{})
+	go func() {
+		if _, err := g.Acquire(ctx, func() { close(stalledB) }, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		close(grantedB)
+	}()
+	select {
+	case <-stalledB:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline waiter did not stall")
+	}
+	g.Release()
+	select {
+	case <-grantedA:
+	case <-grantedB:
+		t.Fatal("hour-deadline waiter overtook the aged best-effort one")
+	case <-time.After(5 * time.Second):
+		t.Fatal("no waiter granted after Release")
+	}
+	g.Release()
+	<-grantedB
+	g.Release()
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("gate not quiescent after all releases")
+	}
+}
+
+func TestDeadlineTryAcquireDoesNotBargePastWaiters(t *testing.T) {
+	// Whitebox: with room in the window but a waiter queued, TryAcquire must
+	// refuse — the slot belongs to the earliest-deadline waiter.
+	g := Deadline{N: 2}.NewGate().(*deadlineGate)
+	if !g.TryAcquire() {
+		t.Fatal("first slot refused")
+	}
+	g.mu.Lock()
+	heap.Push(&g.waiters, &dlWaiter{due: time.Now().Add(time.Second)})
+	g.mu.Unlock()
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire barged past a queued waiter")
+	}
+}
+
+func TestDeadlineAcquireCanceledReleasesHeadRole(t *testing.T) {
+	// The earliest waiter's cancellation must not strand the waiters behind
+	// it: the departure re-evaluates the queue and the next waiter proceeds.
+	g := Deadline{N: 1}.NewGate()
+	g.TryAcquire()
+	ctxHead, cancelHead := context.WithCancel(context.Background())
+	headStalled := make(chan struct{})
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctxHead, func() { close(headStalled) }, nil)
+		headErr <- err
+	}()
+	select {
+	case <-headStalled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("head waiter did not stall")
+	}
+	ctxNext, cancelNext := context.WithTimeout(context.Background(), time.Hour)
+	defer cancelNext()
+	nextStalled := make(chan struct{})
+	nextGranted := make(chan struct{})
+	go func() {
+		if _, err := g.Acquire(ctxNext, func() { close(nextStalled) }, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		close(nextGranted)
+	}()
+	select {
+	case <-nextStalled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second waiter did not stall")
+	}
+	// Free the slot, then cancel the head (which has the earlier virtual
+	// deadline only if patience is short — order the other way: cancel the
+	// head first so the released slot can only go to the survivor).
+	cancelHead()
+	select {
+	case err := <-headErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("head waiter got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled head waiter did not return")
+	}
+	g.Release()
+	select {
+	case <-nextGranted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving waiter stranded after the head left")
+	}
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("gate not quiescent after the canceled acquire")
+	}
+}
+
+func TestDeadlineAcquireFailedBeforeWait(t *testing.T) {
+	g := Deadline{N: 1}.NewGate()
+	g.TryAcquire()
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		stalled, err := g.Acquire(nil, func() {},
+			func() error { return boom })
+		if stalled {
+			t.Error("pre-failed acquire reported a stall")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire parked despite a pre-existing failure")
+	}
+	g.Release()
+	if !g.Quiescent() {
+		t.Fatal("failed acquisition consumed a slot")
+	}
+}
+
+func TestDeadlinePolicyName(t *testing.T) {
+	if got := (Deadline{}).Name(); got != "deadline(64,250ms)" {
+		t.Fatalf("default deadline name %q", got)
+	}
+	if got := (Deadline{N: 8, Patience: time.Second}).Name(); got != "deadline(8,1s)" {
+		t.Fatalf("deadline name %q", got)
+	}
+}

@@ -23,6 +23,16 @@ type Stats struct {
 	WindowStalls int64
 	// CallsCompleted counts graph-call results delivered on the node.
 	CallsCompleted int64
+	// CallsAdmitted counts graph calls that passed admission on this node
+	// (registered in the pending-call table; Config.MaxInFlightCalls).
+	CallsAdmitted int64
+	// CallsRejected counts graph calls shed at admission with ErrOverload
+	// because the in-flight call budget was exhausted.
+	CallsRejected int64
+	// CallsExpired counts admitted calls canceled by a deadline before
+	// their result arrived (context.DeadlineExceeded), attributed to the
+	// call's origin node.
+	CallsExpired int64
 	// QueueHighWater is the deepest per-instance dispatch queue observed by
 	// the scheduler layer. Aggregation takes the maximum, not the sum.
 	QueueHighWater int64
@@ -80,6 +90,9 @@ func (s *Stats) Add(o *Stats) {
 	s.AcksSent += o.AcksSent
 	s.WindowStalls += o.WindowStalls
 	s.CallsCompleted += o.CallsCompleted
+	s.CallsAdmitted += o.CallsAdmitted
+	s.CallsRejected += o.CallsRejected
+	s.CallsExpired += o.CallsExpired
 	if o.QueueHighWater > s.QueueHighWater {
 		s.QueueHighWater = o.QueueHighWater
 	}
@@ -112,6 +125,9 @@ type statCounters struct {
 	acksSent            atomic.Int64
 	windowStalls        atomic.Int64
 	callsCompleted      atomic.Int64
+	callsAdmitted       atomic.Int64
+	callsRejected       atomic.Int64
+	callsExpired        atomic.Int64
 	migrationsCompleted atomic.Int64
 	tokensForwarded     atomic.Int64
 	migrationBytes      atomic.Int64
@@ -146,6 +162,9 @@ func (c *statCounters) snapshot() *Stats {
 		AcksSent:            c.acksSent.Load(),
 		WindowStalls:        c.windowStalls.Load(),
 		CallsCompleted:      c.callsCompleted.Load(),
+		CallsAdmitted:       c.callsAdmitted.Load(),
+		CallsRejected:       c.callsRejected.Load(),
+		CallsExpired:        c.callsExpired.Load(),
 		MigrationsCompleted: c.migrationsCompleted.Load(),
 		TokensForwarded:     c.tokensForwarded.Load(),
 		MigrationBytes:      c.migrationBytes.Load(),
