@@ -6,6 +6,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // compareFiles diffs two -json outputs (old, new) experiment by experiment
@@ -120,9 +121,12 @@ func compareThroughput(o, n measurement, threshold float64, out *strings.Builder
 // compareServe gates the serve experiment per (workload, mode) row on both
 // of its service-level metrics: calls/s falling by more than the threshold
 // (higher is better) and the p99 of completed calls rising by more than the
-// threshold (lower is better). Registry isolation rows carry "-" latency
-// cells, so they are gated on calls/s only; rows present in just one file
-// are skipped like compareThroughput's.
+// threshold (lower is better). When a file carries the row's structured
+// latency histogram (measurement.Hists, emitted since the observability
+// work) its exact p99 is preferred over the printed table cell, so the gate
+// is immune to cell formatting and rounding. Registry isolation rows carry
+// "-" latency cells and no histogram, so they are gated on calls/s only;
+// rows present in just one file are skipped like compareThroughput's.
 func compareServe(o, n measurement, threshold float64, out *strings.Builder) (regressed bool) {
 	col := func(m measurement, name string) int {
 		for i, h := range m.Header {
@@ -175,6 +179,13 @@ func compareServe(o, n measurement, threshold float64, out *strings.Builder) (re
 		if err != nil {
 			p99 = 0
 		}
+		// Structured histograms beat printed cells on either side.
+		if v, ok := histP99ms(o, key); ok {
+			ov.p99 = v
+		}
+		if v, ok := histP99ms(n, key); ok {
+			p99 = v
+		}
 		rateBad := (ov.rate-nv)/ov.rate > threshold
 		p99Bad := ov.p99 > 0 && p99 > 0 && (p99-ov.p99)/ov.p99 > threshold
 		mark := ""
@@ -186,6 +197,16 @@ func compareServe(o, n measurement, threshold float64, out *strings.Builder) (re
 			key, ov.rate, nv, (nv-ov.rate)/ov.rate*100, ov.p99, p99, mark)
 	}
 	return regressed
+}
+
+// histP99ms returns the exact p99 (in milliseconds) of one row's structured
+// latency histogram, when the measurement carries it.
+func histP99ms(m measurement, key string) (float64, bool) {
+	h := m.Hists[key]
+	if h == nil || h.Len() == 0 {
+		return 0, false
+	}
+	return float64(h.Percentile(99)) / float64(time.Millisecond), true
 }
 
 // ratio returns (new-old)/old, clamping a zero baseline to "no change" —

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/dps"
 )
 
 func writeBench(t *testing.T, dir, name string, ms []measurement) string {
@@ -163,6 +166,52 @@ func TestCompareThroughputGate(t *testing.T) {
 	}
 	if regressed {
 		t.Fatalf("new payload size without baseline failed the gate:\n%s", sb.String())
+	}
+}
+
+// histOf builds a latency histogram whose every sample is d.
+func histOf(d time.Duration, n int) *dps.Hist {
+	h := &dps.Hist{}
+	for i := 0; i < n; i++ {
+		h.Add(d)
+	}
+	return h
+}
+
+// TestCompareServePrefersStructuredHists: when the -json files carry the
+// serve rows' latency histograms, the gate reads exact percentiles from
+// them and ignores the printed table cells in both directions.
+func TestCompareServePrefersStructuredHists(t *testing.T) {
+	dir := t.TempDir()
+	rows := map[string][2]string{"echo/sharded": {"45000", "60.00"}}
+
+	oldM := svMeasurement(rows)
+	oldM.Hists = map[string]*dps.Hist{"echo/sharded": histOf(50*time.Millisecond, 100)}
+	oldP := writeBench(t, dir, "old.json", []measurement{oldM})
+
+	// Table cells identical, but the structured p99 doubled: must regress.
+	badM := svMeasurement(rows)
+	badM.Hists = map[string]*dps.Hist{"echo/sharded": histOf(100*time.Millisecond, 100)}
+	badP := writeBench(t, dir, "bad.json", []measurement{badM})
+	var sb strings.Builder
+	regressed, err := compareFiles(oldP, badP, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("structured p99 doubling not flagged:\n%s", sb.String())
+	}
+
+	// Table cell rises 42% but the structured p99 is stable: must pass.
+	okM := svMeasurement(map[string][2]string{"echo/sharded": {"45000", "85.00"}})
+	okM.Hists = map[string]*dps.Hist{"echo/sharded": histOf(50*time.Millisecond, 100)}
+	okP := writeBench(t, dir, "ok.json", []measurement{okM})
+	sb.Reset()
+	if regressed, err = compareFiles(oldP, okP, 0.10, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("stable structured p99 overridden by a printed cell:\n%s", sb.String())
 	}
 }
 

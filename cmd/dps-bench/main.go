@@ -158,6 +158,12 @@ type measurement struct {
 	// Stats are the aggregated engine counters (tokens, bytes, stalls,
 	// migrations, forwarded tokens, ...).
 	Stats *dps.Stats `json:"stats,omitempty"`
+	// Hists carries the experiment's latency distributions keyed by table
+	// row (serve's "workload/mode" completed-call latency, chaos's
+	// "recovery/workload" crash-to-recovered latency): exact counts and
+	// sparse buckets plus derived percentiles, so -compare gates on
+	// structured values instead of re-parsing printed table cells.
+	Hists map[string]*dps.Hist `json:"hists,omitempty"`
 }
 
 func measure(r *bench.Report, elapsed time.Duration, before, after *runtime.MemStats) measurement {
@@ -169,6 +175,7 @@ func measure(r *bench.Report, elapsed time.Duration, before, after *runtime.MemS
 		Header:   r.Table.Header,
 		Rows:     r.Table.Rows,
 		Stats:    r.Stats,
+		Hists:    r.Hists,
 	}
 }
 

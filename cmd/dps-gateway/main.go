@@ -23,6 +23,10 @@
 //	              504 when the per-call deadline expires.
 //	GET  /healthz 200 while the engine is healthy, 503 after a fatal error.
 //	GET  /statsz  engine statistics plus the live in-flight call count.
+//	GET  /metrics the same state in the Prometheus text exposition format:
+//	              every engine counter, live gauges, and the call-latency
+//	              histogram (plus queue waits when -trace-sample is set).
+//	GET  /debug/pprof/  the standard net/http/pprof profiles.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +76,7 @@ type gatewayConfig struct {
 	window      int           // per-split flow-control window (0 = default)
 	workers     int           // scheduler worker lanes per node
 	batch       bool          // coalesce small tokens into wire frames
+	traceSample float64       // fraction of calls to trace (0 = off)
 }
 
 // gateway is the HTTP ingress over one deployment. The call indirection
@@ -119,6 +125,9 @@ func newGateway(cfg gatewayConfig) (*gateway, error) {
 	}
 	if cfg.batch {
 		opts = append(opts, dps.WithBatch(0, 0, 0))
+	}
+	if cfg.traceSample > 0 {
+		opts = append(opts, dps.WithTraceSampling(cfg.traceSample))
 	}
 	app, err := dps.Connect(kernels[0].Transport("gateway"), opts...)
 	if err != nil {
@@ -205,6 +214,12 @@ func (gw *gateway) handler() http.Handler {
 	mux.HandleFunc("/call", gw.handleCall)
 	mux.HandleFunc("/healthz", gw.handleHealthz)
 	mux.HandleFunc("/statsz", gw.handleStatsz)
+	mux.Handle("/metrics", gw.app.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -266,6 +281,7 @@ func main() {
 	window := flag.Int("window", 0, "per-split flow-control window (0 = engine default)")
 	workers := flag.Int("workers", 0, "scheduler worker lanes per node (0 = per-instance drainers)")
 	batch := flag.Bool("batch", true, "coalesce small tokens into wire frames")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of calls to trace (0..1); sampled timelines via App.TraceSpans")
 	flag.Parse()
 
 	gw, err := newGateway(gatewayConfig{
@@ -276,6 +292,7 @@ func main() {
 		window:      *window,
 		workers:     *workers,
 		batch:       *batch,
+		traceSample: *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dps-gateway:", err)

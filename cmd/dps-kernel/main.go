@@ -32,16 +32,22 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/dps"
 	"repro/internal/kernel"
+	"repro/internal/trace/promtext"
 )
 
 // Tokens of the demo application.
@@ -78,6 +84,9 @@ func main() {
 	remapCollection := flag.String("remap-collection", "workers", "client mode: thread collection to remap")
 	remapSpec := flag.String("remap-spec", "", "client mode: new placement in mapping-string syntax")
 	heartbeat := flag.Duration("heartbeat", 0, "probe peer kernels at this interval and report deaths (with -demo -serve: enables checkpointing and automatic failover)")
+	metricsListen := flag.String("metrics-listen", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
+	traceSample := flag.Float64("trace-sample", 0, "demo app: fraction of calls to trace (0..1)")
+	traceDump := flag.Uint64("trace-dump", 0, "client mode: collect the spans of this trace ID from every registered kernel, print the JSON timeline, then exit")
 	flag.Parse()
 
 	if *serveNS {
@@ -88,6 +97,19 @@ func main() {
 		fmt.Printf("name server listening on %s\n", srv.Addr())
 		waitForInterrupt()
 		_ = srv.Close()
+		return
+	}
+
+	if *traceDump != 0 {
+		spans, err := kernel.CollectTrace(*ns, *traceDump, 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := json.MarshalIndent(spans, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
 		return
 	}
 
@@ -116,11 +138,18 @@ func main() {
 		// The demo installs its own OnFailover handler (feeding the engine's
 		// recovery) before the heartbeat starts, so a peer declared dead in
 		// the startup window is not lost to a print-only handler.
-		if err := runDemo(k, *ns, *workers, *window, *serve, *heartbeat); err != nil {
+		if err := runDemo(k, *ns, *workers, *window, *serve, *heartbeat, *metricsListen, *traceSample); err != nil {
 			fatal(err)
 		}
 		_ = k.Close()
 		return
+	}
+	if *metricsListen != "" {
+		// A plain kernel hosts no application yet; the debug server still
+		// exposes process gauges and pprof.
+		if err := startDebugServer(*metricsListen, processMetricsHandler()); err != nil {
+			fatal(err)
+		}
 	}
 	if *heartbeat > 0 {
 		k.OnFailover(func(peer string) { fmt.Printf("kernel %q declared dead\n", peer) })
@@ -131,12 +160,42 @@ func main() {
 	_ = k.Close()
 }
 
+// startDebugServer serves the metrics handler plus net/http/pprof on addr,
+// in the background for the life of the process.
+func startDebugServer(addr string, metrics http.Handler) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
+}
+
+// processMetricsHandler exports process-level gauges for a kernel that is
+// not hosting an application (the engine counters come with the app).
+func processMetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enc := &promtext.Encoder{}
+		enc.Gauge("dps_goroutines", "Goroutines in this process.", float64(runtime.NumGoroutine()))
+		w.Header().Set("Content-Type", promtext.ContentType)
+		_, _ = w.Write(enc.Bytes())
+	})
+}
+
 // runDemo builds the tutorial split-compute-merge graph over every kernel
 // currently registered with the name server and converts a sentence to
 // uppercase in parallel. With serve it then keeps calling the graph once a
 // second and accepts live-remap control messages, printing the worker
 // placement after each migration.
-func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve bool, heartbeat time.Duration) error {
+func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve bool, heartbeat time.Duration, metricsListen string, traceSample float64) error {
 	names, err := kernel.ListNames(ns)
 	if err != nil {
 		return err
@@ -160,11 +219,22 @@ func runDemo(local *kernel.Kernel, ns string, workerLanes, window int, serve boo
 	if heartbeat > 0 {
 		opts = append(opts, dps.WithCheckpoint(10*heartbeat))
 	}
+	if traceSample > 0 {
+		opts = append(opts, dps.WithTraceSampling(traceSample))
+	}
 	app, err := dps.Connect(local.Transport("demo"), opts...)
 	if err != nil {
 		return err
 	}
 	defer app.Close()
+	// Trace-collection requests (dps-kernel -trace-dump) are answered from
+	// the application's span rings.
+	local.OnTrace(app.TraceSpans)
+	if metricsListen != "" {
+		if err := startDebugServer(metricsListen, app.MetricsHandler()); err != nil {
+			return err
+		}
+	}
 	if heartbeat > 0 {
 		local.OnFailover(func(peer string) {
 			if err := app.FailNode(peer); err != nil {

@@ -1,0 +1,158 @@
+package dps_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/dps"
+	"repro/internal/trace/promtext"
+)
+
+// scrape runs one request against the app's metrics handler and parses the
+// exposition into samples (name plus label set -> value) and bare metric
+// names. Parsing, not string-matching: the assertions survive formatting
+// changes as long as the output stays valid Prometheus text.
+func scrape(t *testing.T, app *dps.App) (samples map[string]float64, names map[string]bool) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	app.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != promtext.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, promtext.ContentType)
+	}
+	samples = make(map[string]float64)
+	names = make(map[string]bool)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		key := line[:sp]
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[key] = val
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		names[name] = true
+	}
+	return samples, names
+}
+
+// TestMetricsScrapeComplete drives real traffic through an app and asserts
+// the live scrape carries every engine counter: the test reflects over the
+// Stats struct, so adding a field without it appearing in /metrics fails
+// here before it fails in a dashboard.
+func TestMetricsScrapeComplete(t *testing.T) {
+	app := newApp(t, dps.WithNodes("a", "b"), dps.WithTraceSampling(1))
+	g := buildUpper(t, app, "metrics")
+	for i := 0; i < 4; i++ {
+		if _, err := g.Call(context.Background(), &reqTok{Str: "observe me"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	samples, names := scrape(t, app)
+
+	st := reflect.TypeOf(dps.Stats{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type.Kind() != reflect.Int64 || !f.IsExported() {
+			continue
+		}
+		metric := "dps_" + promtext.SnakeCase(f.Name)
+		if !names[metric] {
+			t.Errorf("Stats field %s missing from scrape as %s", f.Name, metric)
+		}
+	}
+	if samples["dps_tokens_posted"] == 0 {
+		t.Error("dps_tokens_posted is zero after real calls")
+	}
+	if samples["dps_calls_completed"] < 4 {
+		t.Errorf("dps_calls_completed = %v, want >= 4", samples["dps_calls_completed"])
+	}
+	for _, gauge := range []string{"dps_pending_calls", "dps_queue_depth", "dps_goroutines"} {
+		if !names[gauge] {
+			t.Errorf("live gauge %s missing from scrape", gauge)
+		}
+	}
+	if samples["dps_goroutines"] <= 0 {
+		t.Error("dps_goroutines not positive")
+	}
+	for _, hist := range []string{"dps_call_latency_seconds", "dps_queue_wait_seconds"} {
+		for _, suffix := range []string{"_count", "_sum"} {
+			if !names[hist+suffix] {
+				t.Errorf("histogram series %s%s missing from scrape", hist, suffix)
+			}
+		}
+		if !names[hist+"_bucket"] {
+			t.Errorf("histogram %s has no buckets", hist)
+		}
+	}
+	if samples["dps_call_latency_seconds_count"] < 4 {
+		t.Errorf("call latency histogram recorded %v calls, want >= 4",
+			samples["dps_call_latency_seconds_count"])
+	}
+}
+
+// TestTraceDumpRoundTrips: a sampled call's TraceDump is valid JSON that
+// unmarshals back into the same spans TraceSpans returned.
+func TestTraceDumpRoundTrips(t *testing.T) {
+	app := newApp(t, dps.WithNodes("a", "b"), dps.WithTraceSampling(1))
+	g := buildUpper(t, app, "dump")
+	if _, err := g.Call(context.Background(), &reqTok{Str: "dump me"}); err != nil {
+		t.Fatal(err)
+	}
+	all := app.TraceSpans(0)
+	if len(all) == 0 {
+		t.Fatal("sampled call recorded no spans")
+	}
+	id := all[0].Trace
+	data, err := app.TraceDump(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []dps.Span
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("dump carries no spans")
+	}
+	for _, s := range spans {
+		if s.Trace != id {
+			t.Fatalf("dump mixes traces: %+v", s)
+		}
+	}
+}
+
+// TestTracingOffByDefault: without WithTraceSampling no spans are buffered.
+func TestTracingOffByDefault(t *testing.T) {
+	app := newApp(t, dps.WithNodes("a", "b"))
+	g := buildUpper(t, app, "notrace")
+	if _, err := g.Call(context.Background(), &reqTok{Str: "quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	if spans := app.TraceSpans(0); len(spans) != 0 {
+		t.Fatalf("tracing off recorded %d spans", len(spans))
+	}
+}
+
+// TestWithTraceSamplingValidation rejects rates outside [0, 1].
+func TestWithTraceSamplingValidation(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1.1} {
+		if _, err := dps.NewLocal(dps.WithTraceSampling(rate)); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}

@@ -265,6 +265,24 @@ func WithCompression() Option {
 	}
 }
 
+// WithTraceSampling enables per-token distributed tracing for the given
+// fraction of graph calls (0 traces nothing, 1 traces every call). A
+// sampled call's trace ID (its call ID) rides its envelopes across splits,
+// merges, node boundaries, migrations and failover replays; each node
+// buffers the spans it observes (App.TraceSpans assembles the timeline).
+// Unsampled calls pay one predicted branch per potential span site and
+// allocate nothing; with rate zero the wire format is byte-identical to an
+// untraced engine.
+func WithTraceSampling(rate float64) Option {
+	return func(c *config) error {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("dps: trace sampling rate %v outside [0, 1]", rate)
+		}
+		c.engine.TraceSample = rate
+		return nil
+	}
+}
+
 // WithForceSerialize marshals and unmarshals tokens even for same-node
 // transfers, exercising the full networking path inside one process — the
 // paper's several-kernels-per-host debugging mode.

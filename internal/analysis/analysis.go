@@ -20,7 +20,10 @@
 //     ordering invariant of PR 7);
 //   - determinism: seeded components (chaos schedule generation, simnet
 //     fault draws) take no wall-clock or global-PRNG input, so faults
-//     reproduce exactly from CHAOS_SEED.
+//     reproduce exactly from CHAOS_SEED;
+//   - tracepoints: every wire kind dispatched on the receive path records a
+//     trace span or delivers into an instrumented path, so a new kind
+//     cannot become an invisible hop in sampled calls' timelines (PR 10).
 //
 // Escape hatch: a finding may be silenced with a directive on its line or
 // the line above:

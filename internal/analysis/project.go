@@ -1,13 +1,13 @@
 package analysis
 
-// This file is the project configuration: the five rules instantiated for
+// This file is the project configuration: the six rules instantiated for
 // this repository's invariants. cmd/dps-vet and the root boundary test run
 // these; the rule implementations themselves are project-agnostic and are
 // exercised against synthetic fixtures in testdata/.
 
 // KnownRuleNames is the complete rule-name vocabulary, used to validate
 // //dpsvet:ignore directives even in runs that execute a subset of rules.
-var KnownRuleNames = []string{"boundary", "lockheld", "poolown", "wirekinds", "determinism"}
+var KnownRuleNames = []string{"boundary", "lockheld", "poolown", "wirekinds", "determinism", "tracepoints"}
 
 // ProjectBoundary seals internal/core behind the repro/dps façade (PR 3):
 // only internal/ packages and the façade itself may program against the
@@ -68,6 +68,19 @@ func ProjectRules() []*Rule {
 				DispatchFuncs: []string{"handleControl"},
 			},
 		}),
+
+		// Observability coverage: every wire kind dispatched in link.handle
+		// either records a span (traceWire) or delivers into an instrumented
+		// path (deliverToken dispatches queue/execute spans, deliverResult
+		// records the result span at call completion, handleBatch re-enters
+		// the same dispatch per entry); the control-plane kinds carry
+		// explicit ignores naming why they need none.
+		Tracepoints([]TracepointsConfig{{
+			PkgSuffix:     "internal/core",
+			KindPrefix:    "msg",
+			DispatchFuncs: []string{"handle"},
+			SpanCalls:     []string{"traceWire", "deliverToken", "deliverResult", "handleBatch"},
+		}}),
 
 		// Seed determinism: chaos schedule generation (chaos.go) and simnet
 		// fault draws (faults.go) must be pure functions of their seed;

@@ -53,6 +53,15 @@ func TestWirekindsGolden(t *testing.T) {
 	}}))
 }
 
+func TestTracepointsGolden(t *testing.T) {
+	runGolden(t, "testdata/tracepoints", "vettest/tracepoints", Tracepoints([]TracepointsConfig{{
+		PkgSuffix:     "tracepoints",
+		KindPrefix:    "msg",
+		DispatchFuncs: []string{"handle"},
+		SpanCalls:     []string{"traceWire", "deliverToken"},
+	}}))
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, "testdata/determinism", "vettest/determinism", Determinism([]DeterminismScope{{
 		PkgSuffix: "determinism",

@@ -1,0 +1,44 @@
+// Package fixture exercises the tracepoints span-coverage rule with a
+// miniature receive dispatcher.
+package fixture
+
+const (
+	msgToken   = 1
+	msgControl = 2
+	msgSilent  = 3
+	msgWrapped = 4
+)
+
+func traceWire(int)    {}
+func deliverToken(int) {}
+func decodeInner(int)  {}
+
+func handle(kind int) {
+	switch kind {
+	case msgToken:
+		deliverToken(kind) // ok: delivery path records spans downstream
+	//dpsvet:ignore tracepoints control message carries no token
+	case msgControl:
+		decodeInner(kind)
+	case msgSilent: // want "tracepoints: wire kind msgSilent is dispatched without a span-record call"
+		decodeInner(kind)
+	case msgWrapped:
+		// The nested switch decodes the wrapper's inner frame; its cases
+		// must not be checked independently — the wrapper's own span call
+		// covers them.
+		switch kind {
+		case msgToken:
+			decodeInner(kind)
+		}
+		traceWire(kind)
+	default:
+	}
+}
+
+// notDispatch switches over kinds without span calls, but it is not a
+// configured dispatch function and must produce no findings.
+func notDispatch(kind int) {
+	switch kind {
+	case msgSilent:
+	}
+}

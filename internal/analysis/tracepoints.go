@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TracepointsConfig configures the span-coverage rule for one package.
+type TracepointsConfig struct {
+	// PkgSuffix selects the package by import-path suffix.
+	PkgSuffix string
+	// KindPrefix selects the kind constants by name prefix ("msg").
+	KindPrefix string
+	// DispatchFuncs names the receive-side dispatch functions whose top-level
+	// kind switch is checked.
+	DispatchFuncs []string
+	// SpanCalls are the callee names that record a span or hand the message
+	// to a path that does (the delivery entry points of token-bearing kinds).
+	SpanCalls []string
+}
+
+// Tracepoints builds the observability coverage rule: every wire kind
+// handled on the receive path either records a trace span (directly, or by
+// delivering into the engine's instrumented dispatch) or carries an
+// explicit //dpsvet:ignore naming why the kind needs none. A new wire kind
+// therefore cannot ship as a silent gap in sampled calls' timelines — the
+// exact failure mode PR 10 exists to prevent (a token hop whose latency is
+// invisible is a hop that cannot be debugged).
+func Tracepoints(cfgs []TracepointsConfig) *Rule {
+	r := &Rule{
+		Name: "tracepoints",
+		Doc:  "every dispatched wire kind records a trace span or carries an explicit ignore",
+	}
+	r.Run = func(p *Pass) {
+		for i := range cfgs {
+			if suffixMatch(p.Pkg.Path, cfgs[i].PkgSuffix) {
+				runTracepoints(p, &cfgs[i])
+			}
+		}
+	}
+	return r
+}
+
+func runTracepoints(p *Pass, cfg *TracepointsConfig) {
+	want := make(map[string]bool, len(cfg.DispatchFuncs))
+	for _, fn := range cfg.DispatchFuncs {
+		want[fn] = true
+	}
+	span := make(map[string]bool, len(cfg.SpanCalls))
+	for _, s := range cfg.SpanCalls {
+		span[s] = true
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !want[fd.Name.Name] {
+				continue
+			}
+			// Only the function's top-level switches are dispatch switches;
+			// a nested switch (decoding a wrapper kind's inner frame) is
+			// covered by its enclosing case.
+			for _, stmt := range fd.Body.List {
+				sw, ok := stmt.(*ast.SwitchStmt)
+				if !ok {
+					continue
+				}
+				checkTraceSwitch(p, cfg, span, sw)
+			}
+		}
+	}
+}
+
+func checkTraceSwitch(p *Pass, cfg *TracepointsConfig, span map[string]bool, sw *ast.SwitchStmt) {
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		kind := ""
+		for _, expr := range cc.List {
+			id, ok := expr.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			n := id.Name
+			if strings.HasPrefix(n, cfg.KindPrefix) && len(n) > len(cfg.KindPrefix) &&
+				n[len(cfg.KindPrefix)] >= 'A' && n[len(cfg.KindPrefix)] <= 'Z' {
+				kind = n
+				break
+			}
+		}
+		if kind == "" {
+			continue // default clause, or no kind constant aboard
+		}
+		recorded := false
+		for _, s := range cc.Body {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if recorded {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && span[calleeName(call)] {
+					recorded = true
+					return false
+				}
+				return true
+			})
+		}
+		if !recorded {
+			p.Reportf(cc.Pos(), "wire kind %s is dispatched without a span-record call (%s): a sampled call passing through it leaves no trace of the hop", kind, strings.Join(cfg.SpanCalls, ", "))
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Report struct {
 	// Stats aggregates the engine counters of every application the
 	// experiment ran (cmd/dps-bench -stats dumps them).
 	Stats *core.Stats
+	// Hists carries the experiment's latency distributions in structured
+	// form, keyed by the same row key the table prints (e.g. "echo/sharded",
+	// "recovery/ring"). The table rows keep their formatted percentile cells
+	// for humans; -json emits these so -compare reads exact values instead
+	// of re-parsing printed columns.
+	Hists map[string]*trace.Hist
 }
 
 func (r *Report) String() string {
@@ -693,6 +699,7 @@ func Chaos(opt Options) (*Report, error) {
 		Header: []string{"workload", "faults", "crashes", "calls", "retries", "injected", "failovers", "rec p50", "rec max"},
 	}
 	agg := &core.Stats{}
+	hists := make(map[string]*trace.Hist)
 	runs := []struct {
 		crashes int
 		run     func(chaos.Spec) (*chaos.Result, error)
@@ -708,6 +715,15 @@ func Chaos(opt Options) (*Report, error) {
 			return nil, fmt.Errorf("chaos (reproduce with -seed %d): %w", seed, err)
 		}
 		agg.Add(res.Stats)
+		if res.Recovery.Len() > 0 {
+			key := "recovery/" + res.Workload
+			if h := hists[key]; h != nil {
+				h.Merge(&res.Recovery)
+			} else {
+				rec := res.Recovery
+				hists[key] = &rec
+			}
+		}
 		p50, max := "-", "-"
 		if res.Recovery.Len() > 0 {
 			p50 = res.Recovery.Median().Round(time.Millisecond).String()
@@ -728,6 +744,7 @@ func Chaos(opt Options) (*Report, error) {
 		ID:    "chaos",
 		Table: t,
 		Stats: agg,
+		Hists: hists,
 		Notes: []string{
 			"check (enforced in-harness): every call completes, transient faults cause zero failovers, every crash exactly one.",
 			"check (enforced in-harness): the life world after crash-recovery is byte-identical to an undisturbed replay.",

@@ -305,6 +305,7 @@ func Serve(opt Options) (*Report, error) {
 		Header: []string{"workload", "mode", "calls/s", "p50[ms]", "p99[ms]", "p999[ms]", "rejected", "expired"},
 	}
 	agg := &core.Stats{}
+	hists := make(map[string]*trace.Hist)
 	var notes []string
 	for _, workload := range []string{"echo", "fan"} {
 		results := make(map[string]*serveResult, len(modes))
@@ -323,6 +324,9 @@ func Serve(opt Options) (*Report, error) {
 			}
 			results[m.name] = res
 			agg.Add(res.stats)
+			// Export the completed-call latency distribution under the table
+			// row's key, so -compare gates on exact percentiles.
+			hists[workload+"/"+m.name] = &res.latency
 			ms := func(p float64) string {
 				return fmt.Sprintf("%.2f", float64(res.latency.Percentile(p))/float64(time.Millisecond))
 			}
@@ -374,6 +378,7 @@ func Serve(opt Options) (*Report, error) {
 		ID:    "serve",
 		Table: t,
 		Stats: agg,
+		Hists: hists,
 		Notes: notes,
 	}, nil
 }

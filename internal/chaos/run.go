@@ -35,13 +35,27 @@ type Spec struct {
 }
 
 // engineCfg applies the spec's wire-path toggles to a workload config.
+// Chaos runs always sample calls, so the traced wire wrapper rides through
+// partitions and crash replays and the injector can demand that a call
+// traced through a crash shows its replay spans connected to live execution
+// elsewhere. Plain runs sample everything; batched runs sample a quarter —
+// sampled tokens bypass the batcher by design (a traced frame must keep its
+// wire position), so full sampling would leave the batch path untested.
 func (spec Spec) engineCfg(cfg core.Config) core.Config {
 	if spec.Batch {
 		cfg.Batch = true
 		cfg.Compress = true
+		cfg.TraceSample = 0.25
+	} else {
+		cfg.TraceSample = 1
 	}
 	return cfg
 }
+
+// strictReplayTrace reports whether every replayed token is guaranteed to be
+// sampled (full sampling): only then can a missing replay span be treated as
+// an invariant violation rather than a sampling miss.
+func (spec Spec) strictReplayTrace() bool { return !spec.Batch }
 
 // workloadName tags results of batched runs.
 func (spec Spec) workloadName(base string) string {
@@ -73,13 +87,14 @@ type injector struct {
 	sched    Schedule
 	net      *simnet.Network
 	app      *core.App
+	strict   bool // full sampling: replayed tokens must leave replay spans
 	recovery trace.Hist
 	err      error
 	done     chan struct{}
 }
 
-func startInjector(sched Schedule, net *simnet.Network, app *core.App) *injector {
-	inj := &injector{sched: sched, net: net, app: app, done: make(chan struct{})}
+func startInjector(sched Schedule, net *simnet.Network, app *core.App, strict bool) *injector {
+	inj := &injector{sched: sched, net: net, app: app, strict: strict, done: make(chan struct{})}
 	go inj.run()
 	return inj
 }
@@ -97,6 +112,7 @@ func (inj *injector) run() {
 				return
 			}
 			crashAt := time.Now()
+			replayedBefore := inj.app.Stats().TokensReplayed
 			// Recovery is complete when the failover counter moves. The
 			// workload keeps calling, so its own traffic drives passive
 			// detection; 1ms polling bounds the latency resolution.
@@ -117,6 +133,10 @@ func (inj *injector) run() {
 				}
 				time.Sleep(time.Millisecond)
 			}
+			if err := inj.checkReplayTraced(replayedBefore); err != nil {
+				inj.err = err
+				return
+			}
 		case Partition:
 			inj.net.Partition(f.A, f.B)
 		case Heal:
@@ -126,6 +146,43 @@ func (inj *injector) run() {
 		case SendErrors:
 			inj.net.FailNextSends(f.A, f.B, f.Count)
 		}
+	}
+}
+
+// checkReplayTraced is the observability invariant of a recovered crash:
+// every chaos call is sampled, so whenever the recovery actually replayed
+// retained tokens, some trace must show a replay span connected (same trace
+// id) to ordinary spans recorded on a different node — the crashed call's
+// timeline reconstructs across the failover rather than going dark. The
+// span rings are lock-free snapshots and replay spans land on the resending
+// node as recovery proceeds, so the check polls briefly.
+func (inj *injector) checkReplayTraced(replayedBefore int64) error {
+	if inj.app.Stats().TokensReplayed == replayedBefore {
+		return nil // nothing was in the retention window; no spans to demand
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	sawReplay := false
+	for {
+		for _, span := range inj.app.TraceSpans(0) {
+			if span.Kind != "replay" {
+				continue
+			}
+			sawReplay = true
+			for _, other := range inj.app.TraceSpans(span.Trace) {
+				if other.Kind != "replay" && other.Node != span.Node {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			if !inj.strict && !sawReplay {
+				// Partial sampling: every replayed token may have been
+				// unsampled, leaving nothing to connect. Not a violation.
+				return nil
+			}
+			return fmt.Errorf("chaos: recovery replayed tokens but no trace connects a replay span to live spans on another node")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -178,7 +235,7 @@ func RunRing(spec Spec) (*Result, error) {
 	)
 	hook := func(net *simnet.Network, app *core.App) func() {
 		net.SeedFaults(spec.Seed)
-		inj = startInjector(sched, net, app)
+		inj = startInjector(sched, net, app, spec.strictReplayTrace())
 		return func() {
 			injErr = inj.wait()
 			final = app.Stats()
@@ -254,7 +311,7 @@ func RunParlife(spec Spec) (*Result, error) {
 		var inj *injector
 		if sched != nil {
 			net.SeedFaults(sched.Seed)
-			inj = startInjector(*sched, net, app)
+			inj = startInjector(*sched, net, app, spec.strictReplayTrace())
 		}
 		sw := trace.StartStopwatch()
 		if sched != nil {

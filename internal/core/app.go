@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,15 @@ type Config struct {
 	// queues too: each admitted call contributes at most its flow-control
 	// window of tokens. Zero admits everything.
 	MaxInFlightCalls int
+	// TraceSample enables per-token distributed tracing: each admitted call
+	// is sampled with this probability (0..1), and a sampled call's
+	// envelopes carry its trace ID — the call ID — across splits, merges,
+	// batched lanes, migrations and failover replays, while every runtime
+	// they touch records spans into its ring buffer (App.TraceSpans).
+	// Unsampled calls pay one comparison per span point and nothing else,
+	// and the wire stays byte-identical: only sampled envelopes travel in
+	// the msgTraced wrapper (wire.go). Zero disables tracing entirely.
+	TraceSample float64
 	// SuspectGrace turns "first send error = death" into graceful
 	// degradation: a failing transport send (including liveness probes) is
 	// retried with capped exponential backoff and jitter for up to this
@@ -208,6 +218,11 @@ type callEntry struct {
 	ctx  context.Context
 	stop func() bool
 	rt   *Runtime
+	// start is the admission clock (unix ns) backing the call-latency
+	// histogram; sampled marks the call for distributed tracing
+	// (Config.TraceSample), stamping its envelopes with the call ID.
+	start   int64
+	sampled bool
 }
 
 // NewApp creates an application with no nodes; attach transports with
@@ -466,6 +481,10 @@ func (app *App) registerCall(ctx context.Context, rt *Runtime) (uint64, *callEnt
 	rt.stats.callsAdmitted.Add(1)
 	id := app.callSeq.Add(1)
 	ce := getCallEntry(ctx, rt)
+	ce.start = time.Now().UnixNano()
+	if p := app.cfg.TraceSample; p > 0 && (p >= 1 || mrand.Float64() < p) {
+		ce.sampled = true
+	}
 	sh := app.callreg.shard(id)
 	sh.mu.Lock()
 	sh.calls[id] = ce //dpsvet:ignore poolown registration transfers ownership to the registry; the settler that removes the entry owns it
@@ -491,12 +510,16 @@ func (app *App) setCallStop(id uint64, stop func() bool) {
 
 func (app *App) completeCall(id uint64, res CallResult) {
 	sh := app.callreg.shard(id)
+	now := time.Now().UnixNano()
 	sh.mu.Lock()
 	ce, ok := sh.calls[id]
 	delete(sh.calls, id)
 	var stop func() bool
 	if ok {
 		stop = ce.stop
+		if ce.start != 0 {
+			sh.lat.Add(time.Duration(now - ce.start))
+		}
 	} else {
 		// The orphaned result of a canceled call: reap the cancellation
 		// record — no further tokens of this call can be in flight. Under
@@ -511,6 +534,11 @@ func (app *App) completeCall(id uint64, res CallResult) {
 		app.callreg.pending.Add(-1)
 		if stop != nil {
 			stop()
+		}
+		if ce.sampled && ce.rt != nil {
+			// Read before the channel send: a synchronous caller may recycle
+			// the entry the moment it receives.
+			ce.rt.traceSpan(id, "result", "", ce.start, now-ce.start)
 		}
 		ce.ch <- res
 	}

@@ -135,6 +135,13 @@ func (g *Flowgraph) startCall(ctx context.Context, origin string, tok Token) (*c
 	env.CreditNode = -1
 	env.Token = tok
 	env.ftSender = rt.ftNode // nil unless fault tolerance is enabled
+	if ce.sampled {
+		// The sampling decision was made at admission (registerCall); the
+		// call ID doubles as the trace ID stamped into every envelope of the
+		// call. The admission clock anchors the timeline.
+		env.TraceID = id
+		rt.traceSpan(id, "post", g.name, ce.start, 0)
+	}
 	if err := rt.routeSafe(env, entryNode.tc, thread); err != nil {
 		app.completeCall(id, CallResult{Err: err})
 	}

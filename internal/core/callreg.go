@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // ErrOverload is returned by graph calls shed at admission: the application's
@@ -31,6 +33,10 @@ type callShard struct {
 	// Pad to a cache line so neighbouring shard locks don't false-share
 	// under saturation (mutex 8B + map header 8B → 48B of padding).
 	_ [48]byte
+	// lat accumulates the wall time (admission to result delivery) of the
+	// calls completed on this shard, under mu — the lock completion already
+	// holds. Merged across shards by App.CallLatency for /metrics.
+	lat trace.Hist
 }
 
 // callRegistry is the sharded pending-call table: one stripe per ID residue
@@ -142,6 +148,8 @@ func recycleCallEntry(ce *callEntry) {
 	ce.ctx = nil
 	ce.stop = nil
 	ce.rt = nil
+	ce.start = 0
+	ce.sampled = false
 	select {
 	case <-ce.ch:
 	default:

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // Ctx is the execution context passed to every operation body. It exposes
@@ -223,6 +224,13 @@ func (c *Ctx) postOut(tok Token) {
 	env.ftSender = c.inst.ft        // nil unless fault tolerance is enabled
 	env.ftInStream = c.env.FTStream // the execution's input stream (determinant)
 	env.ftInSeq = c.env.FTSeq       // ...and its sequence there (regen attribution)
+	if c.env.TraceID != 0 {
+		// Trace context propagates to every output of a sampled execution:
+		// across splits and merges the outputs inherit the input's trace ID,
+		// so the whole call shares one timeline.
+		env.TraceID = c.env.TraceID
+		c.rt.traceSpan(env.TraceID, "post", c.node.op.name, time.Now().UnixNano(), 0)
+	}
 	c.rt.routeToken(env, succNode.tc, thread)
 }
 
@@ -284,13 +292,20 @@ func (c *Ctx) pushGroupFrame(tok Token, seq int) frame {
 			}
 			return nil
 		}
+		var stallNs int64
 		stalled, err := sg.gate.Acquire(c.callContext(), func() {
 			// First wait on an exhausted window: count the stall and
 			// release the thread so other operations keep making progress.
+			if c.env.TraceID != 0 {
+				stallNs = time.Now().UnixNano()
+			}
 			c.rt.stats.windowStalls.Add(1)
 			c.yieldInstLock()
 		}, failed)
 		if stalled {
+			if stallNs != 0 {
+				c.rt.traceSpan(c.env.TraceID, "stall", c.node.op.name, stallNs, time.Now().UnixNano()-stallNs)
+			}
 			// Reacquire so the execution continues (or unwinds) holding
 			// its lock, balancing the deferred unlock.
 			c.relockInst()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core/ft"
 	"repro/internal/serial"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -56,6 +57,7 @@ type link struct {
 	grace time.Duration // SuspectGrace: retry window for failing sends
 	sink  linkSink
 	stats *statCounters
+	ring  *trace.Ring // receiver-side wire spans of sampled transfers
 
 	// Colocated fast path: peers resolves a destination node to the sink of
 	// a runtime sharing this address space (nil function, or nil result: no
@@ -245,6 +247,28 @@ func (b *batcher) flushLocked() {
 	}
 }
 
+// appendTokenFrame appends env's complete single-token wire frame: the
+// traced wrapper when the envelope is sampled, then the sequenced or plain
+// framing and the serialized token. Freshly stamped envelopes reuse the
+// retention log's encoding — which already carries the traced wrapper when
+// sampled (ftOutbound) — instead of serializing the token a second time.
+func (l *link) appendTokenFrame(buf []byte, env *envelope) ([]byte, error) {
+	if env.ftWire != nil {
+		buf = append(buf, env.ftWire...)
+		env.ftWire = nil
+		return buf, nil
+	}
+	if env.TraceID != 0 {
+		buf = appendTracedHeader(buf, env.TraceID, time.Now().UnixNano())
+	}
+	if env.FTSeq > 0 {
+		buf = appendTokenFT(buf, env)
+	} else {
+		buf = appendEnvelopeHeader(buf, env)
+	}
+	return l.reg.Append(buf, env.Token)
+}
+
 // batchToken coalesces one remote token into its destination's pending
 // frame. The entry body is the message encoding minus its kind/stream/seq
 // prefix — those fold into the frame header and stream dictionary — so a
@@ -253,6 +277,30 @@ func (l *link) batchToken(env *envelope, dst string) {
 	b := l.batcherFor(dst)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if env.TraceID != 0 {
+		// Sampled tokens never join a batch frame: the traced wrapper frames
+		// them alone, bulk-bypass style — the pending batch flushes first and
+		// the send runs under the batcher lock, keeping wire order equal to
+		// send order — so the batch codec and unsampled coalescing stay
+		// byte-identical with tracing on.
+		b.flushLocked()
+		buf, err := l.appendTokenFrame(getWireBuf(), env)
+		if err != nil {
+			panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
+		}
+		l.stats.tokensRemote.Add(1)
+		l.stats.bytesSent.Add(int64(len(buf)))
+		if err := l.trSend(dst, buf); err != nil {
+			if l.sendFailed(dst, err) {
+				putWireBuf(buf)
+				putEnvelope(env)
+				return
+			}
+			panic(opError{err})
+		}
+		putEnvelope(env)
+		return
+	}
 	var kind byte
 	var err error
 	body := b.scratch[:0]
@@ -388,10 +436,30 @@ func (l *link) sendFailed(dst string, err error) bool {
 	return l.ftOn && l.sink.linkSuspect(dst, err)
 }
 
+// traceWire records the receiver-side wire span of a sampled transfer:
+// sender transmit clock to receiver decode clock. Across processes the two
+// clocks are not synchronized, so the duration carries their skew; within
+// one process (the test and bench deployments) they agree.
+func (l *link) traceWire(traceID uint64, sentNs int64, src string) {
+	if l.ring == nil {
+		return
+	}
+	d := time.Now().UnixNano() - sentNs
+	if d < 0 {
+		d = 0
+	}
+	l.ring.Record(trace.Span{Trace: traceID, Kind: "wire", Node: l.name, Name: src, Start: sentNs, Dur: d})
+}
+
 // handle is the transport receive entry point. Per the transport ownership
 // contract the payload belongs to this handler once invoked; every decoded
 // field is copied out, so the buffer is recycled into the wire pool before
 // returning.
+//
+// Observability (dps-vet rule tracepoints): each case either records or
+// leads to a span for sampled traffic, or carries an explicit ignore naming
+// why the kind needs none. Token deliveries record queue/execute spans in
+// dispatch; results record their span at call completion.
 func (l *link) handle(src string, payload []byte) {
 	if len(payload) == 0 {
 		l.sink.linkFail(fmt.Errorf("dps: empty message from %q", src))
@@ -399,6 +467,38 @@ func (l *link) handle(src string, payload []byte) {
 	}
 	kind, body := payload[0], payload[1:]
 	switch kind {
+	case msgTraced:
+		traceID, sentNs, inner, err := decodeTracedHeader(body)
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad traced frame from %q: %w", src, err))
+			return
+		}
+		var env *envelope
+		switch inner[0] {
+		case msgToken:
+			env, err = decodeEnvelope(inner[1:])
+		case msgTokenFT:
+			env, err = decodeTokenFT(inner[1:])
+		default:
+			err = fmt.Errorf("unexpected inner kind %d", inner[0])
+		}
+		if err != nil {
+			l.sink.linkFail(fmt.Errorf("dps: bad traced frame from %q: %w", src, err))
+			return
+		}
+		tok, _, err := l.reg.Unmarshal(env.Payload)
+		if err != nil {
+			putEnvelope(env)
+			l.sink.linkFail(fmt.Errorf("dps: cannot deserialize token from %q: %w", src, err))
+			return
+		}
+		env.Token = tok
+		env.Payload = nil // aliases the wire buffer recycled below
+		env.TraceID = traceID
+		l.traceWire(traceID, sentNs, src)
+		putWireBuf(payload)
+		l.sink.deliverToken(env, src)
+		return
 	case msgToken:
 		env, err := decodeEnvelope(body)
 		if err != nil {
@@ -416,6 +516,7 @@ func (l *link) handle(src string, payload []byte) {
 		putWireBuf(payload)
 		l.sink.deliverToken(env, src)
 		return
+	//dpsvet:ignore tracepoints group accounting only; the group's tokens carry the trace
 	case msgGroupEnd:
 		m, err := decodeGroupEnd(body)
 		if err != nil {
@@ -423,6 +524,7 @@ func (l *link) handle(src string, payload []byte) {
 			return
 		}
 		l.sink.deliverGroupEnd(m, src)
+	//dpsvet:ignore tracepoints flow-control ack, no token aboard
 	case msgAck:
 		m, err := decodeAck(body)
 		if err != nil {
@@ -444,6 +546,7 @@ func (l *link) handle(src string, payload []byte) {
 		putWireBuf(payload)
 		l.sink.deliverResult(m.CallID, tok)
 		return
+	//dpsvet:ignore tracepoints state handoff; relays record forward spans at re-send
 	case msgMigrate:
 		m, err := decodeMigrate(body)
 		if err != nil {
@@ -453,6 +556,7 @@ func (l *link) handle(src string, payload []byte) {
 		// m.State aliases the wire buffer; deliverMigrate fully consumes it
 		// (the state is deserialized synchronously) before the recycle below.
 		l.sink.deliverMigrate(m)
+	//dpsvet:ignore tracepoints remap handshake control message
 	case msgFence:
 		m, err := decodeFence(body)
 		if err != nil {
@@ -477,6 +581,7 @@ func (l *link) handle(src string, payload []byte) {
 		putWireBuf(payload)
 		l.sink.deliverToken(env, src)
 		return
+	//dpsvet:ignore tracepoints group accounting only; the group's tokens carry the trace
 	case msgGroupEndFT:
 		m, err := decodeGroupEndFT(body)
 		if err != nil {
@@ -484,6 +589,7 @@ func (l *link) handle(src string, payload []byte) {
 			return
 		}
 		l.sink.deliverGroupEnd(m, src)
+	//dpsvet:ignore tracepoints checkpoint record in transit to the store
 	case msgCheckpoint:
 		rec, err := ft.DecodeRecord(body)
 		if err != nil {
@@ -492,6 +598,7 @@ func (l *link) handle(src string, payload []byte) {
 		}
 		// DecodeRecord copies every byte slice out of the wire buffer.
 		l.sink.deliverCheckpoint(rec)
+	//dpsvet:ignore tracepoints replay spans are recorded by the resending master
 	case msgReplay:
 		m, err := decodeReplay(body)
 		if err != nil {
@@ -499,6 +606,7 @@ func (l *link) handle(src string, payload []byte) {
 			return
 		}
 		l.sink.deliverReplay(m, src)
+	//dpsvet:ignore tracepoints log-truncation control message
 	case msgCut:
 		m, err := decodeCut(body)
 		if err != nil {
@@ -506,6 +614,7 @@ func (l *link) handle(src string, payload []byte) {
 			return
 		}
 		l.sink.deliverCut(m)
+	//dpsvet:ignore tracepoints failure broadcast, not part of any call
 	case msgDeath:
 		m, err := decodeDeath(body)
 		if err != nil {
@@ -516,6 +625,7 @@ func (l *link) handle(src string, payload []byte) {
 	case msgBatch:
 		l.handleBatch(src, payload, body)
 		return
+	//dpsvet:ignore tracepoints liveness probe carries nothing
 	case msgPing:
 		// Liveness probe: receipt is the answer (detection is send-error
 		// driven); nothing to do.
@@ -625,19 +735,7 @@ func (l *link) sendToken(env *envelope, targetNode string) {
 	// freshly stamped ones reuse the retention log's encoding (the wire
 	// message byte for byte) instead of serializing the token again —
 	// copied, because the transport takes ownership of what it sends.
-	var buf []byte
-	var err error
-	switch {
-	case env.ftWire != nil:
-		buf = append(getWireBuf(), env.ftWire...)
-		env.ftWire = nil
-	case env.FTSeq > 0:
-		buf = appendTokenFT(getWireBuf(), env)
-		buf, err = l.reg.Append(buf, env.Token)
-	default:
-		buf = appendEnvelopeHeader(getWireBuf(), env)
-		buf, err = l.reg.Append(buf, env.Token)
-	}
+	buf, err := l.appendTokenFrame(getWireBuf(), env)
 	if err != nil {
 		panic(opError{fmt.Errorf("dps: cannot serialize %T: %w", env.Token, err)})
 	}

@@ -325,6 +325,9 @@ func (rt *Runtime) forwardItem(it placeItem, target string) {
 	switch {
 	case it.env != nil:
 		rt.stats.tokensForwarded.Add(1)
+		if it.env.TraceID != 0 {
+			rt.traceSpan(it.env.TraceID, "forward", target, time.Now().UnixNano(), 0)
+		}
 		rt.lnk.sendToken(it.env, target)
 	case it.ge != nil:
 		rt.stats.tokensForwarded.Add(1)

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core/flowctl"
 	"repro/internal/core/ft"
 	"repro/internal/core/place"
 	"repro/internal/core/sched"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -49,6 +51,14 @@ type Runtime struct {
 	ftNode  *ft.State
 	ftStore ft.Store
 	dead    atomic.Bool
+
+	// Observability (observe.go): ring buffers the spans of sampled calls
+	// recorded on this node; qmu/qwait accumulate their dispatch-queue wait
+	// times for /metrics. The unsampled hot path touches neither — every
+	// recording site gates on the envelope's trace ID first.
+	ring  *trace.Ring
+	qmu   sync.Mutex
+	qwait trace.Hist
 
 	mu      sync.Mutex
 	threads map[instKey]*threadInstance
@@ -124,6 +134,7 @@ func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
 		policy:  app.cfg.flowPolicy(),
 		threads: make(map[instKey]*threadInstance),
 		credits: make(map[creditKey]*flowctl.Credits),
+		ring:    trace.NewRing(0),
 	}
 	if app.ftOn {
 		rt.ftNode = ft.NewState(ft.NodeStream(rt.name))
@@ -146,6 +157,7 @@ func newRuntime(app *App, tr transport.Transport, idx int) *Runtime {
 		}
 	}
 	rt.lnk.init(tr, app.reg, &app.cfg, app.ftOn, rt, &rt.stats, peers)
+	rt.lnk.ring = rt.ring
 	rt.sched.Init(sched.Config{Workers: app.cfg.Workers, QueueCap: app.cfg.Queue}, rt.runItem)
 	return rt
 }
@@ -263,6 +275,9 @@ func (rt *Runtime) dispatchToken(g *Flowgraph, node *GraphNode, env *envelope) {
 	}
 	switch node.op.kind {
 	case KindLeaf, KindSplit:
+		if env.TraceID != 0 {
+			env.traceEnqNs = time.Now().UnixNano()
+		}
 		inst.inflight.Add(1)
 		inst.exec.Enqueue(workItem{inst: inst, g: g, node: node, env: env})
 	case KindMerge, KindStream:
@@ -355,6 +370,9 @@ func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (st
 	c := &Ctx{rt: rt, inst: inst, graph: g, node: node, env: env, callID: env.CallID, drainer: fromDrainer}
 	defer func() { still = c.drainer }()
 	tk.Wait()
+	if env.TraceID != 0 {
+		rt.traceQueueWait(env)
+	}
 	defer inst.exec.Unlock()
 	defer rt.recoverOp(c)
 	if env.FTSeq > 0 && inst.ft != nil && !inst.ft.CheckIn(env.FTStream, env.FTSeq) {
@@ -386,7 +404,14 @@ func (rt *Runtime) runSimple(it workItem, tk sched.Ticket, fromDrainer bool) (st
 		},
 		post: c.postOut,
 	}
+	var execNs int64
+	if env.TraceID != 0 {
+		execNs = time.Now().UnixNano()
+	}
 	node.op.run(x)
+	if execNs != 0 {
+		rt.traceSpan(env.TraceID, "execute", node.op.name, execNs, time.Now().UnixNano()-execNs)
+	}
 	rt.finishOpener(c)
 	if node.op.kind == KindLeaf && c.postSeq != 1 {
 		panic(opError{fmt.Errorf("dps: leaf %q posted %d tokens; a leaf posts exactly one", node.op.name, c.postSeq)})
@@ -432,7 +457,14 @@ func (rt *Runtime) runCollector(it workItem, tk sched.Ticket, fromDrainer bool) 
 		next: c.nextIn,
 		post: c.postOut,
 	}
+	var execNs int64
+	if firstEnv.TraceID != 0 {
+		execNs = time.Now().UnixNano()
+	}
 	node.op.run(x)
+	if execNs != 0 {
+		rt.traceSpan(firstEnv.TraceID, "execute", node.op.name, execNs, time.Now().UnixNano()-execNs)
+	}
 
 	// Drain-check: the operation must have consumed its whole group.
 	mg.mu.Lock()

@@ -68,6 +68,7 @@ type Scheduler[T any] struct {
 
 	queueHighWater atomic.Int64
 	handoffs       atomic.Int64
+	pending        atomic.Int64
 }
 
 // shard is one intra-node execution lane of the sharded mode: a queue of
@@ -134,6 +135,14 @@ func (s *Scheduler[T]) Stats() Stats {
 	}
 }
 
+// Pending reports the number of items currently sitting in the scheduler's
+// dispatch queues: enqueued but not yet popped by a drainer. A live
+// saturation gauge (not a cumulative counter) for exporters; items that
+// overflow onto their own goroutine are not queued and not counted.
+func (s *Scheduler[T]) Pending() int64 {
+	return s.pending.Load()
+}
+
 // NewInstance creates an instance; key selects its shard in sharded mode
 // (instances with equal keys modulo Workers share a lane).
 func (s *Scheduler[T]) NewInstance(key int) *Instance[T] {
@@ -176,6 +185,7 @@ func (inst *Instance[T]) Enqueue(it T) {
 		return
 	}
 	inst.queue = append(inst.queue, entry[T]{it: it, tk: tk})
+	s.pending.Add(1)
 	s.noteDepth(int64(len(inst.queue)))
 	if inst.sh == nil {
 		spawn := !inst.draining
@@ -304,6 +314,7 @@ func (s *Scheduler[T]) drainLoop(inst *Instance[T]) bool {
 		inst.queue[0] = entry[T]{}
 		inst.queue = inst.queue[1:]
 		inst.mu.Unlock()
+		s.pending.Add(-1)
 		if inst.sh != nil && !e.tk.granted() {
 			// Sharded mode: the instance's execution lock is held by an
 			// earlier operation still running (e.g. one that blocked,

@@ -107,6 +107,16 @@ type envelope struct {
 	ftInStream string
 	ftInSeq    uint64
 	ftWire     []byte
+
+	// TraceID is the sampled call's trace identifier (zero: unsampled, which
+	// is the hot path — every span-recording site gates on it before touching
+	// clocks or rings). It never enters the base wire encodings; remote
+	// transfers of sampled envelopes wrap the ordinary frame in msgTraced, so
+	// the wire stays byte-identical with tracing off. traceEnqNs is the
+	// dispatch-enqueue timestamp backing the queue-wait span; both clear with
+	// the rest of the struct in putEnvelope.
+	TraceID    uint64
+	traceEnqNs int64
 }
 
 func (e *envelope) topFrame() (*frame, bool) {

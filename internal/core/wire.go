@@ -33,6 +33,13 @@ const (
 	// batching off no msgBatch frame is ever emitted and every other kind
 	// stays byte-identical.
 	msgBatch byte = 14
+
+	// msgTraced wraps the ordinary frame of a sampled envelope with its
+	// trace context: [msgTraced][traceID][sentNs][inner frame]. Only sampled
+	// traffic is wrapped (Config.TraceSample), so with tracing off — or for
+	// the unsampled majority with it on — every kind above stays
+	// byte-identical, the same discipline as the FT framings and msgBatch.
+	msgTraced byte = 15
 )
 
 type groupEndMsg struct {
@@ -460,6 +467,34 @@ func decodeFence(b []byte) (*fenceMsg, error) {
 	}
 	m.Phase = b[0]
 	return m, nil
+}
+
+// appendTracedHeader writes the trace-context prefix of a sampled
+// envelope's wire frame; the inner frame (any ordinary kind) is appended
+// directly afterwards by the caller. sentNs is the sender's clock at
+// transmit time, backing the receiver-recorded wire span.
+func appendTracedHeader(b []byte, traceID uint64, sentNs int64) []byte {
+	b = append(b, msgTraced)
+	b = appendUint64(b, traceID)
+	return binary.AppendVarint(b, sentNs)
+}
+
+// decodeTracedHeader parses a msgTraced body (the frame minus its kind
+// byte), returning the trace context and the inner frame — which starts
+// with its own kind byte and aliases b.
+func decodeTracedHeader(b []byte) (traceID uint64, sentNs int64, inner []byte, err error) {
+	if traceID, b, err = readUint64(b); err != nil {
+		return 0, 0, nil, err
+	}
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("dps: truncated trace header")
+	}
+	b = b[n:]
+	if len(b) == 0 {
+		return 0, 0, nil, fmt.Errorf("dps: empty traced frame")
+	}
+	return traceID, v, b, nil
 }
 
 // --- fault-tolerance messages (ftengine.go) -------------------------------

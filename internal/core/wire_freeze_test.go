@@ -28,6 +28,7 @@ var frozenWireKinds = map[string]byte{
 	"msgCut":        12,
 	"msgPing":       13,
 	"msgBatch":      14,
+	"msgTraced":     15,
 }
 
 func TestWireKindNumbersFrozen(t *testing.T) {
@@ -46,6 +47,7 @@ func TestWireKindNumbersFrozen(t *testing.T) {
 		"msgCut":        msgCut,
 		"msgPing":       msgPing,
 		"msgBatch":      msgBatch,
+		"msgTraced":     msgTraced,
 	}
 	for name, want := range frozenWireKinds {
 		if got[name] != want {

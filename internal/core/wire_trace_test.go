@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTracedHeaderRoundTrip pins the msgTraced wrapper codec: the trace
+// context survives the wire and the inner frame comes back byte-identical,
+// starting at its own kind byte.
+func TestTracedHeaderRoundTrip(t *testing.T) {
+	inner := []byte{msgToken, 0x01, 0x02, 0x03, 0x04}
+	frame := appendTracedHeader(nil, 0xdeadbeefcafe, -12345)
+	frame = append(frame, inner...)
+	if frame[0] != msgTraced {
+		t.Fatalf("kind byte = %d, want msgTraced (%d)", frame[0], msgTraced)
+	}
+	id, sentNs, got, err := decodeTracedHeader(frame[1:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id != 0xdeadbeefcafe {
+		t.Errorf("trace id = %#x, want %#x", id, uint64(0xdeadbeefcafe))
+	}
+	if sentNs != -12345 {
+		t.Errorf("sentNs = %d, want -12345", sentNs)
+	}
+	if !bytes.Equal(got, inner) {
+		t.Errorf("inner frame = %x, want %x", got, inner)
+	}
+}
+
+// TestTracedHeaderTruncation: every strict prefix of the header must fail to
+// decode rather than yield a bogus context or an empty inner frame. The
+// trace id forces a multi-byte uvarint so mid-varint cuts are exercised.
+func TestTracedHeaderTruncation(t *testing.T) {
+	header := appendTracedHeader(nil, 1<<60, 1<<50)
+	frame := append(append([]byte{}, header...), msgToken, 0x09)
+	for n := 1; n <= len(header); n++ {
+		if _, _, _, err := decodeTracedHeader(frame[1:n]); err == nil {
+			t.Errorf("truncated body of %d bytes decoded without error", n-1)
+		}
+	}
+	if _, _, inner, err := decodeTracedHeader(frame[1:]); err != nil || len(inner) != 2 {
+		t.Fatalf("full frame: inner=%x err=%v", inner, err)
+	}
+}

@@ -13,18 +13,22 @@ import (
 // other end of a rolling restart; renumbering one desynchronizes the
 // control plane exactly when it is needed most (remap and death handling).
 var frozenCtlKinds = map[string]byte{
-	"ctlRemap": 1,
-	"ctlPing":  2,
-	"ctlPong":  3,
-	"ctlDeath": 4,
+	"ctlRemap":     1,
+	"ctlPing":      2,
+	"ctlPong":      3,
+	"ctlDeath":     4,
+	"ctlTraceReq":  5,
+	"ctlTraceResp": 6,
 }
 
 func TestCtlKindNumbersFrozen(t *testing.T) {
 	got := map[string]byte{
-		"ctlRemap": ctlRemap,
-		"ctlPing":  ctlPing,
-		"ctlPong":  ctlPong,
-		"ctlDeath": ctlDeath,
+		"ctlRemap":     ctlRemap,
+		"ctlPing":      ctlPing,
+		"ctlPong":      ctlPong,
+		"ctlDeath":     ctlDeath,
+		"ctlTraceReq":  ctlTraceReq,
+		"ctlTraceResp": ctlTraceResp,
 	}
 	for name, want := range frozenCtlKinds {
 		if got[name] != want {

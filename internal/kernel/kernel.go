@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/transport/tcptransport"
 )
@@ -35,7 +36,9 @@ type Kernel struct {
 	resolved   map[string]string // kernel name -> addr cache
 	onRemap    func(RemapRequest) error
 	onFailover func(peer string)
-	lastSeen   map[string]time.Time // heartbeat: last pong (or discovery) per peer
+	onTrace    func(id uint64) []trace.Span
+	traceWait  map[uint64]chan []trace.Span // collections in flight (CollectTrace)
+	lastSeen   map[string]time.Time         // heartbeat: last pong (or discovery) per peer
 	deadPeers  map[string]bool
 	pinging    map[string]bool // one heartbeat send in flight per peer
 	// Missed-pong backoff: pingSkip[peer] rounds are skipped before the
@@ -63,6 +66,11 @@ const (
 	ctlPing  byte = 2
 	ctlPong  byte = 3
 	ctlDeath byte = 4
+	// Trace collection (OnTrace / CollectTrace): a collector asks every
+	// kernel for the spans it buffered of one sampled call and assembles
+	// the cluster-wide timeline.
+	ctlTraceReq  byte = 5
+	ctlTraceResp byte = 6
 )
 
 // RemapRequest asks a kernel to live-remap a thread collection of one of
@@ -170,6 +178,10 @@ func (k *Kernel) handleControl(src string, payload []byte) {
 			return
 		}
 		k.peerDied(peer)
+	case ctlTraceReq:
+		k.handleTraceReq(body)
+	case ctlTraceResp:
+		k.handleTraceResp(src, body)
 	}
 }
 

@@ -146,6 +146,18 @@ func (h *Hist) Max() time.Duration { return h.max }
 // Sum returns the total of all samples.
 func (h *Hist) Sum() time.Duration { return h.sum }
 
+// Buckets calls fn once per non-empty bucket in ascending bound order, with
+// the bucket's inclusive upper bound and its (non-cumulative) count. It is
+// the export hook for encoders (promtext) that need the geometry without
+// reaching into the fixed array.
+func (h *Hist) Buckets(fn func(upper time.Duration, count int64)) {
+	for i, c := range h.buckets {
+		if c != 0 {
+			fn(histBounds[i], c)
+		}
+	}
+}
+
 // histJSON is the wire form of a Hist: exact aggregates, sparse non-empty
 // buckets as [index, count] pairs, and derived percentiles included for
 // human and plotting convenience (ignored when decoding).
@@ -155,6 +167,7 @@ type histJSON struct {
 	MinNs   int64      `json:"min_ns,omitempty"`
 	MaxNs   int64      `json:"max_ns,omitempty"`
 	P50Ns   int64      `json:"p50_ns,omitempty"`
+	P90Ns   int64      `json:"p90_ns,omitempty"`
 	P99Ns   int64      `json:"p99_ns,omitempty"`
 	P999Ns  int64      `json:"p999_ns,omitempty"`
 	Buckets [][2]int64 `json:"buckets,omitempty"`
@@ -168,6 +181,7 @@ func (h Hist) MarshalJSON() ([]byte, error) {
 		MinNs:  int64(h.min),
 		MaxNs:  int64(h.max),
 		P50Ns:  int64(h.Percentile(50)),
+		P90Ns:  int64(h.Percentile(90)),
 		P99Ns:  int64(h.Percentile(99)),
 		P999Ns: int64(h.Percentile(99.9)),
 	}

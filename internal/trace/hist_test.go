@@ -123,3 +123,45 @@ func TestHistNegativeClamped(t *testing.T) {
 		t.Fatal("negative sample must clamp to zero")
 	}
 }
+
+func TestHistBucketsIteration(t *testing.T) {
+	var h Hist
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, time.Millisecond, time.Second} {
+		h.Add(d)
+	}
+	var total int64
+	var last time.Duration = -1
+	h.Buckets(func(upper time.Duration, count int64) {
+		if count <= 0 {
+			t.Fatalf("bucket %v reported empty count %d", upper, count)
+		}
+		if upper <= last {
+			t.Fatalf("bucket bounds not ascending: %v after %v", upper, last)
+		}
+		last = upper
+		total += count
+	})
+	if total != int64(h.Len()) {
+		t.Fatalf("bucket counts sum to %d, histogram holds %d", total, h.Len())
+	}
+}
+
+func TestHistJSONCarriesP90(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"p50_ns", "p90_ns", "p99_ns", "p999_ns"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("marshaled histogram missing %s: %s", k, data)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package promtext renders metrics in the Prometheus text exposition
+// format (version 0.0.4) using only the standard library. It is the
+// encoding half of the /metrics endpoints on dps-kernel and dps-gateway:
+// callers feed it counters, gauges, trace.Hist histograms and whole
+// counter structs (reflect-driven, so a struct gaining a field can never
+// silently vanish from the scrape), and it produces the `# TYPE` /
+// `name{labels} value` lines Prometheus scrapes.
+package promtext
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ContentType is the HTTP Content-Type of the rendered exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Encoder accumulates an exposition. The zero value is ready to use; it is
+// not safe for concurrent use (build one per scrape).
+type Encoder struct {
+	sb    strings.Builder
+	typed map[string]bool
+}
+
+// Counter emits one cumulative counter sample.
+func (e *Encoder) Counter(name, help string, v float64, labels ...Label) {
+	e.header(name, "counter", help)
+	e.sample(name, labels, v)
+}
+
+// Gauge emits one instantaneous gauge sample.
+func (e *Encoder) Gauge(name, help string, v float64, labels ...Label) {
+	e.header(name, "gauge", help)
+	e.sample(name, labels, v)
+}
+
+// Histogram emits a trace.Hist as a Prometheus histogram in seconds:
+// cumulative `name_bucket{le="..."}` series over the histogram's non-empty
+// buckets plus the mandatory +Inf bucket, `name_sum` and `name_count`.
+// Per convention name should end in `_seconds`.
+func (e *Encoder) Histogram(name, help string, h *trace.Hist, labels ...Label) {
+	e.header(name, "histogram", help)
+	cum := int64(0)
+	h.Buckets(func(upper time.Duration, count int64) {
+		cum += count
+		le := Label{Name: "le", Value: formatFloat(upper.Seconds())}
+		e.sample(name+"_bucket", append(append([]Label(nil), labels...), le), float64(cum))
+	})
+	inf := Label{Name: "le", Value: "+Inf"}
+	e.sample(name+"_bucket", append(append([]Label(nil), labels...), inf), float64(h.Len()))
+	e.sample(name+"_sum", labels, h.Sum().Seconds())
+	e.sample(name+"_count", labels, float64(h.Len()))
+}
+
+// Struct emits every int64 field of s (a struct or pointer to one) as a
+// metric named prefix_<snake_case_field>. Reflection makes the export
+// complete by construction: a counter added to the struct appears in the
+// next scrape without any registration step. High-water-mark fields (and
+// any other non-monotonic ones) can be named in gauges; the rest are typed
+// as counters.
+func (e *Encoder) Struct(prefix string, s any, gauges map[string]bool, labels ...Label) {
+	v := reflect.ValueOf(s)
+	for v.Kind() == reflect.Pointer {
+		v = v.Elem()
+	}
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		name := prefix + "_" + SnakeCase(f.Name)
+		val := float64(v.Field(i).Int())
+		if gauges[f.Name] {
+			e.Gauge(name, f.Name, val, labels...)
+		} else {
+			e.Counter(name, f.Name, val, labels...)
+		}
+	}
+}
+
+// String returns the exposition rendered so far.
+func (e *Encoder) String() string { return e.sb.String() }
+
+// Bytes returns the exposition rendered so far.
+func (e *Encoder) Bytes() []byte { return []byte(e.sb.String()) }
+
+// header writes the # HELP / # TYPE preamble once per metric name.
+func (e *Encoder) header(name, typ, help string) {
+	if e.typed == nil {
+		e.typed = make(map[string]bool)
+	}
+	if e.typed[name] {
+		return
+	}
+	e.typed[name] = true
+	if help != "" {
+		fmt.Fprintf(&e.sb, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&e.sb, "# TYPE %s %s\n", name, typ)
+}
+
+func (e *Encoder) sample(name string, labels []Label, v float64) {
+	e.sb.WriteString(name)
+	if len(labels) > 0 {
+		sorted := append([]Label(nil), labels...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		e.sb.WriteByte('{')
+		for i, l := range sorted {
+			if i > 0 {
+				e.sb.WriteByte(',')
+			}
+			// Go's %q escapes exactly what the format requires of label
+			// values: backslash, double quote and newline.
+			fmt.Fprintf(&e.sb, "%s=%q", l.Name, l.Value)
+		}
+		e.sb.WriteByte('}')
+	}
+	e.sb.WriteByte(' ')
+	e.sb.WriteString(formatFloat(v))
+	e.sb.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros (the common case for counters), everything else in Go's
+// shortest form, which Prometheus parses.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SnakeCase converts a Go CamelCase identifier to snake_case metric-name
+// segments: TokensPosted -> tokens_posted, BytesSent -> bytes_sent. Runs
+// of capitals stay one segment (QueueHighWater -> queue_high_water).
+func SnakeCase(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 && (name[i-1] < 'A' || name[i-1] > 'Z') {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(byte(r - 'A' + 'a'))
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,240 @@
+package promtext
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// parseExposition is a minimal Prometheus text-format parser for tests: it
+// validates the line grammar the real scraper cares about (# HELP / # TYPE
+// preambles, name{label="value"} value samples, one TYPE per name) and
+// returns samples keyed by name plus sorted label string, and types by name.
+// Tests parse the output rather than string-matching it, so the assertions
+// hold under any valid formatting choice.
+func parseExposition(t *testing.T, text string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown metric type %q in %q", typ, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		// Sample: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable sample value in %q: %v", line, err)
+		}
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			for _, pair := range splitLabels(t, key[i+1:len(key)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					t.Fatalf("label without '=' in %q", line)
+				}
+				if _, err := strconv.Unquote(pair[eq+1:]); err != nil {
+					t.Fatalf("label value not a quoted string in %q: %v", line, err)
+				}
+			}
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = val
+	}
+	return samples, types
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	enc := &Encoder{}
+	enc.Counter("reqs_total", "requests served", 42)
+	enc.Gauge("depth", "live depth", 3.5, Label{Name: "node", Value: "a"})
+	samples, types := parseExposition(t, enc.String())
+	if samples["reqs_total"] != 42 {
+		t.Fatalf("reqs_total = %v", samples["reqs_total"])
+	}
+	if types["reqs_total"] != "counter" || types["depth"] != "gauge" {
+		t.Fatalf("types = %v", types)
+	}
+	if samples[`depth{node="a"}`] != 3.5 {
+		t.Fatalf("labeled gauge missing: %v", samples)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	enc := &Encoder{}
+	enc.Gauge("g", "", 1, Label{Name: "v", Value: "a\"b\\c\nd"})
+	// The parser unquotes every label value with strconv.Unquote; a
+	// double-escaped or raw newline would fail there.
+	samples, _ := parseExposition(t, enc.String())
+	found := false
+	for k := range samples {
+		if strings.HasPrefix(k, "g{") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped-label sample missing: %v", samples)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := &trace.Hist{}
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, time.Millisecond, 40 * time.Millisecond} {
+		h.Add(d)
+	}
+	enc := &Encoder{}
+	enc.Histogram("lat_seconds", "latency", h)
+	samples, types := parseExposition(t, enc.String())
+	if types["lat_seconds"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+	if got := samples[`lat_seconds_bucket{le="+Inf"}`]; got != 4 {
+		t.Fatalf("+Inf bucket = %v, want 4", got)
+	}
+	if got := samples["lat_seconds_count"]; got != 4 {
+		t.Fatalf("count = %v, want 4", got)
+	}
+	wantSum := h.Sum().Seconds()
+	if got := samples["lat_seconds_sum"]; got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Fatalf("sum = %v, want ~%v", got, wantSum)
+	}
+	// Buckets are cumulative and monotone, and every finite bound is <= the
+	// next one's count.
+	var prev float64
+	var bounds []float64
+	for k, v := range samples {
+		if !strings.HasPrefix(k, `lat_seconds_bucket{le="`) || strings.Contains(k, "+Inf") {
+			continue
+		}
+		le, err := strconv.ParseFloat(k[len(`lat_seconds_bucket{le="`):len(k)-2], 64)
+		if err != nil {
+			t.Fatalf("bucket bound unparseable in %q: %v", k, err)
+		}
+		bounds = append(bounds, le)
+		_ = v
+	}
+	if len(bounds) == 0 {
+		t.Fatal("no finite buckets emitted")
+	}
+	// Walk in ascending bound order, checking monotonicity.
+	for i := 0; i < len(bounds); i++ {
+		min := i
+		for j := i + 1; j < len(bounds); j++ {
+			if bounds[j] < bounds[min] {
+				min = j
+			}
+		}
+		bounds[i], bounds[min] = bounds[min], bounds[i]
+	}
+	for _, b := range bounds {
+		key := `lat_seconds_bucket{le="` + formatFloat(b) + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("bucket %q vanished on re-lookup", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	if prev > samples[`lat_seconds_bucket{le="+Inf"}`] {
+		t.Fatal("finite bucket exceeds +Inf bucket")
+	}
+}
+
+func TestStructExportsEveryInt64Field(t *testing.T) {
+	type counters struct {
+		TokensPosted   int64
+		QueueHighWater int64
+		BytesSent      int64
+		hidden         int64
+		Name           string
+	}
+	_ = counters{}.hidden
+	enc := &Encoder{}
+	enc.Struct("eng", &counters{TokensPosted: 7, QueueHighWater: 3, BytesSent: 11}, map[string]bool{"QueueHighWater": true})
+	samples, types := parseExposition(t, enc.String())
+	if samples["eng_tokens_posted"] != 7 || samples["eng_bytes_sent"] != 11 {
+		t.Fatalf("counter fields missing: %v", samples)
+	}
+	if types["eng_queue_high_water"] != "gauge" {
+		t.Fatalf("high-water field should be a gauge, types = %v", types)
+	}
+	if types["eng_tokens_posted"] != "counter" {
+		t.Fatalf("monotonic field should be a counter, types = %v", types)
+	}
+	if _, ok := samples["eng_name"]; ok {
+		t.Fatal("non-int64 field exported")
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"TokensPosted":   "tokens_posted",
+		"BytesSent":      "bytes_sent",
+		"QueueHighWater": "queue_high_water",
+		"Handoffs":       "handoffs",
+	}
+	for in, want := range cases {
+		if got := SnakeCase(in); got != want {
+			t.Errorf("SnakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Span is one recorded event of a sampled call: what happened (Kind), where
+// (Node), to which operation or message (Name), when it started (Start,
+// unix nanoseconds) and how long it took (Dur, nanoseconds; zero for point
+// events). Trace is the sampled call's trace ID — the engine uses the call
+// ID, which starts at a random 64-bit point per application, so IDs are
+// unique across the processes of one deployment for all practical purposes.
+//
+// Span kinds recorded by the engine (see DESIGN.md, Observability):
+//
+//	post      — an operation posted this token (sender side)
+//	queue     — time between dispatch enqueue and execution start
+//	execute   — one operation body execution
+//	stall     — a post blocked on the flow-control window
+//	wire      — serialized transfer between two nodes (sender clock to
+//	            receiver clock; cross-process skew applies)
+//	forward   — a placement relay re-sent the token after a migration
+//	replay    — a retained copy was re-sent during failure recovery
+//	result    — the call's result was delivered to the caller
+type Span struct {
+	Trace uint64 `json:"trace"`
+	Kind  string `json:"kind"`
+	Node  string `json:"node"`
+	Name  string `json:"name,omitempty"`
+	Start int64  `json:"start_ns"`
+	Dur   int64  `json:"dur_ns,omitempty"`
+}
+
+// DefaultRingSize is the per-node span buffer capacity: enough for several
+// sampled calls' full journeys, small enough (a few hundred KB) to embed in
+// every runtime.
+const DefaultRingSize = 4096
+
+// Ring is a fixed-size circular span buffer. Recording overwrites the
+// oldest span once full — observability must never grow without bound or
+// stall the engine. A Ring is safe for concurrent use; the unsampled hot
+// path never reaches it (callers gate on the envelope's trace ID), so the
+// mutex only serializes sampled traffic.
+type Ring struct {
+	mu    sync.Mutex
+	spans []Span
+	next  int
+	full  bool
+}
+
+// NewRing creates a ring holding up to size spans (DefaultRingSize if
+// size <= 0).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{spans: make([]Span, size)}
+}
+
+// Record appends one span, overwriting the oldest when full.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.spans[r.next] = s
+	r.next++
+	if r.next == len(r.spans) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the buffered spans of one trace in recording order, or every
+// buffered span when trace is 0.
+func (r *Ring) Spans(trace uint64) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.spans)
+	}
+	out := make([]Span, 0, n)
+	appendFrom := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if trace == 0 || r.spans[i].Trace == trace {
+				out = append(out, r.spans[i])
+			}
+		}
+	}
+	if r.full {
+		appendFrom(r.next, len(r.spans))
+	}
+	appendFrom(0, r.next)
+	return out
+}
+
+// SortSpans orders spans into a timeline: by start time, then by node and
+// kind for deterministic output when starts tie.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Kind < b.Kind
+	})
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestRingRecordAndFilter(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Span{Trace: 1, Kind: "post", Node: "a", Start: 10})
+	r.Record(Span{Trace: 2, Kind: "post", Node: "a", Start: 11})
+	r.Record(Span{Trace: 1, Kind: "execute", Node: "a", Start: 12})
+
+	got := r.Spans(1)
+	if len(got) != 2 || got[0].Kind != "post" || got[1].Kind != "execute" {
+		t.Fatalf("trace 1 spans = %+v", got)
+	}
+	if all := r.Spans(0); len(all) != 3 {
+		t.Fatalf("all spans = %d, want 3", len(all))
+	}
+	if none := r.Spans(99); len(none) != 0 {
+		t.Fatalf("unknown trace returned %d spans", len(none))
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Record(Span{Trace: uint64(i), Start: int64(i)})
+	}
+	got := r.Spans(0)
+	if len(got) != 4 {
+		t.Fatalf("full ring holds %d spans, want 4", len(got))
+	}
+	// Oldest two (traces 1, 2) were overwritten; recording order preserved.
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if got[i].Trace != want {
+			t.Fatalf("span %d trace = %d, want %d (recording order)", i, got[i].Trace, want)
+		}
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < DefaultRingSize+10; i++ {
+		r.Record(Span{Trace: 7})
+	}
+	if got := len(r.Spans(7)); got != DefaultRingSize {
+		t.Fatalf("default ring holds %d, want %d", got, DefaultRingSize)
+	}
+}
+
+func TestSortSpansTimeline(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, Kind: "execute", Node: "b", Start: 20},
+		{Trace: 1, Kind: "wire", Node: "a", Start: 20},
+		{Trace: 1, Kind: "post", Node: "a", Start: 10},
+	}
+	SortSpans(spans)
+	if spans[0].Kind != "post" {
+		t.Fatalf("earliest span should sort first, got %+v", spans[0])
+	}
+	// Equal starts tie-break by node then kind for deterministic dumps.
+	if spans[1].Node != "a" || spans[2].Node != "b" {
+		t.Fatalf("tie-break order wrong: %+v", spans[1:])
+	}
+}

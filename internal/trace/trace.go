@@ -46,7 +46,13 @@ func (s *Samples) Percentile(p float64) time.Duration {
 		a, b := sorted[len(sorted)/2-1], sorted[len(sorted)/2]
 		return (a + b) / 2
 	}
-	idx := int(p/100*float64(len(sorted))) % len(sorted)
+	// Clamp, never wrap: p/100*len rounds up to len for high percentiles of
+	// small sample sets, and a modulo there would alias the maximum to the
+	// minimum (p99 of 3 samples must be the largest sample, not the smallest).
+	idx := int(p / 100 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
 	return sorted[idx]
 }
 

@@ -144,3 +144,27 @@ func TestStopwatch(t *testing.T) {
 		t.Fatalf("elapsed %v too small", el)
 	}
 }
+
+// Regression for the Percentile index clamp: the index used to be computed
+// modulo the sample count, so a high percentile over few samples (p=99 over
+// 3 samples gives index 2.97 -> 2, but p close enough to 100 gives the
+// count itself) wrapped around to the SMALLEST sample instead of the
+// largest. High percentiles must saturate at the max, never wrap.
+func TestPercentileHighDoesNotWrap(t *testing.T) {
+	var s Samples
+	for _, v := range []time.Duration{10, 20, 30} {
+		s.Add(v)
+	}
+	if got := s.Percentile(99); got != 30 {
+		t.Fatalf("p99 over 3 samples = %d, want 30 (the max)", got)
+	}
+	var big Samples
+	for i := 1; i <= 100; i++ {
+		big.Add(time.Duration(i))
+	}
+	// p just under 100: index len(sorted)*0.99999 truncates to len-1 only
+	// because of the clamp; the wrapped version returned the minimum.
+	if got := big.Percentile(99.999); got != 100 {
+		t.Fatalf("p99.999 over 100 samples = %d, want 100", got)
+	}
+}
